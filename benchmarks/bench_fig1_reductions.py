@@ -1,0 +1,54 @@
+"""E6: regenerate Figure 1 -- reduction costs among coordination
+problems (odd n / lazy / perceptive settings).
+
+The figure annotates the triangle leader election <-> nontrivial move
+<-> direction agreement with O(1) and O(log N) edges; we measure every
+edge with its precondition granted and assert the annotation.
+"""
+
+from __future__ import annotations
+
+from repro.combinatorics import bounds
+from repro.experiments import render_table
+from repro.experiments.figures import reduction_edges
+
+
+def test_fig1_reduction_edges(once):
+    rows = once(lambda: reduction_edges(n=12, seed=1))
+    print("\n" + render_table(rows, "FIGURE 1 -- reduction edges"))
+    by_label = {r.label: r for r in rows}
+
+    # O(1) edges.
+    assert by_label["leader -> nontrivial move"].measured["rounds"] <= 8
+    assert by_label[
+        "nontrivial move -> direction agreement"
+    ].measured["rounds"] <= 4
+    assert by_label["leader -> direction agreement"].measured["rounds"] <= 12
+
+    # O(log N) edges.
+    big_n = rows[0].params["N"]
+    log_budget = 4 * bounds.log_n_bound(big_n)
+    assert by_label[
+        "nontrivial move -> leader election"
+    ].measured["rounds"] <= log_budget
+    assert by_label[
+        "direction agreement -> leader (lazy)"
+    ].measured["rounds"] <= log_budget
+
+
+def test_fig1_edges_scale_logarithmically(once):
+    """Doubling N adds a constant number of rounds to the log edges."""
+
+    def sweep():
+        return {n: reduction_edges(n=n, seed=1) for n in (8, 16, 32)}
+
+    results = once(sweep)
+    leader_edge = "nontrivial move -> leader election"
+    costs = []
+    for n, rows in sorted(results.items()):
+        row = next(r for r in rows if r.label == leader_edge)
+        costs.append((row.params["N"], row.measured["rounds"]))
+    print("\nN -> rounds for", leader_edge, ":", costs)
+    # rounds = 2 * ceil(log2 N): each doubling adds exactly 2.
+    for (n1, c1), (n2, c2) in zip(costs, costs[1:]):
+        assert c2 - c1 <= 4

@@ -1,0 +1,61 @@
+"""E9: Lemma 5 (unsolvability) and Lemma 6 (round floors).
+
+* Lemma 5: exhaustive witness that every basic round with even n has an
+  even rotation index, and the pipeline raises InfeasibleProblemError.
+* Lemma 6: measured discovery phases against the n-1 / n/2 information
+  floors -- our implementations sit within o(n) of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InfeasibleProblemError
+from repro.experiments import render_table
+from repro.experiments.lower_bounds import lemma5_witness, lemma6_floors
+from repro.protocols.full_stack import solve_location_discovery
+from repro.ring.configs import random_configuration
+from repro.types import Model
+
+
+def test_lemma5_unsolvability(once):
+    row = once(lambda: lemma5_witness(n=8))
+    print("\n" + render_table([row], "LEMMA 5 -- parity witness"))
+    assert row.measured["rotation_parities"] == [0]
+    state = random_configuration(8, seed=0, common_sense=False)
+    with pytest.raises(InfeasibleProblemError):
+        solve_location_discovery(state, Model.BASIC)
+
+
+def test_lemma6_discovery_floors(once):
+    rows = once(lambda: lemma6_floors(seed=1))
+    print("\n" + render_table(rows, "LEMMA 6 -- location discovery floors"))
+    for r in rows:
+        measured = r.measured["discovery_rounds"]
+        floor = r.reference["floor"]
+        assert measured >= floor, (
+            f"{r.label}: {measured} rounds beats the information floor "
+            f"{floor} -- impossible; the harness is leaking information"
+        )
+        # Optimality up to o(n): within a small additive constant here.
+        assert measured <= floor + 4
+
+
+def test_lemma6_perceptive_halves_the_floor(once):
+    """The perceptive discovery phase drops below the dist()-only floor
+    n - 1: collision information really is worth a factor 2."""
+
+    def measure():
+        out = {}
+        for n in (16, 32, 64):
+            state = random_configuration(n, seed=2, common_sense=False)
+            result = solve_location_discovery(state, Model.PERCEPTIVE)
+            out[n] = result.rounds_by_phase["discovery"]
+        return out
+
+    phases = once(measure)
+    print("\nperceptive discovery rounds vs dist()-only floor:",
+          {n: (c, n - 1) for n, c in phases.items()})
+    for n, cost in phases.items():
+        assert cost == n // 2 + 3
+        assert cost < n - 1

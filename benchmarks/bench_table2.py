@@ -1,0 +1,66 @@
+"""E5: regenerate Table II (common sense of direction).
+
+With a shared chirality every coordination cell collapses to polylog:
+leader election is O(log N) except the constructive basic-even case at
+O(log² N); location discovery keeps its model-specific discovery cost.
+"""
+
+from __future__ import annotations
+
+from repro.combinatorics import bounds
+from repro.experiments import render_table
+from repro.experiments.table2 import generate
+from repro.types import Model
+
+
+def test_table2_all_rows(once):
+    rows = once(
+        lambda: generate(odd_sizes=(9, 17, 33), even_sizes=(8, 16, 32), seed=1)
+    )
+    print("\n" + render_table(rows, "TABLE II -- common sense of direction"))
+    for r in rows:
+        n, big_n = r.params["n"], r.params["N"]
+        even = n % 2 == 0
+        basic_even = r.label.startswith("basic") and even
+        leader_budget = (
+            10 * bounds.log_squared_bound(big_n)
+            if basic_even
+            else 10 * bounds.log_n_bound(big_n)
+        )
+        assert r.measured["leader"] <= leader_budget, r.label
+        # Theorem 7: nontrivial move from a leader is O(1) extra.
+        assert r.measured["nmove"] <= 8, r.label
+        if r.measured["ld"] == "not solvable":
+            assert basic_even  # only Lemma 5's cell may be infeasible
+        elif r.label.startswith("perceptive") and even:
+            assert r.measured["ld"] <= n / 2 + 60 * (
+                bounds.nmove_perceptive_bound(big_n, n)
+            ), r.label
+        else:
+            assert r.measured["ld"] - n <= 10 * (
+                bounds.log_squared_bound(big_n)
+            ), r.label
+
+
+def test_table2_vs_table1_speedup(once):
+    """The point of Table II: with common chirality, even-n basic
+    coordination drops from Θ(n log(N/n)/log n) to polylog."""
+    from repro.experiments.table1 import row_basic_even
+    from repro.experiments.table2 import row
+
+    def measure():
+        general = row_basic_even(32, seed=1)
+        common = row(32, Model.BASIC, seed=1)
+        return general, common
+
+    general, common = once(measure)
+    print("\nbasic even n=32: general leader rounds =",
+          general.measured["leader"],
+          "| common-sense leader rounds =", common.measured["leader"])
+    # The general-setting cell grows with n; the common-sense one must
+    # not -- at n = 32 the polylog pipeline may still pay a constant
+    # overhead, so compare against the n-free budget instead of the
+    # other measurement directly.
+    assert common.measured["leader"] <= 10 * bounds.log_squared_bound(
+        common.params["N"]
+    )

@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every benchmark in this directory regenerates one table or figure of
+the paper: it runs the relevant experiment driver once under
+pytest-benchmark timing, prints the rendered table (captured in the
+bench log), records the measured round counts in ``extra_info``, and
+asserts the paper's qualitative shape (who wins, how cells scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under timing (pipelines are deterministic,
+    so repeated timing iterations only waste bench time)."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Explore (N,n)-distinguishers -- the combinatorics behind the paper's
+superlinear lower bound.
+
+Until a protocol produces its first nontrivial move, every agent is
+locked into a fixed published sequence of subsets of the ID space
+(Proposition 22).  Breaking the symmetry between the two chirality
+classes of an adversarial even ring is then *exactly* the distinguisher
+problem, so the minimal distinguisher size Θ(n log(N/n)/log n) is a
+round-count lower bound.  This script makes the object concrete:
+
+* builds and verifies distinguishers (random and greedy);
+* finds exact minimal sizes by branch and bound for small N;
+* shows a violating pair -- two ID sets a too-small family cannot
+  tell apart -- and the bound curves.
+
+Run:  python examples/distinguisher_explorer.py
+"""
+
+from repro.combinatorics import bounds
+from repro.combinatorics.distinguishers import (
+    greedy_distinguisher,
+    is_distinguisher,
+    minimal_distinguisher_size,
+    random_distinguisher,
+    violating_pair,
+)
+
+
+def main() -> None:
+    print("exact minimal (N,1)-distinguisher sizes (= ceil(log2 N)):")
+    for universe in range(4, 8):
+        size = minimal_distinguisher_size(universe, 1)
+        print(f"  N={universe}: minimal size {size}")
+
+    print("\na family that is too small, and the pair it cannot split:")
+    family = [frozenset({1, 2}), frozenset({3, 4})]
+    assert not is_distinguisher(family, 6, 1)
+    x1, x2 = violating_pair(family, 6, 1)
+    print(f"  family {[set(f) for f in family]} over N=6, n=1")
+    print(f"  indistinguishable pair: X1={set(x1)}, X2={set(x2)}")
+    print("  (every member meets X1 and X2 in equally many elements)")
+
+    print("\ngreedy vs exact at N=6, n=2:")
+    exact = minimal_distinguisher_size(6, 2, max_size=4)
+    greedy = greedy_distinguisher(6, 2)
+    print(f"  exact minimal size : {exact}")
+    print(f"  greedy family size : {len(greedy)}  "
+          f"members: {[sorted(f) for f in greedy]}")
+
+    print("\nTheorem 27's random construction, verified:")
+    for universe, n in ((10, 1), (10, 2), (12, 2)):
+        fam = random_distinguisher(universe, n, seed=42)
+        ok = is_distinguisher(fam, universe, n)
+        print(f"  N={universe:3d} n={n}: size {len(fam):3d} "
+              f"valid={ok}  Θ-curve={bounds.distinguisher_size_bound(universe, n):.1f}")
+
+    print("\nthe lower-bound curve Θ(n log(N/n)/log n) at protocol scale:")
+    big_n = 1 << 16
+    for n in (16, 64, 256, 1024):
+        print(f"  N=2^16, n={n:5d}: "
+              f"{bounds.distinguisher_size_bound(big_n, n):10.1f} rounds "
+              f"(counting floor {bounds.distinguisher_counting_bound(big_n, n):8.1f})")
+    print("\nsuperlinear in n for n = O(N^(1-ε)) -- the paper's Table I cell.")
+
+
+if __name__ == "__main__":
+    main()

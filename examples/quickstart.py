@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: solve location discovery on a ring of bouncing agents.
+
+Six anonymous-looking agents sit at unknown positions on a circle; some
+of them even disagree about which way is clockwise.  They cannot talk,
+see, or leave marks -- they can only move, bounce, and measure how far
+each round carried them.  This script runs the paper's full pipeline
+(nontrivial move -> direction agreement -> leader election -> discovery
+sweep) in the perceptive model and prints what each agent learned.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import Model, random_configuration, solve_location_discovery
+
+
+def main() -> None:
+    n = 8
+    state = random_configuration(n=n, seed=2024, common_sense=False)
+    print(f"ring with n={n} agents, ID space [1, {state.id_bound}]")
+    print("true positions (hidden from agents):")
+    for i in range(n):
+        chir = "cw " if int(state.chiralities[i]) == 1 else "ccw"
+        print(f"  agent id={state.ids[i]:3d}  pos={state.positions[i]}  "
+              f"sense={chir}")
+
+    result = solve_location_discovery(state, Model.PERCEPTIVE)
+
+    print(f"\nsolved in {result.rounds} rounds:")
+    for phase, rounds in result.rounds_by_phase.items():
+        print(f"  {phase:22s} {rounds:5d} rounds")
+    print(f"  (discovery itself took n/2 + 3 = {n // 2 + 3} rounds -- half "
+          "of what dist()-only agents would need)")
+
+    print("\nagent 0's reconstructed ring (gaps from itself, common frame):")
+    gaps = result.gaps_by_agent[0]
+    position = Fraction(0)
+    for k, gap in enumerate(gaps):
+        print(f"  +{k} places: at {position} (next gap {gap})")
+        position += gap
+    assert position == 1, "gaps must close the circle"
+
+    # Omniscient check: the reconstruction matches the true gaps.
+    true_gaps = state.initial_gaps()
+    forward = [true_gaps[k % n] for k in range(n)]
+    backward = [true_gaps[(-1 - k) % n] for k in range(n)]
+    assert gaps in (forward, backward)
+    print("\nreconstruction verified against ground truth ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""A tour of the coordination problems across all three model variants.
+
+For the same hidden configuration this script solves direction
+agreement, leader election and nontrivial move under the basic, lazy
+and perceptive rules, and contrasts the costs -- the live version of
+the paper's Table I columns.  It also demonstrates the parity cliff:
+the very same protocols that take a handful of rounds on an odd ring
+must pay the distinguisher price on an even one.
+
+Run:  python examples/swarm_coordination.py
+"""
+
+from repro import Model, random_configuration
+from repro.combinatorics import bounds
+from repro.protocols.full_stack import solve_coordination
+
+
+def tour(n: int, seed: int) -> None:
+    print(f"\n=== n = {n} ({'even' if n % 2 == 0 else 'odd'}) ===")
+    header = f"{'model':12s} {'nmove':>7s} {'diragree':>9s} {'leader':>7s} {'total':>7s}  leader id"
+    print(header)
+    print("-" * len(header))
+    for model in Model:
+        state = random_configuration(n=n, seed=seed, common_sense=False)
+        result = solve_coordination(state, model)
+        p = result.rounds_by_phase
+        print(
+            f"{model.value:12s} {p['nontrivial_move']:7d} "
+            f"{p['direction_agreement']:9d} {p['leader_election']:7d} "
+            f"{result.rounds:7d}  {result.leader_id}"
+        )
+
+
+def main() -> None:
+    tour(n=9, seed=11)
+    tour(n=16, seed=11)
+
+    print("\nwhy the cliff?  For odd n any objectively split round breaks")
+    print("symmetry (rotation index cannot be 0 or n/2), so coordination")
+    print("is polylog.  For even n the basic/lazy models must solve the")
+    print("distinguisher problem, Θ(n·log(N/n)/log n) in the worst case;")
+    print("the perceptive model escapes through collision information:")
+    for n, big_n in ((256, 1 << 10), (4096, 1 << 20), (65536, 1 << 24)):
+        basic = bounds.coordination_even_bound(big_n, n)
+        perceptive = bounds.nmove_perceptive_bound(big_n, n)
+        winner = "perceptive" if perceptive < basic else "basic/lazy"
+        print(f"  n={n:6d}, N=2^{big_n.bit_length() - 1}: "
+              f"basic/lazy ~{basic:8.0f} vs perceptive ~{perceptive:8.0f} "
+              f"-> {winner} wins")
+    print("\nthe crossover: Θ(n log(N/n)/log n) grows superlinearly in n,")
+    print("O(√n log N) sublinearly -- past it, collisions beat idling.")
+
+
+if __name__ == "__main__":
+    main()

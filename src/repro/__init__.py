@@ -1,0 +1,66 @@
+"""repro — reproduction of "Deterministic Symmetry Breaking in Ring Networks".
+
+An exact simulator for synchronous bouncing agents on a unit circle plus
+the paper's complete protocol suite.  See README.md for a tour.
+"""
+
+from repro.types import Chirality, LocalDirection, Model, Observation
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleProblemError,
+    ModelViolationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    SingularSystemError,
+)
+from repro.ring.state import RingState
+from repro.ring.simulator import RingSimulator
+from repro.ring.configs import (
+    clustered_configuration,
+    explicit_configuration,
+    jittered_equidistant_configuration,
+    random_configuration,
+)
+from repro.core.scheduler import Scheduler
+from repro.protocols.full_stack import (
+    CoordinationResult,
+    LocationDiscoveryResult,
+    solve_coordination,
+    solve_location_discovery,
+)
+from repro.protocols.ring_size import discover_ring_size
+from repro.protocols.randomized import (
+    anonymous_configuration,
+    randomized_location_discovery,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "solve_coordination",
+    "solve_location_discovery",
+    "discover_ring_size",
+    "randomized_location_discovery",
+    "anonymous_configuration",
+    "CoordinationResult",
+    "LocationDiscoveryResult",
+    "Chirality",
+    "LocalDirection",
+    "Model",
+    "Observation",
+    "RingState",
+    "RingSimulator",
+    "Scheduler",
+    "random_configuration",
+    "jittered_equidistant_configuration",
+    "clustered_configuration",
+    "explicit_configuration",
+    "ReproError",
+    "ConfigurationError",
+    "ModelViolationError",
+    "ProtocolError",
+    "InfeasibleProblemError",
+    "SimulationError",
+    "SingularSystemError",
+]

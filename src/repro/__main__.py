@@ -1,0 +1,138 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1 [--odd 9,17,33] [--even 8,16,32] [--seed 1]
+    python -m repro table2
+    python -m repro figures
+    python -m repro lower-bounds
+    python -m repro demo [--n 8] [--model perceptive] [--seed 2024]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _sizes(spec: str) -> List[int]:
+    return [int(part) for part in spec.split(",") if part]
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.experiments import render_table
+    from repro.experiments.table1 import generate
+
+    rows = generate(
+        odd_sizes=tuple(_sizes(args.odd)),
+        even_sizes=tuple(_sizes(args.even)),
+        seed=args.seed,
+    )
+    print(render_table(rows, "TABLE I -- deterministic solutions, general setting"))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.experiments import render_table
+    from repro.experiments.table2 import generate
+
+    rows = generate(
+        odd_sizes=tuple(_sizes(args.odd)),
+        even_sizes=tuple(_sizes(args.even)),
+        seed=args.seed,
+    )
+    print(render_table(rows, "TABLE II -- common sense of direction"))
+
+
+def _cmd_figures(args: argparse.Namespace) -> None:
+    from repro.experiments import render_table
+    from repro.experiments.figures import reduction_edges, ringdist_anatomy
+
+    print(render_table(
+        reduction_edges(n=args.n, seed=args.seed),
+        "FIGURES 1-2 -- reduction edges",
+    ))
+    print()
+    print(render_table(
+        ringdist_anatomy(n=args.n, seed=args.seed),
+        "FIGURE 3 -- RingDist labelling progress",
+    ))
+
+
+def _cmd_lower_bounds(args: argparse.Namespace) -> None:
+    from repro.experiments import render_table
+    from repro.experiments.lower_bounds import (
+        distinguisher_sizes,
+        lemma5_witness,
+        lemma6_floors,
+    )
+
+    print(render_table([lemma5_witness(8)], "LEMMA 5 -- parity witness"))
+    print()
+    print(render_table(lemma6_floors(args.seed), "LEMMA 6 -- LD floors"))
+    print()
+    print(render_table(distinguisher_sizes(), "COR 29 -- distinguisher sizes"))
+
+
+def _cmd_demo(args: argparse.Namespace) -> None:
+    from repro import Model, random_configuration, solve_location_discovery
+
+    model = Model(args.model)
+    state = random_configuration(n=args.n, seed=args.seed, common_sense=False)
+    print(f"n={args.n}, model={model.value}, N={state.id_bound}")
+    result = solve_location_discovery(state, model)
+    print(f"location discovery solved in {result.rounds} rounds:")
+    for phase, rounds in result.rounds_by_phase.items():
+        print(f"  {phase:22s} {rounds:6d}")
+    print("agent 0's reconstructed gaps:", result.gaps_by_agent[0])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Deterministic Symmetry Breaking in "
+        "Ring Networks' (ICDCS 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="regenerate Table I")
+    t1.add_argument("--odd", default="9,17,33")
+    t1.add_argument("--even", default="8,16,32")
+    t1.add_argument("--seed", type=int, default=1)
+    t1.set_defaults(fn=_cmd_table1)
+
+    t2 = sub.add_parser("table2", help="regenerate Table II")
+    t2.add_argument("--odd", default="9,17")
+    t2.add_argument("--even", default="8,16")
+    t2.add_argument("--seed", type=int, default=1)
+    t2.set_defaults(fn=_cmd_table2)
+
+    figs = sub.add_parser("figures", help="regenerate Figures 1-3 data")
+    figs.add_argument("--n", type=int, default=24)
+    figs.add_argument("--seed", type=int, default=1)
+    figs.set_defaults(fn=_cmd_figures)
+
+    lb = sub.add_parser("lower-bounds", help="Lemmas 5-6 and Cor 29")
+    lb.add_argument("--seed", type=int, default=1)
+    lb.set_defaults(fn=_cmd_lower_bounds)
+
+    demo = sub.add_parser("demo", help="solve one ring end to end")
+    demo.add_argument("--n", type=int, default=8)
+    demo.add_argument(
+        "--model", default="perceptive",
+        choices=["basic", "lazy", "perceptive"],
+    )
+    demo.add_argument("--seed", type=int, default=2024)
+    demo.set_defaults(fn=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Exact linear algebra used by location-discovery protocols."""
+
+from repro.analysis.linear_system import (
+    solve_linear_system,
+    solve_cyclic_pair_sums,
+)
+from repro.analysis.equations import Equation, EquationSystem
+from repro.analysis.render import render_round, render_trajectory_summary
+
+__all__ = [
+    "solve_linear_system",
+    "solve_cyclic_pair_sums",
+    "Equation",
+    "EquationSystem",
+    "render_round",
+    "render_trajectory_summary",
+]

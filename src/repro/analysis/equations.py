@@ -1,0 +1,101 @@
+"""Linear-equation bookkeeping for agents reconstructing gap vectors.
+
+An agent in the perceptive location-discovery protocol harvests, every
+round, up to two linear equations over the unknown gaps x_0 .. x_{n-1}
+(one from ``dist()``, one from ``coll()``).  :class:`EquationSystem`
+accumulates them, tracks rank incrementally, and solves once full rank
+is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SingularSystemError
+
+
+@dataclass(frozen=True)
+class Equation:
+    """One linear constraint sum_i coeffs[i] * x_i = value."""
+
+    coeffs: Tuple[Fraction, ...]
+    value: Fraction
+
+    @staticmethod
+    def window(
+        n: int, start: int, count: int, scale: Fraction, value: Fraction
+    ) -> "Equation":
+        """Constraint ``scale * (x_start + ... + x_{start+count-1}) = value``
+        with cyclic indices -- the shape every ring observation takes."""
+        coeffs = [Fraction(0)] * n
+        for k in range(count):
+            coeffs[(start + k) % n] += scale
+        return Equation(tuple(coeffs), value)
+
+
+class EquationSystem:
+    """Incremental exact Gaussian elimination over Fraction rows.
+
+    Rows are reduced against the current basis as they arrive; dependent
+    -- but consistent -- rows are dropped, inconsistent rows raise.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        # pivot column -> reduced row (coeffs + value)
+        self._basis: Dict[int, Tuple[List[Fraction], Fraction]] = {}
+
+    @property
+    def rank(self) -> int:
+        return len(self._basis)
+
+    @property
+    def full_rank(self) -> bool:
+        return self.rank == self.n
+
+    def add(self, eq: Equation) -> bool:
+        """Insert an equation; returns True if it increased the rank.
+
+        Raises:
+            SingularSystemError: If the equation contradicts the basis.
+        """
+        row = list(eq.coeffs)
+        value = eq.value
+        for col in range(self.n):
+            if row[col] == 0:
+                continue
+            entry = self._basis.get(col)
+            if entry is None:
+                inv = 1 / row[col]
+                reduced = [c * inv for c in row]
+                self._basis[col] = (reduced, value * inv)
+                return True
+            brow, bval = entry
+            factor = row[col]
+            row = [c - factor * b for c, b in zip(row, brow)]
+            value = value - factor * bval
+        if value != 0:
+            raise SingularSystemError("observation contradicts earlier ones")
+        return False
+
+    def solve(self) -> List[Fraction]:
+        """Back-substitute the full-rank basis into the solution vector."""
+        if not self.full_rank:
+            raise SingularSystemError(
+                f"rank {self.rank} < {self.n}: not enough observations"
+            )
+        solution: List[Optional[Fraction]] = [None] * self.n
+        for col in sorted(self._basis.keys(), reverse=True):
+            row, val = self._basis[col]
+            acc = val
+            for c in range(col + 1, self.n):
+                if row[c] != 0:
+                    acc -= row[c] * solution[c]
+            solution[col] = acc
+        return [s if s is not None else Fraction(0) for s in solution]
+
+    def solve_if_ready(self) -> Optional[List[Fraction]]:
+        """The solution if the system already has full rank, else None."""
+        return self.solve() if self.full_rank else None

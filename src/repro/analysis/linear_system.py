@@ -1,0 +1,99 @@
+"""Exact linear solvers over Fractions.
+
+Location discovery reduces to solving linear systems whose unknowns are
+the inter-agent gaps x_1 .. x_n.  Working over rationals keeps the
+solutions exact, so reconstructed positions can be compared with ground
+truth by equality.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.exceptions import SingularSystemError
+
+
+def solve_linear_system(
+    rows: Sequence[Sequence[Fraction]], rhs: Sequence[Fraction]
+) -> List[Fraction]:
+    """Solve A·x = b exactly by Gauss-Jordan elimination.
+
+    Args:
+        rows: m rows of n coefficients each, m >= n.  Redundant
+            (linearly dependent) rows are tolerated as long as they are
+            consistent.
+        rhs: The m right-hand sides.
+
+    Returns:
+        The unique solution x (length n).
+
+    Raises:
+        SingularSystemError: If the system is under-determined or
+            inconsistent.
+    """
+    m = len(rows)
+    if m != len(rhs):
+        raise SingularSystemError("rows and rhs length mismatch")
+    if m == 0:
+        return []
+    n = len(rows[0])
+    aug = [list(map(Fraction, row)) + [Fraction(rhs[i])] for i, row in enumerate(rows)]
+
+    rank = 0
+    pivot_cols: List[int] = []
+    for col in range(n):
+        pivot = next(
+            (r for r in range(rank, m) if aug[r][col] != 0), None
+        )
+        if pivot is None:
+            continue
+        aug[rank], aug[pivot] = aug[pivot], aug[rank]
+        inv = 1 / aug[rank][col]
+        aug[rank] = [v * inv for v in aug[rank]]
+        for r in range(m):
+            if r != rank and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [a - factor * b for a, b in zip(aug[r], aug[rank])]
+        pivot_cols.append(col)
+        rank += 1
+        if rank == m:
+            break
+
+    if rank < n:
+        raise SingularSystemError(
+            f"system is under-determined: rank {rank} < {n} unknowns"
+        )
+    for r in range(rank, m):
+        if any(aug[r][c] != 0 for c in range(n)) is False and aug[r][n] != 0:
+            raise SingularSystemError("inconsistent system")
+
+    solution = [Fraction(0)] * n
+    for r, col in enumerate(pivot_cols):
+        solution[col] = aug[r][n]
+    return solution
+
+
+def solve_cyclic_pair_sums(sums: Sequence[Fraction]) -> List[Fraction]:
+    """Recover x from y_j = x_j + x_{j+1 mod n}, for odd n.
+
+    The circulant I + P is invertible exactly when n is odd; the inverse
+    telescopes:  x_0 = (y_0 - y_1 + y_2 - ... + y_{n-1}) / 2, and the
+    rest follow from x_{j+1} = y_j - x_j.
+
+    Raises:
+        SingularSystemError: If n is even (the alternating-sum kernel).
+    """
+    n = len(sums)
+    if n % 2 == 0:
+        raise SingularSystemError(
+            "cyclic pair sums do not determine x for even n"
+        )
+    alternating = Fraction(0)
+    for j, y in enumerate(sums):
+        alternating += y if j % 2 == 0 else -y
+    x0 = alternating / 2
+    xs = [x0]
+    for j in range(n - 1):
+        xs.append(sums[j] - xs[-1])
+    return xs

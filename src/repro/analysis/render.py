@@ -1,0 +1,95 @@
+"""ASCII space-time rendering of bouncing-agent rounds.
+
+Renders one round as a diagram with time flowing downward and the
+circle unrolled horizontally: each agent's trajectory is a column of
+digits drifting left/right, collisions show where trajectories meet.
+Built on the exact trajectory recording of the event simulator; purely
+presentational, but handy in examples and when debugging protocols.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro.ring.collisions import position_at, simulate_collisions
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def render_round(
+    positions: Sequence[Fraction],
+    velocities: Sequence[int],
+    width: int = 64,
+    steps: int = 16,
+    duration: Fraction = Fraction(1),
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render one round as an ASCII space-time diagram.
+
+    Args:
+        positions: Ring-ordered starting positions in [0, 1).
+        velocities: Objective velocities in {-1, 0, +1}.
+        width: Columns (circle resolution).
+        steps: Time samples (rows), t = 0 .. duration inclusive.
+        labels: One-character glyph per agent; defaults to 0..9a..z
+            cycling.
+
+    Returns:
+        The diagram as a newline-joined string.  When two agents round
+        to the same column the later-indexed one wins the cell; an
+        asterisk marks cells where a collision happened within the
+        preceding time slice.
+    """
+    n = len(positions)
+    traces, _ = simulate_collisions(
+        positions, velocities, duration=duration, record_paths=True
+    )
+    if labels is None:
+        labels = [_GLYPHS[i % len(_GLYPHS)] for i in range(n)]
+    if len(labels) != n:
+        raise ValueError("one label per agent required")
+
+    collision_times: List[Fraction] = sorted({
+        bp[0]
+        for tr in traces
+        for bp in (tr.path or [])[1:-1]
+    })
+
+    lines = []
+    header = f"t=0 .. t={duration}, {n} agents, circle unrolled to {width} cols"
+    lines.append(header)
+    previous_t = Fraction(0)
+    for row in range(steps + 1):
+        t = duration * row / steps
+        cells = [" "] * width
+        hit = any(previous_t < ct <= t for ct in collision_times)
+        for i, tr in enumerate(traces):
+            pos = position_at(tr.path, t)
+            col = int(pos * width) % width
+            cells[col] = labels[i]
+        marker = "*" if hit and row > 0 else " "
+        lines.append(f"{marker}|" + "".join(cells) + "|")
+        previous_t = t
+    return "\n".join(lines)
+
+
+def render_trajectory_summary(
+    positions: Sequence[Fraction], velocities: Sequence[int]
+) -> str:
+    """One line per agent: start, bounce count, first collision, end."""
+    traces, events = simulate_collisions(
+        positions, velocities, record_paths=True
+    )
+    lines = [f"{events} collision events"]
+    for i, tr in enumerate(traces):
+        first = (
+            f"first hit after {tr.coll_distance}"
+            if tr.coll_distance is not None
+            else "no collision"
+        )
+        lines.append(
+            f"agent {i}: {positions[i]} -> {tr.final_position}  "
+            f"({tr.collisions} bounces, {first})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Combinatorial structures behind the paper's bounds.
+
+* (N,n)-distinguishers (Definition 20) -- the symmetry-breaking
+  structure whose minimal size Θ(n log(N/n)/log n) governs the even-n
+  basic/lazy lower bounds;
+* (N,n)-selective families (Definition 35, Clementi et al.) -- used by
+  the perceptive NMoveS algorithm;
+* intersection-free family bounds (Fact 25) -- the extremal set theory
+  input to the distinguisher lower bound;
+* closed-form bound formulas for every Table I / Table II cell.
+"""
+
+from repro.combinatorics.distinguishers import (
+    is_distinguisher,
+    random_distinguisher,
+    minimal_distinguisher_size,
+    greedy_distinguisher,
+    is_strong_distinguisher,
+)
+from repro.combinatorics.selective_families import (
+    is_selective_family,
+    scale_family,
+    greedy_selective_family,
+)
+from repro.combinatorics.intersection_free import (
+    is_intersection_free,
+    frankl_furedi_bound,
+)
+from repro.combinatorics import bounds
+
+__all__ = [
+    "is_distinguisher",
+    "random_distinguisher",
+    "minimal_distinguisher_size",
+    "greedy_distinguisher",
+    "is_strong_distinguisher",
+    "is_selective_family",
+    "scale_family",
+    "greedy_selective_family",
+    "is_intersection_free",
+    "frankl_furedi_bound",
+    "bounds",
+]

@@ -1,0 +1,99 @@
+"""Closed-form complexity bounds for every Table I / Table II cell.
+
+These functions return the *growth term* of each bound (no hidden
+constants): benchmarks fit measured round counts against them to check
+the paper's shapes rather than absolute values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def _check(universe: int, n: int) -> None:
+    if not (universe >= n > 4):
+        raise ConfigurationError("bounds assume N >= n > 4")
+
+
+def log_n_bound(universe: int) -> float:
+    """O(log N): odd-n leader election, Table II cells, broadcasts."""
+    return math.log2(max(2, universe))
+
+
+def log_ratio_bound(universe: int, n: int) -> float:
+    """Θ(log(N/n)): odd-n nontrivial move (Prop 19)."""
+    _check(universe, n)
+    return math.log2(max(2.0, universe / n))
+
+
+def log_squared_bound(universe: int) -> float:
+    """O(log² N): constructive basic-model even-n leader election with a
+    common sense of direction (Lemma 13)."""
+    return math.log2(max(2, universe)) ** 2
+
+
+def coordination_even_bound(universe: int, n: int) -> float:
+    """Θ(n log(N/n) / log n): every coordination problem in the basic
+    and lazy models with even n (Cor 28)."""
+    _check(universe, n)
+    return n * math.log2(max(2.0, universe / n)) / math.log2(n)
+
+
+def distinguisher_size_bound(universe: int, n: int) -> float:
+    """Θ(n log(N/n) / log n): smallest (N,n)-distinguisher (Cor 29).
+
+    Unlike the protocol bounds, this is pure combinatorics: any
+    1 <= n <= N is meaningful (the n > 4 ring assumption does not apply).
+    """
+    if not (universe >= n >= 1):
+        raise ConfigurationError("need 1 <= n <= N")
+    return n * math.log2(max(2.0, universe / n)) / math.log2(max(2, n))
+
+
+def distinguisher_counting_bound(universe: int, n: int) -> float:
+    """The Lemma 43 counting floor: log2 C(N,n) / log2(n+1), a lower
+    bound for *strong* distinguishers (simple but slightly weaker)."""
+    if not (universe >= n >= 1):
+        raise ConfigurationError("need 1 <= n <= N")
+    return math.log2(math.comb(universe, n)) / math.log2(n + 1)
+
+
+def nmove_perceptive_bound(universe: int, n: int) -> float:
+    """O(√n log N): NMoveS (Lemma 36)."""
+    _check(universe, n)
+    return math.sqrt(n) * math.log2(max(2, universe))
+
+
+def ld_walk_bound(universe: int, n: int) -> float:
+    """n + O(log N): location discovery via rotation sweeps (Lemma 16)."""
+    _check(universe, n)
+    return n + math.log2(max(2, universe))
+
+
+def ld_lazy_even_bound(universe: int, n: int) -> float:
+    """n + Θ(n log(N/n)/log n): lazy model, even n (Table I)."""
+    _check(universe, n)
+    return n + coordination_even_bound(universe, n)
+
+
+def ld_perceptive_bound(universe: int, n: int) -> float:
+    """n/2 + O(√n log² N): perceptive model, even n (Table I)."""
+    _check(universe, n)
+    return n / 2 + math.sqrt(n) * math.log2(max(2, universe)) ** 2
+
+
+def ld_lower_bound(n: int, perceptive: bool) -> float:
+    """Lemma 6: n-1 rounds (dist() only) or n/2 (perceptive)."""
+    return n / 2 if perceptive else n - 1
+
+
+def fits_bound(measured, inputs, bound_fn, tolerance: float = 3.0) -> bool:
+    """Crude shape check: the measured/bound ratio across inputs must
+    stay within a multiplicative band of width ``tolerance``."""
+    ratios = [
+        m / bound_fn(*args) for m, args in zip(measured, inputs)
+        if bound_fn(*args) > 0
+    ]
+    return bool(ratios) and max(ratios) <= tolerance * min(ratios)

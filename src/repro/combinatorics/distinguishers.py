@@ -1,0 +1,178 @@
+"""(N,n)-distinguishers (Definitions 20-21) and their sizes.
+
+A family S_1..S_k of subsets of [N] is an (N,n)-distinguisher when for
+every pair of *disjoint* n-subsets X1, X2 some S_i satisfies
+|S_i ∩ X1| != |S_i ∩ X2|.  Proposition 22 reduces the weak nontrivial
+move problem to this notion: until the first nontrivial round, an
+agent's only possible behaviour is a fixed published sequence of sets,
+and a round breaks the symmetry between the two chirality classes
+exactly when its set distinguishes them.  The paper proves the minimal
+size is Θ(n log(N/n) / log n) (Lemma 23 + Theorem 27).
+
+This module provides: an exhaustive verifier, Theorem 27's random
+construction, a greedy (verified) constructor, an exact minimal-size
+search (branch-and-bound hitting set, small parameters only), and the
+strong-distinguisher check of Definition 21.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+def _disjoint_pairs(universe: int, n: int) -> List[Tuple[int, int]]:
+    """All unordered pairs of disjoint n-subsets of [universe], as
+    bitmasks (element x -> bit x-1)."""
+    masks = [
+        sum(1 << (x - 1) for x in combo)
+        for combo in itertools.combinations(range(1, universe + 1), n)
+    ]
+    pairs = []
+    for i, m1 in enumerate(masks):
+        for m2 in masks[i + 1:]:
+            if m1 & m2 == 0:
+                pairs.append((m1, m2))
+    return pairs
+
+
+def _distinguishes(set_mask: int, pair: Tuple[int, int]) -> bool:
+    m1, m2 = pair
+    return (set_mask & m1).bit_count() != (set_mask & m2).bit_count()
+
+
+def _to_mask(s: Iterable[int]) -> int:
+    return sum(1 << (x - 1) for x in s)
+
+
+def is_distinguisher(
+    family: Sequence[Iterable[int]], universe: int, n: int
+) -> bool:
+    """Exhaustive check of Definition 20.  Exponential in ``universe``."""
+    masks = [_to_mask(s) for s in family]
+    for pair in _disjoint_pairs(universe, n):
+        if not any(_distinguishes(m, pair) for m in masks):
+            return False
+    return True
+
+
+def violating_pair(
+    family: Sequence[Iterable[int]], universe: int, n: int
+) -> Optional[Tuple[FrozenSet[int], FrozenSet[int]]]:
+    """A disjoint pair the family fails to distinguish, or None."""
+    masks = [_to_mask(s) for s in family]
+    for pair in _disjoint_pairs(universe, n):
+        if not any(_distinguishes(m, pair) for m in masks):
+            def unmask(m: int) -> FrozenSet[int]:
+                return frozenset(
+                    x for x in range(1, universe + 1) if m >> (x - 1) & 1
+                )
+
+            return unmask(pair[0]), unmask(pair[1])
+    return None
+
+
+def random_distinguisher(
+    universe: int, n: int, seed: int = 0, size: Optional[int] = None
+) -> List[FrozenSet[int]]:
+    """Theorem 27's construction: each element joins each set w.p. 1/2.
+
+    The default size follows the paper's O(n log(N/n)/log n) bound with
+    a small constant; use :func:`is_distinguisher` to verify for small
+    parameters.
+    """
+    import math
+
+    if size is None:
+        ratio = max(2.0, universe / max(1, n))
+        size = max(4, int(4 * n * math.log2(ratio) / max(1.0, math.log2(max(2, n)))))
+    rng = random.Random(seed)
+    return [
+        frozenset(
+            x for x in range(1, universe + 1) if rng.getrandbits(1)
+        )
+        for _ in range(size)
+    ]
+
+
+def greedy_distinguisher(universe: int, n: int) -> List[FrozenSet[int]]:
+    """Verified distinguisher via greedy hitting-set.  Small N only."""
+    if universe > 12:
+        raise ConfigurationError("greedy distinguisher: universe too large")
+    pairs = _disjoint_pairs(universe, n)
+    # Complement-closed search space: S and its complement distinguish
+    # the same pairs, so fix element 1's membership.
+    candidates = [m for m in range(1 << universe) if m & 1]
+    family_masks: List[int] = []
+    remaining = list(pairs)
+    while remaining:
+        best, best_hit = None, 0
+        for cand in candidates:
+            hit = sum(1 for p in remaining if _distinguishes(cand, p))
+            if hit > best_hit:
+                best, best_hit = cand, hit
+        if best is None:
+            raise ConfigurationError("no candidate distinguishes a pair: bug")
+        family_masks.append(best)
+        remaining = [p for p in remaining if not _distinguishes(best, p)]
+    return [
+        frozenset(x for x in range(1, universe + 1) if m >> (x - 1) & 1)
+        for m in family_masks
+    ]
+
+
+def minimal_distinguisher_size(
+    universe: int, n: int, max_size: int = 6
+) -> Optional[int]:
+    """Exact minimal (N,n)-distinguisher size by branch-and-bound.
+
+    Returns None if no family of size <= max_size exists.  Exponential;
+    intended for the lower-bound benchmark's small instances.
+    """
+    pairs = _disjoint_pairs(universe, n)
+    if not pairs:
+        return 0
+    candidates = [m for m in range(1 << universe) if m & 1]
+    hit_sets = {
+        cand: frozenset(
+            i for i, p in enumerate(pairs) if _distinguishes(cand, p)
+        )
+        for cand in candidates
+    }
+    all_pairs = frozenset(range(len(pairs)))
+
+    def search(covered: FrozenSet[int], budget: int) -> bool:
+        if covered == all_pairs:
+            return True
+        if budget == 0:
+            return False
+        # Branch on the first uncovered pair: some chosen set must hit it.
+        target = min(all_pairs - covered)
+        for cand, hits in hit_sets.items():
+            if target in hits:
+                if search(covered | hits, budget - 1):
+                    return True
+        return False
+
+    for k in range(1, max_size + 1):
+        if search(frozenset(), k):
+            return k
+    return None
+
+
+def is_strong_distinguisher(
+    family: Sequence[Iterable[int]],
+    universe: int,
+    prefix_lengths: Dict[int, int],
+) -> bool:
+    """Definition 21: for each n, the prefix of length prefix_lengths[n]
+    must be an (N,n)-distinguisher."""
+    for n, length in prefix_lengths.items():
+        if length > len(family):
+            return False
+        if not is_distinguisher(list(family)[:length], universe, n):
+            return False
+    return True

@@ -1,0 +1,76 @@
+"""Intersection-free families (Definition 24, Fact 25).
+
+A family of k-subsets of [N] is (N,k,l)-intersection free when no two
+members share exactly l elements.  Frankl and Füredi's bound -- for k a
+power of two with k <= N/64, log2 |F| <= (11k/12) log2(N/k) when
+l = k/2 -- is the extremal input to the distinguisher lower bound
+(Lemma 23): a large independent set in the "intersection exactly n"
+graph would contradict it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def is_intersection_free(
+    family: Sequence[Iterable[int]], k: int, l: int
+) -> bool:
+    """Check that all members have size k and no two intersect in
+    exactly l elements."""
+    sets = [frozenset(f) for f in family]
+    if any(len(s) != k for s in sets):
+        return False
+    for a, b in itertools.combinations(sets, 2):
+        if len(a & b) == l:
+            return False
+    return True
+
+
+def frankl_furedi_bound(universe: int, k: int) -> float:
+    """Upper bound on log2 |F| for (N,k,k/2)-intersection free families
+    (Fact 25).  Requires k a power of two and k <= N/64."""
+    if k & (k - 1):
+        raise ConfigurationError("Fact 25 requires k to be a power of two")
+    if k > universe / 64:
+        raise ConfigurationError("Fact 25 requires k <= N/64")
+    return (11 * k / 12) * math.log2(universe / k)
+
+
+def chromatic_lower_bound(universe: int, n: int) -> float:
+    """The Lemma 23 chain: log2 χ(G) >= (n/6) log2(N/(2n)) for the graph
+    on 2n-subsets joined when they intersect in exactly n elements."""
+    if 2 * n > universe:
+        raise ConfigurationError("need 2n <= N")
+    return (n / 6) * math.log2(universe / (2 * n))
+
+
+def max_intersection_free_exhaustive(universe: int, k: int, l: int) -> int:
+    """Largest (N,k,l)-intersection free family, by exhaustive search.
+
+    Exponential; only for tiny parameters in tests (universe <= 8).
+    """
+    if universe > 8:
+        raise ConfigurationError("exhaustive search: universe too large")
+    subsets = [
+        frozenset(c)
+        for c in itertools.combinations(range(1, universe + 1), k)
+    ]
+    best = 0
+
+    def extend(chosen, start):
+        nonlocal best
+        best = max(best, len(chosen))
+        for i in range(start, len(subsets)):
+            cand = subsets[i]
+            if all(len(cand & c) != l for c in chosen):
+                chosen.append(cand)
+                extend(chosen, i + 1)
+                chosen.pop()
+
+    extend([], 0)
+    return best

@@ -1,0 +1,13 @@
+"""Agent-side framework: views, scheduler, round helpers."""
+
+from repro.core.agent import AgentView
+from repro.core.scheduler import Scheduler
+from repro.core.rounds import single_round, reversed_round, run_marked_sequence
+
+__all__ = [
+    "AgentView",
+    "Scheduler",
+    "single_round",
+    "reversed_round",
+    "run_marked_sequence",
+]

@@ -1,0 +1,68 @@
+"""The agent's-eye view of the world.
+
+Protocols in this library are written against :class:`AgentView`, which
+exposes exactly the knowledge the paper grants an agent:
+
+* its own unique ID and the common bound N,
+* whether the number of agents n is odd or even (but not n itself),
+* the model variant in force,
+* its own per-round observations (``dist()``, and ``coll()`` in the
+  perceptive model).
+
+Everything an agent computes is stored in :attr:`AgentView.memory`.
+An agent has no access to its ring index, its chirality, other agents'
+observations, or the world state; the scheduler enforces this by only
+ever handing protocol callbacks the view object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.exceptions import ProtocolError
+from repro.types import Model, Observation
+
+
+@dataclass
+class AgentView:
+    """Local knowledge and state of one agent.
+
+    Attributes:
+        agent_id: The agent's unique identifier in [1, N].
+        id_bound: The common ID bound N (public knowledge).
+        parity_even: Whether n is even -- per the paper, the only
+            information about n available a priori.
+        model: The model variant in force (public knowledge).
+        memory: Scratch space for protocol state; protocols namespace
+            their keys (e.g. ``"leader.status"``).
+        log: All observations this agent has received, in round order.
+    """
+
+    agent_id: int
+    id_bound: int
+    parity_even: bool
+    model: Model
+    memory: Dict[str, Any] = field(default_factory=dict)
+    log: List[Observation] = field(default_factory=list)
+
+    @property
+    def last(self) -> Observation:
+        """The most recent observation (raises if no round has run)."""
+        if not self.log:
+            raise ProtocolError("no round has been observed yet")
+        return self.log[-1]
+
+    def id_bit(self, i: int) -> int:
+        """The i-th bit of this agent's ID, i = 0 for the least
+        significant; IDs fit in ``id_bits(N)`` bits."""
+        return (self.agent_id >> i) & 1
+
+    def rounds_seen(self) -> int:
+        """Number of rounds this agent has lived through."""
+        return len(self.log)
+
+
+def id_bits(id_bound: int) -> int:
+    """Number of bits needed to write any ID in [1, id_bound]."""
+    return max(1, id_bound.bit_length())

@@ -1,0 +1,105 @@
+"""SINGLEROUND / REVERSEDROUND helpers and marked-set sequences.
+
+The paper's pseudocode assigns each agent a local variable ``dir`` and
+then runs SINGLEROUND (everyone moves per its ``dir``) or REVERSEDROUND
+(everyone moves opposite its ``dir``).  A SINGLEROUND immediately
+followed by its REVERSEDROUND returns every agent to its starting
+position, because reversing all velocities replays the round backwards.
+
+This module provides those helpers over agent memory, plus the
+"execute a sequence of sets S on marked agents" primitive from
+Section I-B: in round i the marked agents whose ID is in ``S_i`` move
+right, marked agents outside ``S_i`` move left, and unmarked agents all
+move right.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Set
+
+from repro.core.agent import AgentView
+from repro.core.scheduler import Scheduler
+from repro.types import LocalDirection, RoundOutcome
+
+DIR_KEY = "core.dir"
+
+
+def set_direction(view: AgentView, direction: LocalDirection) -> None:
+    """Assign the agent's local ``dir`` variable."""
+    view.memory[DIR_KEY] = direction
+
+
+def get_direction(view: AgentView) -> LocalDirection:
+    """Read the agent's local ``dir`` variable (defaults to RIGHT)."""
+    return view.memory.get(DIR_KEY, LocalDirection.RIGHT)
+
+
+def single_round(sched: Scheduler) -> RoundOutcome:
+    """SINGLEROUND: every agent moves per its stored ``dir``."""
+    return sched.run_round(get_direction)
+
+
+def reversed_round(sched: Scheduler) -> RoundOutcome:
+    """REVERSEDROUND: every agent moves opposite its stored ``dir``.
+
+    After ``single_round`` + ``reversed_round`` with unchanged ``dir``
+    values, every agent is back at its pre-pair position.
+    """
+    return sched.run_round(lambda view: get_direction(view).opposite())
+
+
+def run_set_round(
+    sched: Scheduler,
+    members: Set[int],
+    member_dir: LocalDirection = LocalDirection.RIGHT,
+) -> RoundOutcome:
+    """One round where agents with ID in ``members`` move ``member_dir``
+    and everyone else moves the opposite direction.
+
+    This realises the rotation-index probe RI(B) of Section II: with
+    common chirality the round's rotation index is ``2|B ∩ A| mod n``.
+    """
+    other = member_dir.opposite()
+
+    def choose(view: AgentView) -> LocalDirection:
+        return member_dir if view.agent_id in members else other
+
+    return sched.run_round(choose)
+
+
+def run_marked_sequence(
+    sched: Scheduler,
+    sets: Sequence[Iterable[int]],
+    is_marked: Callable[[AgentView], bool],
+    stop: Optional[Callable[[RoundOutcome], bool]] = None,
+) -> List[RoundOutcome]:
+    """Execute a sequence of ID sets on the marked agents (Section I-B).
+
+    In round i, a marked agent moves RIGHT iff its ID is in ``sets[i]``
+    (else LEFT); every unmarked agent moves RIGHT.
+
+    Args:
+        stop: Optional early-exit predicate evaluated on each outcome;
+            when it returns True the sequence stops after that round.
+
+    Returns:
+        The outcomes of the executed prefix.
+    """
+    outcomes: List[RoundOutcome] = []
+    for s in sets:
+        s_set = set(s)
+
+        def choose(view: AgentView) -> LocalDirection:
+            if not is_marked(view):
+                return LocalDirection.RIGHT
+            return (
+                LocalDirection.RIGHT
+                if view.agent_id in s_set
+                else LocalDirection.LEFT
+            )
+
+        outcome = sched.run_round(choose)
+        outcomes.append(outcome)
+        if stop is not None and stop(outcome):
+            break
+    return outcomes

@@ -1,0 +1,100 @@
+"""The synchronous round scheduler.
+
+The scheduler owns the boundary between world state and agent knowledge.
+Each round it asks a protocol-supplied *choice function* for every
+agent's local direction -- passing only that agent's
+:class:`~repro.core.agent.AgentView` -- executes the round on the
+simulator, and appends each agent's observation to its private log.
+
+Round counting happens here, so every protocol's cost is measured
+uniformly, matching the paper's complexity metric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.agent import AgentView
+from repro.ring.simulator import RingSimulator
+from repro.ring.state import RingState
+from repro.types import LocalDirection, Model, RoundOutcome
+
+ChoiceFn = Callable[[AgentView], LocalDirection]
+
+
+class Scheduler:
+    """Drives synchronous rounds and mediates all agent information flow.
+
+    Attributes:
+        simulator: The underlying round simulator (owns the world state).
+        views: One :class:`AgentView` per agent, in ring order.  The
+            ordering is a harness artifact: protocol code must treat the
+            list as an anonymous collection and derive nothing from an
+            agent's position in it.
+    """
+
+    def __init__(
+        self,
+        state: RingState,
+        model: Model = Model.BASIC,
+        cross_validate: bool = False,
+    ) -> None:
+        self.simulator = RingSimulator(state, model, cross_validate)
+        self.model = model
+        self.views: List[AgentView] = [
+            AgentView(
+                agent_id=state.ids[i],
+                id_bound=state.id_bound,
+                parity_even=state.parity_even,
+                model=model,
+            )
+            for i in range(state.n)
+        ]
+
+    @property
+    def state(self) -> RingState:
+        """The ground-truth world state (tests/benchmarks only --
+        protocol code must never read this)."""
+        return self.simulator.state
+
+    @property
+    def rounds(self) -> int:
+        """Rounds executed so far (the paper's cost measure)."""
+        return self.simulator.rounds_executed
+
+    def run_round(self, choose: ChoiceFn) -> RoundOutcome:
+        """Execute one round.
+
+        Args:
+            choose: Maps an agent's view to its local direction for this
+                round.  Called once per agent with only that agent's view.
+
+        Returns:
+            The omniscient outcome (for tests); each agent's observation
+            has already been appended to its own log.
+        """
+        directions = [choose(view) for view in self.views]
+        outcome = self.simulator.execute(directions)
+        for view, obs in zip(self.views, outcome.observations):
+            view.log.append(obs)
+        return outcome
+
+    def run_fixed(self, direction: LocalDirection) -> RoundOutcome:
+        """Every agent plays the same local direction."""
+        return self.run_round(lambda view: direction)
+
+    def for_each_agent(self, fn: Callable[[AgentView], None]) -> None:
+        """Run a local computation step on every agent."""
+        for view in self.views:
+            fn(view)
+
+    def unanimous_memory(self, key: str) -> Optional[object]:
+        """Assert all agents agree on ``memory[key]`` and return the value.
+
+        A *test* convenience for protocols whose outputs must be
+        consensus values (e.g. the outcome of an emptiness test).
+        """
+        values = {repr(view.memory.get(key)) for view in self.views}
+        if len(values) != 1:
+            return None
+        return self.views[0].memory.get(key)

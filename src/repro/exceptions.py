@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so a
+caller can catch one type to handle anything we raise deliberately.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An initial ring configuration is malformed.
+
+    Raised for duplicate positions, out-of-range IDs, chirality vectors of
+    the wrong length, or agent counts that violate the paper's standing
+    assumption ``N >= n > 4``.
+    """
+
+
+class ModelViolationError(ReproError):
+    """A protocol attempted an action its model variant forbids.
+
+    The canonical case is choosing ``idle`` in the *basic* or *perceptive*
+    model, where an agent must move every round.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol reached a state its correctness argument excludes.
+
+    Seeing this exception means either a bug or a violated precondition
+    (e.g. running an even-n-only protocol on an odd ring).
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """The requested task is provably unsolvable in the requested model.
+
+    Mirrors Lemma 5 of the paper: location discovery in the basic model
+    with even ``n`` is impossible, because every round's rotation index is
+    even and agents can therefore only ever visit positions at even ring
+    distance from their own.
+    """
+
+
+class SimulationError(ReproError):
+    """The event-driven simulator detected an internal inconsistency."""
+
+
+class SingularSystemError(ReproError):
+    """A linear system expected to be uniquely solvable was singular."""

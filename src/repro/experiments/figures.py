@@ -1,0 +1,155 @@
+"""Figures 1-3: reduction-edge costs and the RingDist anatomy.
+
+Figures 1 and 2 of the paper annotate the reduction triangle between
+leader election, nontrivial move and direction agreement with
+asymptotic costs.  :func:`reduction_edges` measures each edge: given the
+source problem solved, how many rounds does the target cost?
+
+Figure 3 illustrates Algorithm 5's Shift geometry;
+:func:`ringdist_anatomy` records, per iteration k = 2^i, how many agents
+know their label -- the data behind the picture.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.combinatorics import bounds
+from repro.core.scheduler import Scheduler
+from repro.experiments.harness import ExperimentRow
+from repro.protocols.base import KEY_LABEL, KEY_LEADER, KEY_NMOVE_DIR
+from repro.protocols.direction_agreement import (
+    agree_direction_from_nontrivial_move,
+    assume_common_frame,
+)
+from repro.protocols.leader_election import (
+    elect_leader_common_sense,
+    elect_leader_with_nontrivial_move,
+)
+from repro.protocols.nontrivial_move import (
+    nmove_from_leader,
+    nmove_seeded_family,
+)
+from repro.ring.configs import random_configuration
+from repro.types import LocalDirection, Model, local_to_velocity
+
+
+def _fresh(n, seed, model=Model.BASIC, common_sense=False):
+    state = random_configuration(n, seed=seed, common_sense=common_sense)
+    return Scheduler(state, model), state
+
+
+def _seed_nmove_omnisciently(sched, state) -> None:
+    """Install a nontrivial move without consuming rounds (edge inputs
+    are given for free when measuring a single reduction edge)."""
+    for i, view in enumerate(sched.views):
+        objective = 1 if i == 0 else -1
+        local_cw = objective * int(state.chiralities[i])
+        view.memory[KEY_NMOVE_DIR] = (
+            LocalDirection.RIGHT if local_cw > 0 else LocalDirection.LEFT
+        )
+
+
+def reduction_edges(n: int = 12, seed: int = 0) -> List[ExperimentRow]:
+    """Measured cost of each reduction edge in Figures 1-2."""
+    rows: List[ExperimentRow] = []
+    big_n = 4 * n
+
+    # Leader -> NMove (Lemma 10, O(1)).
+    sched, state = _fresh(n, seed)
+    for i, view in enumerate(sched.views):
+        view.memory[KEY_LEADER] = i == 0
+    nmove_from_leader(sched)
+    rows.append(ExperimentRow(
+        label="leader -> nontrivial move",
+        params={"n": n, "N": big_n},
+        measured={"rounds": sched.rounds},
+        reference={"rounds": "O(1)"},
+    ))
+
+    # NMove -> Direction agreement (Lemma 8 / Alg 1, O(1)).
+    sched, state = _fresh(n, seed)
+    _seed_nmove_omnisciently(sched, state)
+    agree_direction_from_nontrivial_move(sched)
+    rows.append(ExperimentRow(
+        label="nontrivial move -> direction agreement",
+        params={"n": n, "N": big_n},
+        measured={"rounds": sched.rounds},
+        reference={"rounds": "O(1)"},
+    ))
+
+    # NMove -> Leader (Lemma 9 / Alg 2, O(log N)).
+    sched, state = _fresh(n, seed)
+    _seed_nmove_omnisciently(sched, state)
+    agree_direction_from_nontrivial_move(sched)
+    pre = sched.rounds
+    elect_leader_with_nontrivial_move(sched)
+    rows.append(ExperimentRow(
+        label="nontrivial move -> leader election",
+        params={"n": n, "N": big_n},
+        measured={"rounds": sched.rounds - pre},
+        reference={"rounds": bounds.log_n_bound(big_n)},
+    ))
+
+    # Direction agreement -> Leader (Lemma 13; O(log N) lazy/perceptive,
+    # O(log^2 N) constructive basic with even n).
+    for model, ref in (
+        (Model.LAZY, bounds.log_n_bound(big_n)),
+        (Model.BASIC, bounds.log_squared_bound(big_n)),
+    ):
+        sched, state = _fresh(n, seed, model=model, common_sense=True)
+        assume_common_frame(sched)
+        elect_leader_common_sense(sched)
+        rows.append(ExperimentRow(
+            label=f"direction agreement -> leader ({model.value})",
+            params={"n": n, "N": big_n},
+            measured={"rounds": sched.rounds},
+            reference={"rounds": ref},
+        ))
+
+    # Leader -> Direction agreement (Cor 11, O(1)).
+    sched, state = _fresh(n, seed)
+    for i, view in enumerate(sched.views):
+        view.memory[KEY_LEADER] = i == 0
+    nmove_from_leader(sched)
+    agree_direction_from_nontrivial_move(sched)
+    rows.append(ExperimentRow(
+        label="leader -> direction agreement",
+        params={"n": n, "N": big_n},
+        measured={"rounds": sched.rounds},
+        reference={"rounds": "O(1)"},
+    ))
+    return rows
+
+
+def ringdist_anatomy(n: int = 24, seed: int = 0) -> List[ExperimentRow]:
+    """Figure 3 data: labelled-agent counts per RingDist iteration."""
+    from repro.protocols.neighbor_discovery import discover_neighbors
+    from repro.protocols.ring_distance import ring_distances
+
+    state = random_configuration(n, seed=seed, common_sense=False)
+    sched = Scheduler(state, Model.PERCEPTIVE)
+    nmove_seeded_family(sched)
+    agree_direction_from_nontrivial_move(sched)
+    elect_leader_with_nontrivial_move(sched)
+    discover_neighbors(sched)
+
+    rows: List[ExperimentRow] = []
+
+    def snapshot(k: int) -> None:
+        labelled = sum(
+            1 for v in sched.views if v.memory.get(KEY_LABEL) is not None
+        )
+        label = (
+            "after leader marker (distance 4)"
+            if k == 1
+            else f"after iteration k={k}"
+        )
+        rows.append(ExperimentRow(
+            label=label,
+            params={"n": n},
+            measured={"labelled": labelled, "rounds": sched.rounds},
+        ))
+
+    ring_distances(sched, on_iteration=snapshot)
+    return rows

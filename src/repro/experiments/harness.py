@@ -1,0 +1,76 @@
+"""Shared experiment utilities: rows, rendering, size sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class ExperimentRow:
+    """One measured configuration of one experiment.
+
+    Attributes:
+        label: Human-readable setting (e.g. "basic, even n").
+        params: Input parameters (n, N, seed, ...).
+        measured: Measured quantities (round counts, sizes, ...).
+        reference: The paper's bound evaluated at the same parameters.
+    """
+
+    label: str
+    params: Dict[str, object] = field(default_factory=dict)
+    measured: Dict[str, object] = field(default_factory=dict)
+    reference: Dict[str, object] = field(default_factory=dict)
+
+
+def render_table(rows: Sequence[ExperimentRow], title: str = "") -> str:
+    """Render rows as an aligned text table (the bench output format)."""
+    if not rows:
+        return f"{title}\n(empty)"
+    param_keys = sorted({k for r in rows for k in r.params})
+    measured_keys = sorted({k for r in rows for k in r.measured})
+    reference_keys = sorted({k for r in rows for k in r.reference})
+    headers = (
+        ["setting"]
+        + param_keys
+        + [f"meas:{k}" for k in measured_keys]
+        + [f"ref:{k}" for k in reference_keys]
+    )
+    body: List[List[str]] = []
+    for r in rows:
+        body.append(
+            [r.label]
+            + [_fmt(r.params.get(k)) for k in param_keys]
+            + [_fmt(r.measured.get(k)) for k in measured_keys]
+            + [_fmt(r.reference.get(k)) for k in reference_keys]
+        )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in body))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def geometric_sizes(start: int, stop: int, factor: int = 2) -> List[int]:
+    """Sizes start, start*factor, ... up to stop (inclusive if hit)."""
+    sizes = []
+    size = start
+    while size <= stop:
+        sizes.append(size)
+        size *= factor
+    return sizes

@@ -1,0 +1,178 @@
+"""Table I: deterministic solutions in the general setting.
+
+For each row of the paper's Table I this module measures the actual
+round counts of our implementations across a sweep of ring sizes and
+reports them next to the paper's bound evaluated at the same
+parameters.  Absolute constants differ (our probes pair every
+information round with a restoring round, and relays cost a constant
+factor); the *shapes* are what the benchmarks assert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.combinatorics import bounds
+from repro.core.scheduler import Scheduler
+from repro.exceptions import InfeasibleProblemError
+from repro.experiments.harness import ExperimentRow
+from repro.protocols.direction_agreement import (
+    agree_direction_from_nontrivial_move,
+    agree_direction_odd,
+)
+from repro.protocols.leader_election import elect_leader_common_sense
+from repro.protocols.nontrivial_move import (
+    nmove_from_leader,
+    nmove_odd_bisection,
+    nmove_seeded_family,
+)
+from repro.protocols.nmove_perceptive import nmove_perceptive
+from repro.protocols.full_stack import (
+    solve_coordination,
+    solve_location_discovery,
+)
+from repro.ring.configs import random_configuration
+from repro.types import Model
+
+
+def row_odd_n(n: int, seed: int = 0, id_bound: int | None = None) -> ExperimentRow:
+    """Table I row 'odd n': leader O(log N), nontrivial move
+    Θ(log(N/n)), direction agreement O(1), LD n + O(log N)."""
+    assert n % 2 == 1
+    state = random_configuration(n, seed=seed, id_bound=id_bound,
+                                 common_sense=False)
+    sched = Scheduler(state, Model.BASIC)
+    agree_direction_odd(sched)
+    dir_rounds = sched.rounds
+    elect_leader_common_sense(sched)
+    leader_rounds = sched.rounds - dir_rounds
+    before = sched.rounds
+    nmove_odd_bisection(sched)
+    nmove_rounds = sched.rounds - before
+
+    ld_state = random_configuration(n, seed=seed, id_bound=id_bound,
+                                    common_sense=False)
+    ld = solve_location_discovery(ld_state, Model.BASIC)
+
+    big_n = state.id_bound
+    return ExperimentRow(
+        label="odd n (basic)",
+        params={"n": n, "N": big_n, "seed": seed},
+        measured={
+            "dir_agree": dir_rounds,
+            "leader": leader_rounds,
+            "nmove": nmove_rounds,
+            "ld": ld.rounds,
+        },
+        reference={
+            "dir_agree": 4,
+            "leader": bounds.log_n_bound(big_n),
+            "nmove": bounds.log_ratio_bound(big_n, n),
+            "ld": bounds.ld_walk_bound(big_n, n),
+        },
+    )
+
+
+def row_basic_even(n: int, seed: int = 0) -> ExperimentRow:
+    """Table I row 'basic model, even n': coordination
+    Θ(n log(N/n)/log n) worst case (measured: the published-sequence
+    protocol on a random instance) and LD unsolvable."""
+    assert n % 2 == 0
+    state = random_configuration(n, seed=seed, common_sense=False)
+    result = solve_coordination(state, Model.BASIC)
+    ld_state = random_configuration(n, seed=seed, common_sense=False)
+    try:
+        solve_location_discovery(ld_state, Model.BASIC)
+        ld_outcome = "SOLVED (bug!)"
+    except InfeasibleProblemError:
+        ld_outcome = "not solvable"
+    big_n = state.id_bound
+    return ExperimentRow(
+        label="basic, even n",
+        params={"n": n, "N": big_n, "seed": seed},
+        measured={
+            "nmove": result.rounds_by_phase["nontrivial_move"],
+            "leader": result.rounds_by_phase["leader_election"],
+            "dir_agree": result.rounds_by_phase["direction_agreement"],
+            "ld": ld_outcome,
+        },
+        reference={
+            "nmove": bounds.coordination_even_bound(big_n, n),
+            "leader": bounds.coordination_even_bound(big_n, n),
+            "dir_agree": bounds.coordination_even_bound(big_n, n),
+            "ld": "not solvable (Lemma 5)",
+        },
+    )
+
+
+def row_lazy_even(n: int, seed: int = 0) -> ExperimentRow:
+    """Table I row 'lazy model, even n'."""
+    assert n % 2 == 0
+    state = random_configuration(n, seed=seed, common_sense=False)
+    result = solve_coordination(state, Model.LAZY)
+    ld_state = random_configuration(n, seed=seed, common_sense=False)
+    ld = solve_location_discovery(ld_state, Model.LAZY)
+    big_n = state.id_bound
+    return ExperimentRow(
+        label="lazy, even n",
+        params={"n": n, "N": big_n, "seed": seed},
+        measured={
+            "nmove": result.rounds_by_phase["nontrivial_move"],
+            "leader": result.rounds_by_phase["leader_election"],
+            "dir_agree": result.rounds_by_phase["direction_agreement"],
+            "ld": ld.rounds,
+        },
+        reference={
+            "nmove": bounds.coordination_even_bound(big_n, n),
+            "leader": bounds.coordination_even_bound(big_n, n),
+            "dir_agree": bounds.coordination_even_bound(big_n, n),
+            "ld": bounds.ld_lazy_even_bound(big_n, n),
+        },
+    )
+
+
+def row_perceptive_even(n: int, seed: int = 0) -> ExperimentRow:
+    """Table I row 'perceptive model, even n': NMoveS O(√n log N) and
+    LD in n/2 + O(√n log² N)."""
+    assert n % 2 == 0
+    state = random_configuration(n, seed=seed, common_sense=False)
+    sched = Scheduler(state, Model.PERCEPTIVE)
+    stats = nmove_perceptive(sched)
+    nmove_rounds = stats["rounds"]
+    agree_direction_from_nontrivial_move(sched)
+
+    ld_state = random_configuration(n, seed=seed, common_sense=False)
+    ld = solve_location_discovery(ld_state, Model.PERCEPTIVE)
+    big_n = state.id_bound
+    return ExperimentRow(
+        label="perceptive, even n",
+        params={"n": n, "N": big_n, "seed": seed},
+        measured={
+            "nmove": nmove_rounds,
+            "ld": ld.rounds,
+            "ld_discovery_phase": ld.rounds_by_phase["discovery"],
+        },
+        reference={
+            "nmove": bounds.nmove_perceptive_bound(big_n, n),
+            "ld": bounds.ld_perceptive_bound(big_n, n),
+            "ld_discovery_phase": n / 2,
+        },
+    )
+
+
+def generate(
+    odd_sizes: Sequence[int] = (9, 17, 33),
+    even_sizes: Sequence[int] = (8, 16, 32),
+    seed: int = 0,
+) -> List[ExperimentRow]:
+    """All Table I rows across the given sweeps."""
+    rows: List[ExperimentRow] = []
+    for n in odd_sizes:
+        rows.append(row_odd_n(n, seed=seed))
+    for n in even_sizes:
+        rows.append(row_basic_even(n, seed=seed))
+    for n in even_sizes:
+        rows.append(row_lazy_even(n, seed=seed))
+    for n in even_sizes:
+        rows.append(row_perceptive_even(n, seed=seed))
+    return rows

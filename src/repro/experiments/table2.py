@@ -1,0 +1,90 @@
+"""Table II: deterministic solutions with a common sense of direction.
+
+The Table II setting hands agents a shared chirality for free; every
+cell collapses to polylog coordination plus the same discovery phases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.combinatorics import bounds
+from repro.core.scheduler import Scheduler
+from repro.exceptions import InfeasibleProblemError
+from repro.experiments.harness import ExperimentRow
+from repro.protocols.direction_agreement import assume_common_frame
+from repro.protocols.leader_election import elect_leader_common_sense
+from repro.protocols.nontrivial_move import nmove_from_leader
+from repro.protocols.full_stack import solve_location_discovery
+from repro.ring.configs import random_configuration
+from repro.types import Model
+
+
+def _coordination_rounds(n: int, model: Model, seed: int) -> tuple:
+    state = random_configuration(n, seed=seed, common_sense=True)
+    sched = Scheduler(state, model)
+    assume_common_frame(sched)
+    elect_leader_common_sense(sched)
+    leader_rounds = sched.rounds
+    before = sched.rounds
+    nmove_from_leader(sched)
+    nmove_rounds = sched.rounds - before
+    return leader_rounds, nmove_rounds, state.id_bound
+
+
+def row(n: int, model: Model, seed: int = 0) -> ExperimentRow:
+    """One Table II row for the given model and parity of n."""
+    leader_rounds, nmove_rounds, big_n = _coordination_rounds(n, model, seed)
+
+    ld_state = random_configuration(n, seed=seed, common_sense=True)
+    ld_measure: object
+    if model is Model.BASIC and n % 2 == 0:
+        try:
+            solve_location_discovery(ld_state, model, common_sense=True)
+            ld_measure = "SOLVED (bug!)"
+        except InfeasibleProblemError:
+            ld_measure = "not solvable"
+        ld_reference: object = "not solvable (Lemma 5)"
+    else:
+        ld = solve_location_discovery(ld_state, model, common_sense=True)
+        ld_measure = ld.rounds
+        if model is Model.PERCEPTIVE and n % 2 == 0:
+            ld_reference = n / 2 + bounds.nmove_perceptive_bound(big_n, n)
+        else:
+            ld_reference = bounds.ld_walk_bound(big_n, n)
+
+    parity = "even" if n % 2 == 0 else "odd"
+    leader_ref = (
+        bounds.log_squared_bound(big_n)
+        if model is Model.BASIC and n % 2 == 0
+        else bounds.log_n_bound(big_n)
+    )
+    return ExperimentRow(
+        label=f"{model.value}, {parity} n (common sense)",
+        params={"n": n, "N": big_n, "seed": seed},
+        measured={
+            "leader": leader_rounds,
+            "nmove": nmove_rounds,
+            "ld": ld_measure,
+        },
+        reference={
+            "leader": leader_ref,
+            "nmove": leader_ref,  # Theorem 7: equal up to +O(log N)
+            "ld": ld_reference,
+        },
+    )
+
+
+def generate(
+    odd_sizes: Sequence[int] = (9, 17),
+    even_sizes: Sequence[int] = (8, 16),
+    seed: int = 0,
+) -> List[ExperimentRow]:
+    """All Table II rows."""
+    rows: List[ExperimentRow] = []
+    for n in odd_sizes:
+        rows.append(row(n, Model.BASIC, seed=seed))
+    for model in (Model.BASIC, Model.LAZY, Model.PERCEPTIVE):
+        for n in even_sizes:
+            rows.append(row(n, model, seed=seed))
+    return rows

@@ -1,0 +1,29 @@
+"""The paper's protocol suite, written against agent-local views.
+
+Every protocol here follows the same contract:
+
+* it drives rounds through a :class:`repro.core.scheduler.Scheduler`;
+* agent-side state lives in ``AgentView.memory`` under namespaced keys;
+* per-agent decisions are computed from that agent's view alone;
+* unless documented otherwise, protocols are *position restoring*: every
+  information-gathering round is paired with a REVERSEDROUND, so the
+  configuration at exit equals the configuration at entry.  This keeps
+  the final location-discovery phase expressed in the initial frame
+  (the paper's footnote 1 discusses the same device).
+"""
+
+from repro.protocols.base import (
+    CoordinationResult,
+    LocationDiscoveryResult,
+    KEY_FRAME_FLIP,
+    KEY_LEADER,
+    KEY_NMOVE_DIR,
+)
+
+__all__ = [
+    "CoordinationResult",
+    "LocationDiscoveryResult",
+    "KEY_FRAME_FLIP",
+    "KEY_LEADER",
+    "KEY_NMOVE_DIR",
+]

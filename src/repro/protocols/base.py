@@ -1,0 +1,73 @@
+"""Shared conventions and result types for the protocol suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.core.agent import AgentView
+from repro.types import LocalDirection
+
+# Memory keys shared across protocols.  A key's value is always written
+# by the protocol that owns the phase and read by later phases.
+KEY_FRAME_FLIP = "frame.flip"          # bool: does my RIGHT differ from the
+                                       # agreed common clockwise?
+KEY_LEADER = "leader.is_leader"        # bool
+KEY_NMOVE_DIR = "nmove.dir"            # LocalDirection giving a nontrivial move
+KEY_LABEL = "ringdist.label"           # int: right ring distance from leader
+KEY_RING_SIZE = "ld.n"                 # int: n, once published
+KEY_LD_GAPS = "ld.gaps"                # list[Fraction]: gaps from own slot
+
+
+def aligned_direction(view: AgentView, common: LocalDirection) -> LocalDirection:
+    """Translate a direction in the agreed common frame into the agent's
+    local frame, honouring the flip decided during direction agreement."""
+    if common is LocalDirection.IDLE:
+        return LocalDirection.IDLE
+    if view.memory.get(KEY_FRAME_FLIP, False):
+        return common.opposite()
+    return common
+
+
+def common_dist(view: AgentView, dist: Fraction) -> Fraction:
+    """Convert a ``dist()`` observation from the agent's own clockwise
+    frame into the agreed common clockwise frame."""
+    if not view.memory.get(KEY_FRAME_FLIP, False):
+        return dist
+    return (Fraction(1) - dist) if dist != 0 else Fraction(0)
+
+
+@dataclass
+class CoordinationResult:
+    """Outcome of solving the coordination problems on a ring.
+
+    Attributes:
+        rounds: Total rounds consumed.
+        leader_id: The elected leader's ID (None if leader election was
+            not part of the requested pipeline).
+        rounds_by_phase: Round counts per phase name, for benchmarks.
+    """
+
+    rounds: int
+    leader_id: Optional[int] = None
+    rounds_by_phase: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class LocationDiscoveryResult:
+    """Outcome of location discovery.
+
+    Attributes:
+        rounds: Total rounds consumed (including coordination phases).
+        rounds_by_phase: Round counts per phase name.
+        gaps_by_agent: For each ring index i (harness-side bookkeeping),
+            the gap vector that agent reconstructed, expressed in the
+            common frame starting from its own slot: entry k is the arc
+            from the k-th agent to the (k+1)-th agent, counting common-
+            clockwise from the reconstructing agent itself.
+    """
+
+    rounds: int
+    rounds_by_phase: Dict[str, int] = field(default_factory=dict)
+    gaps_by_agent: List[List[Fraction]] = field(default_factory=list)

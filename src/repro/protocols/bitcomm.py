@@ -1,0 +1,261 @@
+"""Neighbor communication built on collisions (Prop 31, Cor 32-34).
+
+After neighbor discovery an agent knows its two gaps and its neighbors'
+relative chirality, which turns collision observations into a 1-bit
+full-duplex channel to both neighbors:
+
+* **Bit exchange** (:func:`exchange_bits`).  Two probe rounds are run
+  from restored positions -- the "bit round" (move own-RIGHT iff the
+  bit is 1) and its inverse -- each followed by its REVERSEDROUND.  In
+  whichever probe the agent moved own-RIGHT, ``coll() == gap_right/2``
+  holds iff the right neighbor moved toward it from the start; combined
+  with which probe that was and the neighbor's relative chirality this
+  pins down the neighbor's bit.  Mirror logic on the left side.  Cost:
+  4 rounds per bit, positions restored.
+
+* **Relay flooding** (:func:`relay_flood`), the sparsed information
+  dissemination of Cor 34.  Each agent maintains two registers, one per
+  physical side; each relay step forwards the register received from one
+  side out of the other side.  "In one side, out the other" is chirality
+  independent, so messages travel consistently around the ring even
+  when agents disagree on left/right.  Messages are (present, value)
+  frames of a fixed bit width; a message received at step t originated
+  exactly t hops away on the side it arrived from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.agent import AgentView
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.neighbor_discovery import (
+    KEY_GAP_LEFT,
+    KEY_GAP_RIGHT,
+    KEY_SAME_LEFT,
+    KEY_SAME_RIGHT,
+)
+from repro.types import LocalDirection, Model
+
+KEY_FROM_RIGHT = "comm.bit_from_right"   # bit last received from own-right
+KEY_FROM_LEFT = "comm.bit_from_left"
+KEY_RECEIVED = "comm.received"           # list of (side, hop, value)
+
+BitFn = Callable[[AgentView], int]
+
+
+def _require_neighbor_data(view: AgentView) -> None:
+    if KEY_GAP_RIGHT not in view.memory:
+        raise ProtocolError(
+            "bit communication requires neighbor discovery results"
+        )
+
+
+def exchange_bits(sched: Scheduler, bit_of: BitFn) -> None:
+    """Every agent transmits one bit to both neighbors; 4 rounds.
+
+    Postcondition: ``comm.bit_from_right`` and ``comm.bit_from_left``
+    hold the bits of the agent's own-right and own-left ring neighbors.
+    """
+    if sched.model is not Model.PERCEPTIVE:
+        raise ProtocolError("bit exchange requires the perceptive model")
+
+    bits = {}
+
+    def stash_bit(view: AgentView) -> None:
+        _require_neighbor_data(view)
+        b = bit_of(view)
+        if b not in (0, 1):
+            raise ProtocolError(f"bit_of returned non-bit {b!r}")
+        bits[id(view)] = b
+
+    sched.for_each_agent(stash_bit)
+
+    def probe_choice(view: AgentView) -> LocalDirection:
+        return (
+            LocalDirection.RIGHT if bits[id(view)] == 1 else LocalDirection.LEFT
+        )
+
+    colls: List[dict] = []
+    for probe_round in (probe_choice, lambda v: probe_choice(v).opposite()):
+        sched.run_round(probe_round)
+        observed = {}
+
+        def record(view: AgentView) -> None:
+            observed[id(view)] = view.last.coll
+
+        sched.for_each_agent(record)
+        colls.append(observed)
+        sched.run_round(lambda v: probe_round(v).opposite())
+
+    def decode(view: AgentView) -> None:
+        my_bit = bits[id(view)]
+        gap_right = view.memory[KEY_GAP_RIGHT]
+        gap_left = view.memory[KEY_GAP_LEFT]
+        same_right = view.memory[KEY_SAME_RIGHT]
+        same_left = view.memory[KEY_SAME_LEFT]
+
+        # Index of the probe in which I moved own-RIGHT / own-LEFT.
+        right_probe = 0 if my_bit == 1 else 1
+        left_probe = 1 - right_probe
+
+        approached_r = colls[right_probe][id(view)] == gap_right / 2
+        approached_l = colls[left_probe][id(view)] == gap_left / 2
+
+        # Was the right neighbor moving toward me (my-leftward) during
+        # probe 0?  Probe 1 is everyone's opposite of probe 0.
+        r_toward_in_probe0 = approached_r if right_probe == 0 else not approached_r
+        l_toward_in_probe0 = approached_l if left_probe == 0 else not approached_l
+
+        # Right neighbor's probe-0 own direction was RIGHT (bit 1) iff:
+        # same chirality -> own-RIGHT points away from me (my-rightward);
+        # flipped       -> own-RIGHT points toward me.
+        view.memory[KEY_FROM_RIGHT] = int(
+            r_toward_in_probe0 == (not same_right)
+        )
+        # Left neighbor's own-RIGHT points toward me iff same chirality.
+        view.memory[KEY_FROM_LEFT] = int(l_toward_in_probe0 == same_left)
+
+    sched.for_each_agent(decode)
+
+
+def exchange_frame(
+    sched: Scheduler, value_of: Callable[[AgentView], Optional[int]], width: int
+) -> None:
+    """Exchange a (present, value) frame with both neighbors.
+
+    ``None`` encodes "nothing to transmit".  Costs 4 * (width + 1)
+    rounds.  Postcondition: ``comm.frame_from_right`` /
+    ``comm.frame_from_left`` hold Optional[int] values.
+    """
+    frames = {}
+
+    def stash(view: AgentView) -> None:
+        v = value_of(view)
+        if v is not None and not (0 <= v < (1 << width)):
+            raise ProtocolError(f"value {v} does not fit in {width} bits")
+        frames[id(view)] = v
+
+    sched.for_each_agent(stash)
+
+    received_right: List[int] = []
+    received_left: List[int] = []
+
+    def bit_slice(view: AgentView, slot: int) -> int:
+        v = frames[id(view)]
+        if slot == 0:
+            return 1 if v is not None else 0
+        if v is None:
+            return 0
+        return (v >> (slot - 1)) & 1
+
+    collected = [dict(), dict()]  # per-agent accumulated ints (right, left)
+    present = [dict(), dict()]
+    for slot in range(width + 1):
+        exchange_bits(sched, lambda view, slot=slot: bit_slice(view, slot))
+
+        def fold(view: AgentView, slot=slot) -> None:
+            for side, key in ((0, KEY_FROM_RIGHT), (1, KEY_FROM_LEFT)):
+                b = view.memory[key]
+                if slot == 0:
+                    present[side][id(view)] = bool(b)
+                    collected[side][id(view)] = 0
+                elif b:
+                    collected[side][id(view)] |= 1 << (slot - 1)
+
+        sched.for_each_agent(fold)
+
+    def finish(view: AgentView) -> None:
+        view.memory["comm.frame_from_right"] = (
+            collected[0][id(view)] if present[0][id(view)] else None
+        )
+        view.memory["comm.frame_from_left"] = (
+            collected[1][id(view)] if present[1][id(view)] else None
+        )
+
+    sched.for_each_agent(finish)
+    del received_right, received_left
+
+
+def relay_flood(
+    sched: Scheduler,
+    initial_value_of: Callable[[AgentView], Optional[int]],
+    distance: int,
+    width: int,
+) -> None:
+    """Cor 34: flood marked agents' values up to ``distance`` hops.
+
+    Agents whose ``initial_value_of`` is not None are sources.  After
+    the flood each agent's ``comm.received`` holds a list of
+    ``(side, hop, value)`` with side in {"left", "right"} (own frame):
+    a source ``hop`` ring-places away on that side announced ``value``.
+    Overlapping sources on the same side and hop overwrite each other,
+    so callers must keep sources ``>= distance`` apart (the paper's
+    sparseness condition) or accept last-writer semantics.
+
+    Cost: ``8 * (width + 1) * distance`` rounds.
+    """
+    out_right = {}
+    out_left = {}
+
+    def init(view: AgentView) -> None:
+        v = initial_value_of(view)
+        out_right[id(view)] = v
+        out_left[id(view)] = v
+        view.memory[KEY_RECEIVED] = []
+
+    sched.for_each_agent(init)
+
+    for hop in range(1, distance + 1):
+        # Slot A: everyone transmits its rightward stream register.
+        exchange_frame(sched, lambda view: out_right[id(view)], width)
+
+        def receive_a(view: AgentView) -> None:
+            # My left physical neighbor's rightward stream is destined
+            # to me iff, from its perspective, I am its own-right -- i.e.
+            # iff our chiralities agree.
+            if view.memory[KEY_SAME_LEFT]:
+                view.memory["comm._incoming_right"] = view.memory[
+                    "comm.frame_from_left"
+                ]
+            # If my right neighbor is flipped, its "rightward" stream
+            # actually comes to me.
+            if not view.memory[KEY_SAME_RIGHT]:
+                view.memory["comm._incoming_left"] = view.memory[
+                    "comm.frame_from_right"
+                ]
+
+        sched.for_each_agent(receive_a)
+
+        # Slot B: everyone transmits its leftward stream register.
+        exchange_frame(sched, lambda view: out_left[id(view)], width)
+
+        def receive_b(view: AgentView) -> None:
+            if not view.memory[KEY_SAME_LEFT]:
+                view.memory["comm._incoming_right"] = view.memory[
+                    "comm.frame_from_left"
+                ]
+            if view.memory[KEY_SAME_RIGHT]:
+                view.memory["comm._incoming_left"] = view.memory[
+                    "comm.frame_from_right"
+                ]
+
+        sched.for_each_agent(receive_b)
+
+        def settle(view: AgentView, hop=hop) -> None:
+            inc_from_left = view.memory.pop("comm._incoming_right", None)
+            inc_from_right = view.memory.pop("comm._incoming_left", None)
+            if inc_from_left is not None:
+                view.memory[KEY_RECEIVED].append(("left", hop, inc_from_left))
+            if inc_from_right is not None:
+                view.memory[KEY_RECEIVED].append(("right", hop, inc_from_right))
+            out_right[id(view)] = inc_from_left
+            out_left[id(view)] = inc_from_right
+
+        sched.for_each_agent(settle)
+
+
+def received_messages(view: AgentView) -> List[Tuple[str, int, int]]:
+    """All (side, hop, value) messages this agent has received."""
+    return list(view.memory.get(KEY_RECEIVED, []))

@@ -1,0 +1,107 @@
+"""Direction agreement (Algorithm 1 and Proposition 17).
+
+Algorithm 1 (``DirAgr``): given an assignment of directions that is a
+*nontrivial move* (rotation index r ∉ {0, n/2}), run the round twice.
+Writing δ for the objective clockwise arc an agent is carried per round,
+the two runs together sweep the arcs of 2r consecutive slots:
+d1 + d2 < 1 exactly when the rotation is less than half a turn in the
+agent's own clockwise direction.  Agents for whom it is *more* than half
+flip their sense; afterwards everyone's "clockwise" is the direction in
+which the nontrivial round rotated by less than half a turn -- a common
+frame.
+
+Proposition 17 (odd n, O(1)): the all-RIGHT round is trivial only when
+all agents already share a sense of direction (for odd n a round is
+trivial iff everyone moves the same objective way).  So run all-RIGHT
+twice: agents either observe d1 = 0 (already agreed -- keep) or apply
+the Algorithm 1 rule to this automatically-nontrivial round.
+
+Both protocols restore positions before flipping (two reversed rounds),
+so they are drop-in phases.
+"""
+
+from __future__ import annotations
+
+from repro.core.agent import AgentView
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_FRAME_FLIP, KEY_NMOVE_DIR
+from repro.protocols.rotation_probe import (
+    KEY_PROBE_CLASS,
+    RotationClass,
+    classify_rotation,
+)
+from repro.types import LocalDirection
+
+
+def _nmove_choice(view: AgentView) -> LocalDirection:
+    direction = view.memory.get(KEY_NMOVE_DIR)
+    if direction is None:
+        raise ProtocolError(
+            "direction agreement requires a solved nontrivial move "
+            f"(agent {view.agent_id} has no stored direction)"
+        )
+    return direction
+
+
+def agree_direction_from_nontrivial_move(sched: Scheduler) -> None:
+    """Algorithm 1: establish a common sense of direction in O(1) rounds.
+
+    Preconditions: every agent holds a direction under ``nmove.dir``
+    whose round is a nontrivial move.  Postcondition: every agent holds
+    ``frame.flip``; interpreting RIGHT through the flip yields a common
+    clockwise for all agents.  Costs 4 rounds (2 probing + 2 restoring).
+    """
+    classify_rotation(sched, _nmove_choice, restore=True)
+
+    def decide(view: AgentView) -> None:
+        verdict = view.memory[KEY_PROBE_CLASS]
+        if verdict.trivial:
+            raise ProtocolError(
+                "DirAgr was run on a trivial move; the nontrivial move "
+                "precondition is violated"
+            )
+        view.memory[KEY_FRAME_FLIP] = verdict is RotationClass.ABOVE_HALF
+
+    sched.for_each_agent(decide)
+
+
+def agree_direction_odd(sched: Scheduler) -> None:
+    """Proposition 17: O(1) direction agreement in the basic model, odd n.
+
+    Costs 4 rounds.  Raises if run on an even ring (the all-RIGHT round
+    can then be an undetectable half-turn).
+    """
+    if sched.views and sched.views[0].parity_even:
+        raise ProtocolError("agree_direction_odd requires odd n")
+
+    classify_rotation(
+        sched, lambda view: LocalDirection.RIGHT, restore=True
+    )
+
+    def decide(view: AgentView) -> None:
+        verdict = view.memory[KEY_PROBE_CLASS]
+        if verdict is RotationClass.HALF:
+            raise ProtocolError("half-turn observed with odd n: impossible")
+        if verdict is RotationClass.ZERO:
+            # Everyone moved the same objective way, so senses already
+            # coincide; keep the current frame.
+            view.memory[KEY_FRAME_FLIP] = False
+        else:
+            view.memory[KEY_FRAME_FLIP] = verdict is RotationClass.ABOVE_HALF
+
+    sched.for_each_agent(decide)
+
+
+def assume_common_frame(sched: Scheduler) -> None:
+    """Declare the agents' native senses already common (Table II rows).
+
+    Models the paper's "with common sense of direction" setting: each
+    agent simply trusts its own RIGHT.  No rounds are consumed.  It is
+    the caller's responsibility that the configuration really has a
+    shared chirality; nothing is checked here because agents cannot
+    check it for free.
+    """
+    sched.for_each_agent(
+        lambda view: view.memory.__setitem__(KEY_FRAME_FLIP, False)
+    )

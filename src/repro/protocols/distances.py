@@ -1,0 +1,187 @@
+"""Distances (Algorithm 6): location discovery in n/2 + O(1) rounds.
+
+Preconditions: perceptive model, even n, a common frame, every agent
+knows its 1-based label (RingDist) and n (ring-size broadcast), and the
+configuration is at its initial positions.
+
+The schedule is n/2 *Convolution* rounds followed by three *Pivot*
+rounds.  Writing x_t (0-based label t) for the initial common-clockwise
+gap between agents t and t+1, and ρ for the cumulative rotation when a
+round starts:
+
+* ``Convolution(e)``: odd 1-based labels move common-RIGHT, even ones
+  common-LEFT, except that label e moves RIGHT.  Rotation index 2, so
+  each agent's ``dist()`` is the sum of the two gaps ahead of its
+  current slot -- one linear equation.  Its ``coll()`` gives a second:
+  a RIGHT mover's first collision comes after half the arc to the
+  nearest LEFT mover ahead (the cascade closed form, Prop 4/37), a
+  LEFT mover's after half the arc back to the nearest RIGHT mover --
+  windows that are *structurally* determined by the public schedule.
+* ``Pivot(j)``: the n/2 labels ending at j move RIGHT, the other half
+  LEFT.  Rotation index 0 (no ``dist()`` information), but the single
+  converging boundary behind a_j hands every agent one long half-sum
+  equation, with a boundary offset that shifts with j.
+
+Every agent accumulates its own two equations per Convolution round and
+one per Pivot in an exact incremental Gaussian system and solves once
+full rank is reached.  The n/2 Convolutions rotate the ring by exactly
+n slots, so the Pivots run at the initial configuration and the
+protocol ends where it started.
+
+This realises Lemma 41 / Theorem 42; together with the O(√n log N)
+coordination prefix, location discovery costs n/2 + o(n) rounds
+(for log N = o(√n)), matching the Lemma 6 lower bound of n/2.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, List, Optional
+
+from repro.analysis.equations import Equation, EquationSystem
+from repro.core.agent import AgentView
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import (
+    KEY_FRAME_FLIP,
+    KEY_LABEL,
+    KEY_LD_GAPS,
+    KEY_RING_SIZE,
+    aligned_direction,
+    common_dist,
+)
+from repro.types import LocalDirection, Model
+
+_KEY_SYSTEM = "distances._system"
+
+DirectionMap = Callable[[int], bool]  # 0-based label -> moves common-RIGHT?
+
+
+def convolution_direction(n: int, exception_label: int) -> DirectionMap:
+    """Direction map of Convolution with the given 1-based exception."""
+    exc = exception_label - 1
+
+    def moves_right(label0: int) -> bool:
+        return label0 % 2 == 0 or label0 == exc
+
+    return moves_right
+
+
+def pivot_direction(n: int, j: int) -> DirectionMap:
+    """Direction map of Pivot(j) (1-based j): the half-ring of labels
+    ending at j moves common-RIGHT, the other half common-LEFT."""
+    j0 = (j - 1) % n
+    right = {(j0 - offset) % n for offset in range(n // 2)}
+
+    def moves_right(label0: int) -> bool:
+        return label0 in right
+
+    return moves_right
+
+
+def coll_window(
+    n: int, moves_right: DirectionMap, label0: int, rho: int
+) -> Optional[tuple]:
+    """(start_slot, hop_count) of the gap window measured by coll().
+
+    A RIGHT mover's window runs forward from its current slot to the
+    nearest LEFT mover; a LEFT mover's runs backward to the nearest
+    RIGHT mover.  Returns None when everyone moves the same way.
+    """
+    if moves_right(label0):
+        for h in range(1, n):
+            if not moves_right((label0 + h) % n):
+                return ((label0 + rho) % n, h)
+        return None
+    for h in range(1, n):
+        if moves_right((label0 - h) % n):
+            return ((label0 - h + rho) % n, h)
+    return None
+
+
+def _run_structured_round(
+    sched: Scheduler,
+    moves_right: DirectionMap,
+    rho: int,
+    rotation: int,
+) -> None:
+    """Execute one scheduled round and harvest each agent's equations."""
+
+    def choose(view: AgentView) -> LocalDirection:
+        label0 = view.memory[KEY_LABEL] - 1
+        common = (
+            LocalDirection.RIGHT
+            if moves_right(label0)
+            else LocalDirection.LEFT
+        )
+        return aligned_direction(view, common)
+
+    sched.run_round(choose)
+
+    def harvest(view: AgentView) -> None:
+        n = view.memory[KEY_RING_SIZE]
+        label0 = view.memory[KEY_LABEL] - 1
+        system: EquationSystem = view.memory[_KEY_SYSTEM]
+        if rotation % n != 0:
+            d = common_dist(view, view.last.dist)
+            system.add(
+                Equation.window(
+                    n, (label0 + rho) % n, rotation, Fraction(1), d
+                )
+            )
+        window = coll_window(n, moves_right, label0, rho)
+        if window is not None and view.last.coll is not None:
+            start, hops = window
+            system.add(
+                Equation.window(n, start, hops, Fraction(1), 2 * view.last.coll)
+            )
+
+    sched.for_each_agent(harvest)
+
+
+def discover_distances(sched: Scheduler) -> int:
+    """Algorithm 6.  Returns the number of rounds used (n/2 + 3).
+
+    Postcondition: every agent stores under ``ld.gaps`` the full gap
+    vector in common-clockwise order starting from its own slot.
+    """
+    if sched.model is not Model.PERCEPTIVE:
+        raise ProtocolError("Distances requires the perceptive model")
+    view0 = sched.views[0]
+    for key in (KEY_LABEL, KEY_RING_SIZE, KEY_FRAME_FLIP):
+        if any(key not in v.memory for v in sched.views):
+            raise ProtocolError(f"Distances requires {key} to be set")
+    n = view0.memory[KEY_RING_SIZE]
+    if n % 2 != 0:
+        raise ProtocolError(
+            "Distances requires even n; use the rotation sweeps for odd n"
+        )
+
+    sched.for_each_agent(
+        lambda v: v.memory.__setitem__(_KEY_SYSTEM, EquationSystem(n))
+    )
+
+    before = sched.rounds
+    for i in range(1, n // 2 + 1):
+        exception = n - 2 * (i - 1)
+        rho = (2 * (i - 1)) % n
+        _run_structured_round(
+            sched, convolution_direction(n, exception), rho, rotation=2
+        )
+    # Cumulative rotation is now n = 0 (mod n): initial configuration.
+    for j in (n, n - 1, n - 2):
+        _run_structured_round(sched, pivot_direction(n, j), 0, rotation=0)
+
+    def solve(view: AgentView) -> None:
+        system: EquationSystem = view.memory.pop(_KEY_SYSTEM)
+        if not system.full_rank:
+            raise ProtocolError(
+                f"agent {view.agent_id} ended with rank {system.rank} < {n}; "
+                "the Convolution/Pivot schedule should reach full rank"
+            )
+        x = system.solve()
+        label0 = view.memory[KEY_LABEL] - 1
+        view.memory[KEY_LD_GAPS] = [x[(label0 + k) % n] for k in range(n)]
+
+    sched.for_each_agent(solve)
+    return sched.rounds - before

@@ -1,0 +1,118 @@
+"""Emptiness testing (Lemma 12).
+
+Given a publicly known set B ⊆ [N], decide whether any present agent's
+ID lies in B.  All variants assume a common sense of direction (either
+native, or established by direction agreement) and end with consensus:
+every agent stores the same boolean under ``empty.result``.
+
+Costs (information rounds; each is paired with a restoring reversed
+round):
+
+* lazy model: 1 round -- members of B move RIGHT, everyone else idles;
+  the rotation index is |B ∩ A| mod n, nonzero for a non-member iff the
+  intersection is nonempty.
+* perceptive model: 1 round -- members RIGHT, others LEFT; if the
+  intersection is proper and nonempty *every* agent collides within
+  half a time unit (some token moves each way and tokens move uniformly
+  forever), so a non-member detects occupancy via dist() or coll().
+* basic model, odd n: 1 round -- members RIGHT, others LEFT; the
+  rotation index (2|B ∩ A| - n) mod n vanishes for a non-member only
+  when the intersection is empty.
+* basic model, even n: 1 + ceil(log N) rounds -- probe B itself, then
+  for each bit position the subset of B with that bit set.  If all
+  probes have rotation index 0 and the intersection M were nonempty,
+  then |M| = n/2 and every probed bit is constant on M, forcing
+  |M| = 1 < n/2: contradiction (n > 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.core.agent import AgentView, id_bits
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_FRAME_FLIP, aligned_direction
+from repro.types import LocalDirection, Model
+
+KEY_EMPTY_RESULT = "empty.result"   # bool: True means B ∩ A == ∅
+_KEY_SAW = "empty._saw_occupancy"
+
+
+def _require_frame(view: AgentView) -> None:
+    if KEY_FRAME_FLIP not in view.memory:
+        raise ProtocolError(
+            "emptiness testing requires an established common frame"
+        )
+
+
+def _member_round(
+    sched: Scheduler,
+    members: Set[int],
+    non_member_dir: LocalDirection,
+    record: bool,
+) -> None:
+    """One probe round (plus its reversal): members of ``members`` move
+    common-RIGHT, everyone else plays ``non_member_dir`` (common frame).
+    With ``record``, each non-member ORs occupancy evidence into memory."""
+
+    def choose(view: AgentView) -> LocalDirection:
+        _require_frame(view)
+        common = (
+            LocalDirection.RIGHT
+            if view.agent_id in members
+            else non_member_dir
+        )
+        return aligned_direction(view, common)
+
+    sched.run_round(choose)
+    if record:
+
+        def note(view: AgentView) -> None:
+            saw = view.last.dist != 0 or view.last.coll is not None
+            view.memory[_KEY_SAW] = view.memory.get(_KEY_SAW, False) or saw
+
+        sched.for_each_agent(note)
+    sched.run_round(lambda view: choose(view).opposite())
+
+
+def emptiness_test(sched: Scheduler, candidate_ids: Iterable[int]) -> bool:
+    """Decide whether any present agent's ID is in ``candidate_ids``.
+
+    Every agent ends with the consensus verdict under ``empty.result``
+    (True = empty).  Returns that verdict for caller convenience.
+    """
+    members = set(candidate_ids)
+    model = sched.model
+    parity_even = sched.views[0].parity_even
+
+    sched.for_each_agent(lambda view: view.memory.__setitem__(_KEY_SAW, False))
+
+    if model is Model.LAZY:
+        _member_round(sched, members, LocalDirection.IDLE, record=True)
+        probes = 1
+    elif model is Model.PERCEPTIVE or not parity_even:
+        _member_round(sched, members, LocalDirection.LEFT, record=True)
+        probes = 1
+    else:
+        # Basic model, even n: probe B, then each bit-slice of B.
+        _member_round(sched, members, LocalDirection.LEFT, record=True)
+        bits = id_bits(sched.views[0].id_bound)
+        for i in range(bits):
+            slice_i = {x for x in members if (x >> i) & 1}
+            _member_round(sched, slice_i, LocalDirection.LEFT, record=True)
+        probes = 1 + bits
+
+    def conclude(view: AgentView) -> None:
+        if view.agent_id in members:
+            empty = False  # the agent itself witnesses occupancy
+        else:
+            empty = not view.memory.pop(_KEY_SAW)
+        view.memory[KEY_EMPTY_RESULT] = empty
+
+    sched.for_each_agent(conclude)
+    del probes
+    verdict = sched.unanimous_memory(KEY_EMPTY_RESULT)
+    if verdict is None:
+        raise ProtocolError("emptiness test reached no consensus: bug")
+    return bool(verdict)

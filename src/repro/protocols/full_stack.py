@@ -1,0 +1,198 @@
+"""End-to-end pipelines: solve coordination and location discovery from
+scratch, routing to the optimal protocol per Table I / Table II.
+
+These are the library's top-level entry points.  Given a fresh
+:class:`~repro.ring.state.RingState` and a model variant they run the
+complete phase sequence the paper prescribes for that cell:
+
+===========================  =========================================
+Setting                      Pipeline
+===========================  =========================================
+odd n (any model)            DirAgr (Prop 17, O(1)) -> leader via
+                             emptiness bisection (O(log N)) -> NMove
+                             from leader (O(1))
+even n, basic/lazy           NMove via the published distinguisher
+                             sequence (Thm 27) -> DirAgr (Alg 1) ->
+                             leader (Alg 2)
+even n, perceptive           NMoveS (Alg 4, O(√n log N)) -> DirAgr ->
+                             leader (Alg 2)
+common chirality declared    leader via emptiness bisection (Lemma 13)
+                             -> NMove from leader
+===========================  =========================================
+
+Location discovery then runs the best discovery phase for the model:
+rotation-1 sweep (lazy, n rounds), rotation-2 sweep (basic, odd n only
+-- Lemma 5 forbids even n), or neighbor discovery + RingDist + ring-size
+broadcast + Distances (perceptive, even n, n/2 + o(n)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import InfeasibleProblemError, ProtocolError
+from repro.protocols.base import (
+    CoordinationResult,
+    KEY_LD_GAPS,
+    LocationDiscoveryResult,
+)
+from repro.protocols.direction_agreement import (
+    agree_direction_from_nontrivial_move,
+    agree_direction_odd,
+    assume_common_frame,
+)
+from repro.protocols.distances import discover_distances
+from repro.protocols.leader_election import (
+    elect_leader_common_sense,
+    elect_leader_with_nontrivial_move,
+)
+from repro.protocols.location_discovery import (
+    sweep_rotation_one,
+    sweep_rotation_two,
+)
+from repro.protocols.neighbor_discovery import discover_neighbors
+from repro.protocols.nontrivial_move import (
+    nmove_from_leader,
+    nmove_seeded_family,
+)
+from repro.protocols.nmove_perceptive import nmove_perceptive
+from repro.protocols.ring_distance import publish_ring_size, ring_distances
+from repro.ring.state import RingState
+from repro.types import Model
+
+
+def _phase(phases: Dict[str, int], sched: Scheduler, name: str, fn) -> None:
+    before = sched.rounds
+    fn()
+    phases[name] = sched.rounds - before
+
+
+def solve_coordination(
+    state: RingState,
+    model: Model = Model.BASIC,
+    common_sense: bool = False,
+    scheduler: Optional[Scheduler] = None,
+) -> CoordinationResult:
+    """Solve direction agreement, leader election and nontrivial move.
+
+    Args:
+        state: A fresh ring configuration.
+        model: Model variant to run under.
+        common_sense: Declare that agents share a sense of direction
+            (the Table II setting).  The caller must guarantee it.
+        scheduler: Reuse an existing scheduler (e.g. to continue with
+            location discovery); a new one is created otherwise.
+
+    Returns:
+        A :class:`CoordinationResult` with the leader's ID and per-phase
+        round counts.  Positions are restored to the initial
+        configuration on exit.
+    """
+    sched = scheduler or Scheduler(state, model)
+    phases: Dict[str, int] = {}
+    parity_even = state.parity_even
+
+    if common_sense:
+        _phase(phases, sched, "direction_agreement",
+               lambda: assume_common_frame(sched))
+        _phase(phases, sched, "leader_election",
+               lambda: elect_leader_common_sense(sched))
+        _phase(phases, sched, "nontrivial_move",
+               lambda: nmove_from_leader(sched))
+    elif not parity_even:
+        _phase(phases, sched, "direction_agreement",
+               lambda: agree_direction_odd(sched))
+        _phase(phases, sched, "leader_election",
+               lambda: elect_leader_common_sense(sched))
+        _phase(phases, sched, "nontrivial_move",
+               lambda: nmove_from_leader(sched))
+    else:
+        if model is Model.PERCEPTIVE:
+            _phase(phases, sched, "nontrivial_move",
+                   lambda: nmove_perceptive(sched))
+        else:
+            _phase(phases, sched, "nontrivial_move",
+                   lambda: nmove_seeded_family(sched))
+        _phase(phases, sched, "direction_agreement",
+               lambda: agree_direction_from_nontrivial_move(sched))
+        _phase(phases, sched, "leader_election",
+               lambda: elect_leader_with_nontrivial_move(sched))
+
+    from repro.protocols.leader_election import leader_id
+
+    return CoordinationResult(
+        rounds=sched.rounds,
+        leader_id=leader_id(sched),
+        rounds_by_phase=phases,
+    )
+
+
+def solve_location_discovery(
+    state: RingState,
+    model: Model = Model.LAZY,
+    common_sense: bool = False,
+) -> LocationDiscoveryResult:
+    """Full location discovery from a cold start.
+
+    Raises:
+        InfeasibleProblemError: basic model with even n (Lemma 5).
+
+    Returns:
+        Per-agent reconstructed gap vectors (see
+        :class:`LocationDiscoveryResult`) and per-phase round counts.
+    """
+    if model is Model.BASIC and state.parity_even:
+        raise InfeasibleProblemError(
+            "location discovery in the basic model with even n is "
+            "impossible (Lemma 5): every rotation index is even, so an "
+            "agent can never visit odd-ring-distance positions"
+        )
+    sched = Scheduler(state, model)
+    coordination = solve_coordination(
+        state, model, common_sense=common_sense, scheduler=sched
+    )
+    phases = dict(coordination.rounds_by_phase)
+
+    if model is Model.LAZY:
+        _phase(phases, sched, "discovery",
+               lambda: sweep_rotation_one(sched))
+    elif model is Model.BASIC:
+        _phase(phases, sched, "discovery",
+               lambda: sweep_rotation_two(sched))
+    else:
+        if state.parity_even:
+
+            def ensure_neighbors() -> None:
+                from repro.protocols.neighbor_discovery import KEY_GAP_RIGHT
+
+                # NMoveS may already have run neighbor discovery (it
+                # skips it only when its first probe succeeds).
+                if any(KEY_GAP_RIGHT not in v.memory for v in sched.views):
+                    discover_neighbors(sched)
+
+            _phase(phases, sched, "neighbor_discovery", ensure_neighbors)
+            _phase(phases, sched, "ring_distances",
+                   lambda: ring_distances(sched))
+            _phase(phases, sched, "ring_size_broadcast",
+                   lambda: publish_ring_size(sched))
+            _phase(phases, sched, "discovery",
+                   lambda: discover_distances(sched))
+        else:
+            # Odd n: the rotation-2 sweep is already optimal up to
+            # O(log N) (Table I's odd row); Algorithm 6's alternating
+            # pairing needs even n.
+            _phase(phases, sched, "discovery",
+                   lambda: sweep_rotation_two(sched))
+
+    gaps = []
+    for view in sched.views:
+        if KEY_LD_GAPS not in view.memory:
+            raise ProtocolError("an agent ended without a gap vector: bug")
+        gaps.append(list(view.memory[KEY_LD_GAPS]))
+
+    return LocationDiscoveryResult(
+        rounds=sched.rounds,
+        rounds_by_phase=phases,
+        gaps_by_agent=gaps,
+    )

@@ -1,0 +1,88 @@
+"""Global bit broadcast via rotation-coded rounds.
+
+A single designated agent can announce one bit per round to the entire
+ring: everyone else moves common-LEFT, and the announcer moves
+common-RIGHT for 1 or common-LEFT for 0.  The round's rotation index is
+2 - n ≢ 0 (mod n) in the first case and 0 in the second (for n > 2), so
+every agent reads the bit off its own ``dist()``.
+
+The paper uses this implicitly when results of a phase must become
+common knowledge (e.g. the ring size n after RingDist, which Algorithm 6
+needs); it costs O(log N) rounds for an O(log N)-bit value, within every
+pipeline's lower-order budget.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.agent import AgentView, id_bits
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_FRAME_FLIP, aligned_direction
+from repro.types import LocalDirection
+
+KEY_BROADCAST_VALUE = "broadcast.value"
+
+
+def broadcast_value(
+    sched: Scheduler,
+    is_announcer: Callable[[AgentView], bool],
+    value_of: Callable[[AgentView], Optional[int]],
+    width: Optional[int] = None,
+    result_key: str = KEY_BROADCAST_VALUE,
+) -> int:
+    """Broadcast an integer from the unique announcer to every agent.
+
+    Args:
+        is_announcer: Exactly one agent must answer True.
+        value_of: The announcer's value (asked only of the announcer).
+        width: Bits to transmit; defaults to ``id_bits(N)``.
+        result_key: Memory key under which every agent stores the value.
+
+    Returns:
+        The broadcast value.  Costs ``2 * width`` rounds (each bit round
+        is paired with a restoring reversed round).
+    """
+    if any(KEY_FRAME_FLIP not in v.memory for v in sched.views):
+        raise ProtocolError("global broadcast requires a common frame")
+    announcers = [v for v in sched.views if is_announcer(v)]
+    if len(announcers) != 1:
+        raise ProtocolError(
+            f"broadcast requires exactly one announcer, found {len(announcers)}"
+        )
+    value = value_of(announcers[0])
+    if value is None or value < 0:
+        raise ProtocolError("announcer must hold a non-negative value")
+    bits = width if width is not None else id_bits(sched.views[0].id_bound)
+    if value >= (1 << bits):
+        raise ProtocolError(f"value {value} does not fit in {bits} bits")
+
+    for view in sched.views:
+        view.memory["broadcast._acc"] = 0
+
+    for bit in range(bits):
+
+        def choose(view: AgentView, bit=bit) -> LocalDirection:
+            if is_announcer(view) and ((value_of(view) >> bit) & 1):
+                return aligned_direction(view, LocalDirection.RIGHT)
+            return aligned_direction(view, LocalDirection.LEFT)
+
+        sched.run_round(choose)
+
+        def read(view: AgentView, bit=bit) -> None:
+            if view.last.dist != 0:
+                view.memory["broadcast._acc"] |= 1 << bit
+
+        sched.for_each_agent(read)
+        sched.run_round(lambda view: choose(view).opposite())
+
+    def conclude(view: AgentView) -> None:
+        view.memory[result_key] = view.memory.pop("broadcast._acc")
+
+    sched.for_each_agent(conclude)
+
+    results = {v.memory[result_key] for v in sched.views}
+    if results != {value}:
+        raise ProtocolError(f"broadcast diverged: {results} != {value}")
+    return value

@@ -1,0 +1,142 @@
+"""Leader election (Algorithm 2 and Lemma 13).
+
+Two routes:
+
+* :func:`elect_leader_with_nontrivial_move` (Algorithm 2).  Requires a
+  solved nontrivial move and a common frame.  The candidate set starts
+  as the agents that moved common-RIGHT in the nontrivial round (its
+  RI is nonzero by construction) and is refined one ID bit at a time:
+  probe RI(X0) for the bit-0 half; keep whichever half has nonzero RI
+  (Lemma 3(c) guarantees one does).  After all bits the candidates share
+  every bit, so exactly one agent remains.  O(log N) rounds.
+
+* :func:`elect_leader_common_sense` (Lemma 13).  Requires only a common
+  frame.  Binary-search the ID space with emptiness tests: descend to
+  the smallest present ID.  log N emptiness tests, each 1 information
+  round (lazy / perceptive / odd basic) or 1 + log N rounds (even
+  basic), matching the O(log N) / O(log² N) bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.agent import AgentView, id_bits
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import (
+    KEY_FRAME_FLIP,
+    KEY_LEADER,
+    KEY_NMOVE_DIR,
+    aligned_direction,
+)
+from repro.protocols.emptiness import emptiness_test
+from repro.types import LocalDirection
+
+_KEY_CANDIDATE = "leader._candidate"
+_KEY_SAW_NONZERO = "leader._saw_nonzero"
+
+
+def _candidate_probe_round(sched: Scheduler, bit: int, want: int) -> bool:
+    """Probe RI(X0) where X0 = candidates whose ID bit ``bit`` equals
+    ``want``: those agents move common-RIGHT, everyone else common-LEFT.
+    Returns True iff the rotation index was nonzero (consensus).
+    Costs 2 rounds (probe + restore)."""
+
+    def choose(view: AgentView) -> LocalDirection:
+        in_x0 = (
+            view.memory[_KEY_CANDIDATE]
+            and ((view.agent_id >> bit) & 1) == want
+        )
+        common = LocalDirection.RIGHT if in_x0 else LocalDirection.LEFT
+        return aligned_direction(view, common)
+
+    sched.run_round(choose)
+    sched.for_each_agent(
+        lambda view: view.memory.__setitem__(
+            _KEY_SAW_NONZERO, view.last.dist != 0
+        )
+    )
+    sched.run_round(lambda view: choose(view).opposite())
+    nonzero = sched.views[0].memory[_KEY_SAW_NONZERO]
+    return bool(nonzero)
+
+
+def elect_leader_with_nontrivial_move(sched: Scheduler) -> int:
+    """Algorithm 2: elect a leader given a nontrivial move + common frame.
+
+    Preconditions: ``nmove.dir`` and ``frame.flip`` are set for every
+    agent.  Postcondition: exactly one agent has ``leader.is_leader`` =
+    True.  Returns the leader's ID (harness convenience).
+    """
+
+    def initialize(view: AgentView) -> None:
+        if KEY_NMOVE_DIR not in view.memory or KEY_FRAME_FLIP not in view.memory:
+            raise ProtocolError(
+                "Algorithm 2 requires nontrivial move + direction agreement"
+            )
+        moved_common_right = (
+            aligned_direction(view, LocalDirection.RIGHT)
+            is view.memory[KEY_NMOVE_DIR]
+        )
+        view.memory[_KEY_CANDIDATE] = moved_common_right
+
+    sched.for_each_agent(initialize)
+
+    bits = id_bits(sched.views[0].id_bound)
+    for bit in range(bits):
+        keep_zero_half = _candidate_probe_round(sched, bit, want=0)
+
+        def refine(view: AgentView) -> None:
+            if not view.memory[_KEY_CANDIDATE]:
+                return
+            my_bit = (view.agent_id >> bit) & 1
+            view.memory[_KEY_CANDIDATE] = (
+                my_bit == 0 if keep_zero_half else my_bit == 1
+            )
+
+        sched.for_each_agent(refine)
+
+    sched.for_each_agent(
+        lambda view: view.memory.__setitem__(
+            KEY_LEADER, bool(view.memory.pop(_KEY_CANDIDATE))
+        )
+    )
+    return _unique_leader_id(sched)
+
+
+def elect_leader_common_sense(sched: Scheduler) -> int:
+    """Lemma 13: elect the smallest present ID by emptiness bisection.
+
+    Preconditions: a common frame (``frame.flip``).  Postcondition: the
+    agent with the minimum ID is the unique leader.
+    """
+    n_bound = sched.views[0].id_bound
+    lo, hi = 1, n_bound
+    while lo < hi:
+        mid = (lo + hi) // 2
+        empty = emptiness_test(sched, range(lo, mid + 1))
+        if empty:
+            lo = mid + 1
+        else:
+            hi = mid
+
+    sched.for_each_agent(
+        lambda view: view.memory.__setitem__(KEY_LEADER, view.agent_id == lo)
+    )
+    return _unique_leader_id(sched)
+
+
+def _unique_leader_id(sched: Scheduler) -> int:
+    leaders = [v.agent_id for v in sched.views if v.memory.get(KEY_LEADER)]
+    if len(leaders) != 1:
+        raise ProtocolError(
+            f"leader election produced {len(leaders)} leaders: {leaders}"
+        )
+    return leaders[0]
+
+
+def leader_id(sched: Scheduler) -> Optional[int]:
+    """The current leader's ID, or None (harness-side helper)."""
+    leaders = [v.agent_id for v in sched.views if v.memory.get(KEY_LEADER)]
+    return leaders[0] if len(leaders) == 1 else None

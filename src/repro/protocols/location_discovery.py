@@ -1,0 +1,167 @@
+"""Walk-based location discovery (Lemma 16).
+
+With a leader and a common frame, a round in which only the leader moves
+common-RIGHT and everyone else idles has rotation index 1 in the common
+frame (lazy model); all-common-LEFT-except-the-leader has rotation index
+2 (basic model).  Repeating the round n times cycles every agent through
+every slot (for index 2 this needs odd n) and returns everyone to the
+start, while each agent's per-round ``dist()`` values -- converted into
+the common frame -- are windows of the gap vector:
+
+* rotation 1: round t hands the agent the single gap x_{s+t} ahead of
+  its current slot, so after n rounds the agent holds the entire gap
+  vector starting from its own slot;
+* rotation 2 (odd n): round t hands the agent the pair sum
+  x_{s+2t} + x_{s+2t+1}; the n cyclic pair sums determine the gaps via
+  the odd-circulant inverse.
+
+Agents do not know n in advance; they detect completion locally:
+rotation-1 sweeps stop when the collected gaps first sum to 1 (a full
+turn), rotation-2 sweeps when the pair sums first total 2 (each gap is
+covered exactly twice for odd n).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.analysis.linear_system import solve_cyclic_pair_sums
+from repro.core.agent import AgentView
+from repro.core.scheduler import Scheduler
+from repro.exceptions import InfeasibleProblemError, ProtocolError
+from repro.protocols.base import (
+    KEY_FRAME_FLIP,
+    KEY_LD_GAPS,
+    KEY_LEADER,
+    aligned_direction,
+    common_dist,
+)
+from repro.types import LocalDirection, Model
+
+_KEY_SWEEP = "ld._sweep_observations"
+
+
+def _require_leader_and_frame(sched: Scheduler) -> None:
+    if not any(v.memory.get(KEY_LEADER) for v in sched.views):
+        raise ProtocolError("location discovery sweep requires a leader")
+    if any(KEY_FRAME_FLIP not in v.memory for v in sched.views):
+        raise ProtocolError("location discovery sweep requires a common frame")
+
+
+def sweep_rotation_one(sched: Scheduler) -> int:
+    """Lazy-model LD sweep: leader RIGHT, everyone else IDLE, n rounds.
+
+    Postcondition: every agent stores under ``ld.gaps`` the full gap
+    vector in common-clockwise order starting at its own slot.  Returns
+    the number of rounds used (exactly n; agents detect completion when
+    their gaps sum to a full turn).
+    """
+    if sched.model is not Model.LAZY:
+        raise ProtocolError("rotation-1 sweep requires the lazy model")
+    _require_leader_and_frame(sched)
+    sched.for_each_agent(lambda v: v.memory.__setitem__(_KEY_SWEEP, []))
+
+    def choose(view: AgentView) -> LocalDirection:
+        if view.memory.get(KEY_LEADER):
+            return aligned_direction(view, LocalDirection.RIGHT)
+        return LocalDirection.IDLE
+
+    rounds = 0
+    while True:
+        sched.run_round(choose)
+        rounds += 1
+
+        def harvest(view: AgentView) -> None:
+            view.memory[_KEY_SWEEP].append(common_dist(view, view.last.dist))
+
+        sched.for_each_agent(harvest)
+        # Completion is a local test: a full turn of gaps has been seen.
+        done = sum(sched.views[0].memory[_KEY_SWEEP], Fraction(0)) == 1
+        if done:
+            break
+        if rounds > 4 * sched.state.n + 8:
+            raise ProtocolError("rotation-1 sweep failed to close: bug")
+
+    def finish(view: AgentView) -> None:
+        gaps: List[Fraction] = view.memory.pop(_KEY_SWEEP)
+        if sum(gaps, Fraction(0)) != 1:
+            raise ProtocolError("agent's sweep did not cover a full turn")
+        view.memory[KEY_LD_GAPS] = gaps
+
+    sched.for_each_agent(finish)
+    return rounds
+
+
+def sweep_rotation_two(sched: Scheduler) -> int:
+    """Basic-model LD sweep for odd n: leader RIGHT, others LEFT, n rounds.
+
+    The common-frame rotation index is 2, so each round reports the sum
+    of two consecutive gaps; odd n makes the n pair sums invertible.
+    Postcondition/return as in :func:`sweep_rotation_one`.
+
+    Raises:
+        InfeasibleProblemError: If n is even (Lemma 5: the rotation
+            index of every basic round is even, so an agent can only
+            visit slots at even ring distance, and location discovery is
+            unsolvable).
+    """
+    if sched.views[0].parity_even:
+        raise InfeasibleProblemError(
+            "location discovery in the basic model is unsolvable for even n"
+        )
+    _require_leader_and_frame(sched)
+    sched.for_each_agent(lambda v: v.memory.__setitem__(_KEY_SWEEP, []))
+
+    def choose(view: AgentView) -> LocalDirection:
+        common = (
+            LocalDirection.RIGHT
+            if view.memory.get(KEY_LEADER)
+            else LocalDirection.LEFT
+        )
+        return aligned_direction(view, common)
+
+    rounds = 0
+    while True:
+        sched.run_round(choose)
+        rounds += 1
+
+        def harvest(view: AgentView) -> None:
+            view.memory[_KEY_SWEEP].append(common_dist(view, view.last.dist))
+
+        sched.for_each_agent(harvest)
+        # n pair sums cover every gap exactly twice (odd n): total 2.
+        done = sum(sched.views[0].memory[_KEY_SWEEP], Fraction(0)) == 2
+        if done:
+            break
+        if rounds > 4 * sched.state.n + 8:
+            raise ProtocolError("rotation-2 sweep failed to close: bug")
+
+    def finish(view: AgentView) -> None:
+        collected: List[Fraction] = view.memory.pop(_KEY_SWEEP)
+        n = len(collected)
+        # Round t was observed from slot (own + 2t), so the pair sum it
+        # reports is y_{2t mod n} in own-relative indexing; reorder into
+        # consecutive-j form before inverting the odd circulant.
+        ordered: List[Fraction] = [Fraction(0)] * n
+        for t, value in enumerate(collected):
+            ordered[(2 * t) % n] = value
+        view.memory[KEY_LD_GAPS] = solve_cyclic_pair_sums(ordered)
+
+    sched.for_each_agent(finish)
+    return rounds
+
+
+def reconstructed_positions(view: AgentView) -> List[Fraction]:
+    """Positions of all agents relative to this agent's own position.
+
+    Entry k is the common-clockwise arc from this agent to the agent k
+    ring places ahead (entry 0 is 0); derived from ``ld.gaps``.
+    """
+    gaps = view.memory.get(KEY_LD_GAPS)
+    if gaps is None:
+        raise ProtocolError("agent has not completed location discovery")
+    positions = [Fraction(0)]
+    for g in gaps[:-1]:
+        positions.append(positions[-1] + g)
+    return positions

@@ -1,0 +1,139 @@
+"""Neighbor discovery (Algorithm 3): learn gaps and relative chirality.
+
+Runs in the perceptive model, *without* any common frame.  Afterwards
+each agent knows, in its own frame:
+
+* ``nbr.gap_right`` / ``nbr.gap_left`` -- the arcs to its two ring
+  neighbors;
+* ``nbr.same_right`` / ``nbr.same_left`` -- whether each neighbor's
+  sense of direction agrees with its own.
+
+Mechanics.  Whenever an agent moves (own-)RIGHT from the start of a
+round, its first collision is necessarily ahead on its right, and
+``coll() == gap_right / 2`` holds *iff* the right neighbor moved toward
+it from the round's start (a delayed or reflected approach meets
+strictly beyond the midpoint).  Hence:
+
+* ``gap_right = 2 * min`` over collisions observed while moving RIGHT --
+  provided some round makes the right neighbor approach head-on.  The
+  bit rounds (move RIGHT iff the current ID bit is 1, plus the inverse
+  round) provide this for same-chirality neighbors (IDs differ in some
+  bit, and differing commands mean approaching motions when chiralities
+  agree), while the uniform all-RIGHT round provides it for opposite-
+  chirality neighbors (equal commands then mean approaching motions).
+* chirality: the neighbor approaches during the uniform round iff its
+  chirality differs -- a one-round test per side.
+
+Every information round is followed by a REVERSEDROUND, so gaps are the
+same in every probe and positions are restored on exit.  Cost: 4 rounds
+per ID bit + 4 uniform rounds = O(log N).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.core.agent import AgentView, id_bits
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.types import LocalDirection, Model
+
+KEY_GAP_RIGHT = "nbr.gap_right"
+KEY_GAP_LEFT = "nbr.gap_left"
+KEY_SAME_RIGHT = "nbr.same_right"
+KEY_SAME_LEFT = "nbr.same_left"
+
+_KEY_RIGHT_OBS = "nbr._right_obs"   # collisions seen while moving RIGHT
+_KEY_LEFT_OBS = "nbr._left_obs"     # collisions seen while moving LEFT
+_KEY_UNIFORM_R = "nbr._uniform_right_coll"
+_KEY_UNIFORM_L = "nbr._uniform_left_coll"
+
+
+def _probe(sched: Scheduler, choose, uniform_key: Optional[str]) -> None:
+    """Run choose + its reversal; file each agent's coll() by direction."""
+    directions = {}
+
+    def deciding(view: AgentView) -> LocalDirection:
+        d = choose(view)
+        directions[id(view)] = d
+        return d
+
+    sched.run_round(deciding)
+
+    def record(view: AgentView) -> None:
+        moved = directions[id(view)]
+        key = _KEY_RIGHT_OBS if moved is LocalDirection.RIGHT else _KEY_LEFT_OBS
+        if view.last.coll is not None:
+            view.memory[key].append(view.last.coll)
+        if uniform_key is not None:
+            view.memory[uniform_key] = view.last.coll
+
+    sched.for_each_agent(record)
+    sched.run_round(lambda view: choose(view).opposite())
+
+
+def discover_neighbors(sched: Scheduler) -> None:
+    """Algorithm 3.  Perceptive model only; no common frame required."""
+    if sched.model is not Model.PERCEPTIVE:
+        raise ProtocolError("neighbor discovery requires the perceptive model")
+
+    def init(view: AgentView) -> None:
+        view.memory[_KEY_RIGHT_OBS] = []
+        view.memory[_KEY_LEFT_OBS] = []
+
+    sched.for_each_agent(init)
+
+    bits = id_bits(sched.views[0].id_bound)
+    for bit in range(bits):
+
+        def bit_round(view: AgentView, bit=bit) -> LocalDirection:
+            return (
+                LocalDirection.RIGHT
+                if view.id_bit(bit) == 1
+                else LocalDirection.LEFT
+            )
+
+        _probe(sched, bit_round, uniform_key=None)
+        _probe(
+            sched, lambda view, bit=bit: bit_round(view, bit).opposite(),
+            uniform_key=None,
+        )
+
+    _probe(sched, lambda view: LocalDirection.RIGHT, uniform_key=_KEY_UNIFORM_R)
+    _probe(sched, lambda view: LocalDirection.LEFT, uniform_key=_KEY_UNIFORM_L)
+
+    def conclude(view: AgentView) -> None:
+        right_obs: List[Fraction] = view.memory.pop(_KEY_RIGHT_OBS)
+        left_obs: List[Fraction] = view.memory.pop(_KEY_LEFT_OBS)
+        if not right_obs or not left_obs:
+            raise ProtocolError(
+                f"agent {view.agent_id} saw no collision on one side; "
+                "impossible for n > 4 with unique IDs"
+            )
+        gap_right = 2 * min(right_obs)
+        gap_left = 2 * min(left_obs)
+        view.memory[KEY_GAP_RIGHT] = gap_right
+        view.memory[KEY_GAP_LEFT] = gap_left
+        # Chirality tests: in the all-RIGHT round every agent moves its
+        # own right, so my right neighbor approached me iff it is
+        # flipped relative to me; symmetrically for all-LEFT.
+        uniform_r = view.memory.pop(_KEY_UNIFORM_R)
+        uniform_l = view.memory.pop(_KEY_UNIFORM_L)
+        view.memory[KEY_SAME_RIGHT] = uniform_r != gap_right / 2
+        view.memory[KEY_SAME_LEFT] = uniform_l != gap_left / 2
+
+    sched.for_each_agent(conclude)
+
+
+def neighbor_info(view: AgentView) -> Tuple[Fraction, Fraction, bool, bool]:
+    """(gap_right, gap_left, same_right, same_left) for this agent."""
+    try:
+        return (
+            view.memory[KEY_GAP_RIGHT],
+            view.memory[KEY_GAP_LEFT],
+            view.memory[KEY_SAME_RIGHT],
+            view.memory[KEY_SAME_LEFT],
+        )
+    except KeyError:
+        raise ProtocolError("neighbor discovery has not run") from None

@@ -1,0 +1,122 @@
+"""NMoveS (Algorithm 4): nontrivial move in O(√n log N), perceptive model.
+
+The distinguisher lower bound Ω(n log(N/n)/log n) binds the basic and
+lazy models; collision information breaks it.  The algorithm:
+
+1. Probe the all-own-RIGHT round.  If it is nontrivial, done.
+   Otherwise its rotation index r_base is 0 or n/2 -- the pivot fact
+   the rest of the algorithm exploits.
+2. Discover neighbors, establishing the 1-bit relay channel.
+3. Everyone starts as a *local leader*.  For k = 0, 1, 2, ...
+   (d = 2^k): flood current leaders' IDs d hops (Cor 34); a leader
+   survives iff no received leader ID beats its own.  Surviving leaders
+   are pairwise more than d apart, so at most n/d remain.
+4. Execute a (N, 2^k)-selective family on the leaders: for each set F,
+   leaders with ID in F play own-LEFT while everyone else plays
+   own-RIGHT.  Flipping exactly one agent relative to the base round
+   shifts the rotation index by exactly ±2, and for n > 4 a ±2 shift
+   from {0, n/2} always lands outside {0, n/2}: when |F ∩ leaders| = 1
+   the round is provably nontrivial, *whatever* the chirality
+   assignment.  Each probe is classified by Lemma 2 and the first
+   nontrivial round is stored.
+
+Once 2^k reaches √n the leader count (≤ n/2^k) drops below 2^k and the
+family must select a singleton, so the loop ends within O(log n)
+levels.  The dissemination cost Σ O(2^k log N) = O(√n log N) dominates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.combinatorics.selective_families import scale_family
+from repro.core.agent import AgentView, id_bits
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_NMOVE_DIR
+from repro.protocols.bitcomm import received_messages, relay_flood
+from repro.protocols.neighbor_discovery import discover_neighbors
+from repro.protocols.nontrivial_move import _classify, _store_direction
+from repro.types import LocalDirection, Model
+
+KEY_LOCAL_LEADER = "nmove.local_leader"
+
+#: Published seed for the selective families (protocol constant).
+SELECTIVE_SEED = 0xA17
+
+
+def _family_probe(sched: Scheduler, member_ids) -> bool:
+    """Probe the round: leaders with ID in ``member_ids`` play own-LEFT,
+    everyone else own-RIGHT.  True iff nontrivial (4 rounds, restored)."""
+
+    def choose(view: AgentView) -> LocalDirection:
+        if view.memory.get(KEY_LOCAL_LEADER) and view.agent_id in member_ids:
+            return LocalDirection.LEFT
+        return LocalDirection.RIGHT
+
+    if _classify(sched, choose, weak=False):
+        _store_direction(sched, choose)
+        return True
+    return False
+
+
+def nmove_perceptive(sched: Scheduler) -> dict:
+    """Algorithm 4.  Postcondition: ``nmove.dir`` set for every agent.
+
+    Returns a small stats dict (levels used, family probes, rounds) for
+    benchmarks.
+    """
+    if sched.model is not Model.PERCEPTIVE:
+        raise ProtocolError("NMoveS requires the perceptive model")
+
+    stats = {"levels": 0, "family_probes": 0, "rounds_start": sched.rounds}
+
+    def all_right(view: AgentView) -> LocalDirection:
+        return LocalDirection.RIGHT
+
+    if _classify(sched, all_right, weak=False):
+        _store_direction(sched, all_right)
+        stats["rounds"] = sched.rounds - stats.pop("rounds_start")
+        return stats
+
+    discover_neighbors(sched)
+    sched.for_each_agent(
+        lambda view: view.memory.__setitem__(KEY_LOCAL_LEADER, True)
+    )
+
+    n_bound = sched.views[0].id_bound
+    width = id_bits(n_bound)
+    max_level = width + 1
+    for level in range(max_level + 1):
+        distance = 1 << level
+        stats["levels"] = level + 1
+
+        relay_flood(
+            sched,
+            lambda view: (
+                view.agent_id if view.memory[KEY_LOCAL_LEADER] else None
+            ),
+            distance=distance,
+            width=width,
+        )
+
+        def update_leader(view: AgentView) -> None:
+            if not view.memory[KEY_LOCAL_LEADER]:
+                return
+            rivals = [value for _s, _h, value in received_messages(view)]
+            if any(rival > view.agent_id for rival in rivals):
+                view.memory[KEY_LOCAL_LEADER] = False
+
+        sched.for_each_agent(update_leader)
+
+        family = scale_family(n_bound, distance, seed=SELECTIVE_SEED + level)
+        for f in family:
+            stats["family_probes"] += 1
+            if _family_probe(sched, f):
+                stats["rounds"] = sched.rounds - stats.pop("rounds_start")
+                return stats
+
+    raise ProtocolError(
+        "NMoveS exhausted all levels without a nontrivial move; the "
+        "selective family seed failed (bug or astronomically unlucky seed)"
+    )

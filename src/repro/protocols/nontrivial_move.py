@@ -1,0 +1,199 @@
+"""Nontrivial move protocols (Lemma 10, Prop 19, Theorem 27, Lemma 15).
+
+A *nontrivial move* is an assignment of directions whose round has
+rotation index r ∉ {0, n/2}; the *weak* variant only excludes r = 0.
+Solutions provided:
+
+* :func:`nmove_from_leader` (Lemma 10): with a leader elected, try the
+  all-RIGHT round and the all-RIGHT-except-leader round; their rotation
+  indices differ by 2 (mod n), so for n > 4 at least one is nontrivial.
+  O(1) rounds.
+
+* :func:`nmove_odd_bisection` (Prop 19): odd n, common frame.  Probe
+  interval halves of the ID space; a trivial round means all present
+  agents sit on the prober's side, so the search interval halves while
+  always containing all of A.  An interval shorter than n cannot hold n
+  distinct IDs, so a split (= nontrivial move, as every objectively
+  split round is nontrivial for odd n) appears within log(N/n) + O(1)
+  probes.
+
+* :func:`nmove_seeded_family` (Theorem 27 / Lemma 15): even n.  The
+  paper proves by the probabilistic method that a fixed sequence of
+  subsets of [N] -- each ID included independently with probability 1/2
+  -- yields a nontrivial move within O(n log(N/n) / log n) rounds for
+  every configuration.  We realise the fixed sequence with a seeded
+  PRNG over IDs (public knowledge, so the protocol stays deterministic)
+  and classify each probed round via Lemma 2.  Works with or without a
+  common frame: a chirality split only re-partitions which agents move
+  which way, which is exactly the symmetry the distinguisher breaks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.agent import AgentView
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_NMOVE_DIR, aligned_direction
+from repro.protocols.rotation_probe import (
+    KEY_PROBE_CLASS,
+    RotationClass,
+    classify_rotation,
+)
+from repro.types import LocalDirection
+
+#: Seed defining the published probe-set sequence of Theorem 27.  Part of
+#: the protocol definition (all agents share it), not a knob.
+FAMILY_SEED = 0x5EED
+
+#: Safety valve for the seeded search; the expected number of probes is
+#: O(1) per configuration and the paper's guarantee is
+#: O(n log(N/n)/log n), so hitting this limit indicates a bug.
+MAX_FAMILY_PROBES = 100_000
+
+
+def _store_direction(sched: Scheduler, choose) -> None:
+    sched.for_each_agent(
+        lambda view: view.memory.__setitem__(KEY_NMOVE_DIR, choose(view))
+    )
+
+
+def _classify(sched: Scheduler, choose, weak: bool) -> bool:
+    """Probe a round; True iff it is a (weak) nontrivial move.
+
+    Consensus: triviality is a global property of the round.  Uses 1
+    round + 1 restore when the rotation is zero, else 2 + 2.
+    """
+    sched.run_round(choose)
+    zero = sched.views[0].last.dist == 0
+    if zero:
+        sched.run_round(lambda view: choose(view).opposite())
+        return False
+    if weak:
+        sched.run_round(lambda view: choose(view).opposite())
+        return True
+    sched.for_each_agent(
+        lambda view: view.memory.__setitem__("nmove._d1", view.last.dist)
+    )
+    sched.run_round(choose)
+
+    def verdict(view: AgentView) -> None:
+        d1 = view.memory.pop("nmove._d1")
+        d2 = view.last.dist
+        view.memory["nmove._half"] = d1 + d2 == 1
+
+    sched.for_each_agent(verdict)
+    sched.run_round(lambda view: choose(view).opposite())
+    sched.run_round(lambda view: choose(view).opposite())
+    return not sched.views[0].memory["nmove._half"]
+
+
+def nmove_from_leader(sched: Scheduler) -> None:
+    """Lemma 10: O(1) nontrivial move once a leader exists.
+
+    Preconditions: exactly one agent has ``leader.is_leader`` = True.
+    Postcondition: ``nmove.dir`` holds a direction assignment whose
+    round is nontrivial.  Costs at most 8 rounds.
+    """
+
+    def all_right(view: AgentView) -> LocalDirection:
+        return LocalDirection.RIGHT
+
+    def all_right_but_leader(view: AgentView) -> LocalDirection:
+        if view.memory.get("leader.is_leader"):
+            return LocalDirection.LEFT
+        return LocalDirection.RIGHT
+
+    for choose in (all_right, all_right_but_leader):
+        if _classify(sched, choose, weak=False):
+            _store_direction(sched, choose)
+            return
+    raise ProtocolError(
+        "neither candidate round was nontrivial; impossible for n > 4 "
+        "with a unique leader (Lemma 10)"
+    )
+
+
+def nmove_odd_bisection(sched: Scheduler) -> None:
+    """Prop 19: Θ(log(N/n)) nontrivial move, odd n, common frame.
+
+    Preconditions: odd n and ``frame.flip`` set (run
+    :func:`~repro.protocols.direction_agreement.agree_direction_odd`
+    first; it costs O(1)).  Postcondition: ``nmove.dir`` set.
+    """
+    view0 = sched.views[0]
+    if view0.parity_even:
+        raise ProtocolError("nmove_odd_bisection requires odd n")
+
+    lo, hi = 1, view0.id_bound
+
+    while True:
+        mid = (lo + hi) // 2
+
+        def choose(view: AgentView, lo=lo, mid=mid) -> LocalDirection:
+            common = (
+                LocalDirection.RIGHT
+                if lo <= view.agent_id <= mid
+                else LocalDirection.LEFT
+            )
+            return aligned_direction(view, common)
+
+        sched.run_round(choose)
+        split = sched.views[0].last.dist != 0
+        sched.run_round(lambda view: choose(view).opposite())
+        if split:
+            # For odd n, any objectively split round is nontrivial.
+            _store_direction(sched, choose)
+            return
+
+        # Trivial: all present agents are on one side of the interval,
+        # and each agent knows which side it itself is on.
+        def on_low_side(view: AgentView) -> bool:
+            return lo <= view.agent_id <= mid
+
+        # All agents agree (they are all on the same side); use any.
+        if on_low_side(sched.views[0]):
+            hi = mid
+        else:
+            lo = mid + 1
+        if lo > hi or hi - lo + 1 < 1:
+            raise ProtocolError("bisection exhausted the ID space: bug")
+
+
+def nmove_seeded_family(
+    sched: Scheduler,
+    weak: bool = False,
+    seed: int = FAMILY_SEED,
+    max_probes: Optional[int] = None,
+) -> int:
+    """Theorem 27: nontrivial move via the published random set sequence.
+
+    Probes rounds defined by pseudo-random subsets of [N] until one is a
+    (weak, if requested) nontrivial move.  Returns the number of sets
+    probed.  Postcondition: ``nmove.dir`` set.
+
+    Also covers Lemma 15 (common-frame O(log N), even n): pass a
+    scheduler whose agents hold a common frame -- membership then fixes
+    each agent's objective direction and the same sequence applies.
+    """
+    rng = random.Random(seed)
+    limit = max_probes if max_probes is not None else MAX_FAMILY_PROBES
+    n_bound = sched.views[0].id_bound
+    for probe in range(1, limit + 1):
+        # Derive round membership for every possible ID; each agent reads
+        # only its own entry (the sequence is public knowledge).
+        draw = rng.getrandbits(n_bound + 1)
+
+        def choose(view: AgentView, draw=draw) -> LocalDirection:
+            member = (draw >> view.agent_id) & 1
+            return LocalDirection.RIGHT if member else LocalDirection.LEFT
+
+        if _classify(sched, choose, weak=weak):
+            _store_direction(sched, choose)
+            return probe
+    raise ProtocolError(
+        f"no nontrivial move within {limit} probes; the published "
+        "sequence guarantee failed (bug or adversarial seed collision)"
+    )

@@ -1,0 +1,109 @@
+"""Randomized variant: anonymous agents with self-assigned random IDs.
+
+Section I of the paper notes that the deterministic results "can be
+applied to randomly chosen IDs from an appropriately chosen range to
+improve upon the complexity of previous randomized results".  This
+module realises that remark: fully anonymous agents each draw a private
+ID uniformly from [1, R] and then run the deterministic suite verbatim.
+
+Guarantees are "with high probability": by the birthday bound the draw
+is collision-free with probability at least 1 - n²/(2R), so R = n³
+gives failure probability below 1/(2n).  A collision makes the two
+twins behave identically in every ID-keyed round; the deterministic
+protocols may then silently elect two leaders -- exactly the failure
+mode randomized symmetry breaking accepts.  :func:`collision_probability`
+quantifies it; tests construct the failure deliberately.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.protocols.full_stack import (
+    LocationDiscoveryResult,
+    solve_location_discovery,
+)
+from repro.ring.state import RingState
+from repro.types import Chirality, Model
+
+
+def collision_probability(n: int, id_space: int) -> float:
+    """Exact probability that n uniform draws from [id_space] collide."""
+    if n > id_space:
+        return 1.0
+    p_distinct = 1.0
+    for k in range(n):
+        p_distinct *= (id_space - k) / id_space
+    return 1.0 - p_distinct
+
+
+def draw_random_ids(
+    n: int, id_space: int, seed: int
+) -> List[int]:
+    """Each agent's private uniform draw (independent per agent).
+
+    Unlike the unique-by-construction generators in
+    :mod:`repro.ring.configs`, these draws are *with replacement* --
+    the honest model of anonymous agents flipping private coins.
+    """
+    rng = random.Random(seed)
+    return [rng.randint(1, id_space) for _ in range(n)]
+
+
+def anonymous_configuration(
+    positions: Sequence[Fraction],
+    chiralities: Sequence[Chirality],
+    seed: int = 0,
+    id_space: Optional[int] = None,
+) -> RingState:
+    """Build a ring whose IDs are private random draws.
+
+    Args:
+        id_space: The range R; defaults to n³ (failure < 1/(2n)).
+
+    Raises:
+        ConfigurationError: If the draw collided (callers treating this
+            as a Las Vegas failure may simply retry with a new seed --
+            real anonymous agents cannot detect it, which is exactly
+            the w.h.p. caveat).
+    """
+    n = len(positions)
+    space = id_space if id_space is not None else n ** 3
+    ids = draw_random_ids(n, space, seed)
+    if len(set(ids)) != n:
+        raise ConfigurationError(
+            f"random ID collision (n={n}, R={space}, seed={seed}); "
+            f"probability of this event was "
+            f"{collision_probability(n, space):.4f}"
+        )
+    return RingState(
+        positions=list(positions),
+        ids=ids,
+        chiralities=list(chiralities),
+        id_bound=space,
+    )
+
+
+def randomized_location_discovery(
+    positions: Sequence[Fraction],
+    chiralities: Sequence[Chirality],
+    model: Model = Model.LAZY,
+    seed: int = 0,
+    id_space: Optional[int] = None,
+) -> LocationDiscoveryResult:
+    """Location discovery for anonymous agents, w.h.p. correct.
+
+    Draws random IDs and runs the deterministic pipeline.  With the
+    default R = n³ the draw collides with probability < 1/(2n); a
+    collision surfaces as :class:`ConfigurationError` here (the
+    omniscient harness can see it), whereas physical anonymous agents
+    would run on and possibly mis-coordinate -- the standard Monte
+    Carlo trade.
+    """
+    state = anonymous_configuration(
+        positions, chiralities, seed=seed, id_space=id_space
+    )
+    return solve_location_discovery(state, model)

@@ -1,0 +1,257 @@
+"""RingDist (Algorithm 5): every agent learns its ring distance to the
+leader in O(√n log N) rounds, perceptive model.
+
+Labels are 1-based: the leader is a_1 and a_{i+1} sits i ring places
+common-clockwise from it.  The protocol needs the leader elected, a
+common frame, and neighbor discovery (for the relay channel).
+
+Phases per iteration i (k = 2^i):
+
+1. **y-phase**: run Shift(-k/2) k times.  Each round rotates everyone
+   back by k slots, and the backward arc (1 - common ``dist()``) of the
+   j-th round equals y_j = x_{l-jk} + ... + x_{l-(j-1)k-1} for the agent
+   whose label is l -- a block of k gaps walking backwards (Prop 37).
+   Then the k rounds are reversed to restore positions.
+2. **z-phase**: run Shift(k).  Labels <= k move clockwise, everyone else
+   anticlockwise, so there is a single converging boundary behind a_k,
+   and the first collision of a_l (l > k) happens after the arc
+   z = (x_k + ... + x_{l-1})/2.  One reversed Shift restores positions.
+3. **match**: 2z and the prefix sums of y are both sums of the same
+   backward gap-walk ending at x_{l-1}; since gaps are positive the
+   walk's sums strictly increase, so 2z = y_1 + ... + y_j holds iff
+   l = k + jk (Cor 38).  Matching agents learn their label.
+4. **label flood**: freshly labelled agents broadcast their label k hops
+   both ways (Cor 34 relay); receivers at hop h on the common-left of a
+   sender with label m adopt m + h, on the common-right m - h.
+5. **CheckCompleteness**: the leader's common-left neighbor (which knows
+   it is a_n from the leader's initial 4-hop marker flood) moves
+   common-RIGHT iff it has a label, everyone else common-LEFT.  A
+   nonzero rotation index tells everyone the labelling is complete --
+   a_n has the largest label, and coverage grows as a prefix interval.
+
+Finally a_n knows n (= its own label), and
+:func:`publish_ring_size` broadcasts it to everyone (O(log N) rounds).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.core.agent import AgentView, id_bits
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import (
+    KEY_FRAME_FLIP,
+    KEY_LABEL,
+    KEY_LEADER,
+    KEY_RING_SIZE,
+    aligned_direction,
+    common_dist,
+)
+from repro.protocols.bitcomm import received_messages, relay_flood
+from repro.protocols.global_broadcast import broadcast_value
+from repro.protocols.neighbor_discovery import KEY_GAP_RIGHT
+from repro.types import LocalDirection, Model
+
+KEY_IS_LAST = "ringdist.is_last"
+_KEY_Y = "ringdist._y"
+_KEY_Z = "ringdist._z"
+_KEY_FRESH = "ringdist._fresh"
+
+_LEADER_MARKER_DISTANCE = 4
+
+
+def _common_side(view: AgentView, own_side: str) -> str:
+    """Translate an own-frame side label into the common frame."""
+    if not view.memory[KEY_FRAME_FLIP]:
+        return own_side
+    return "left" if own_side == "right" else "right"
+
+
+def _shift_choice(view: AgentView, threshold: int, low_right: bool):
+    """Direction for Shift rounds: labelled agents with label <=
+    ``threshold`` move common-RIGHT iff ``low_right`` (LEFT otherwise);
+    all other agents move the opposite way."""
+    label = view.memory.get(KEY_LABEL)
+    low = label is not None and label <= threshold
+    if low == low_right:
+        return aligned_direction(view, LocalDirection.RIGHT)
+    return aligned_direction(view, LocalDirection.LEFT)
+
+
+def _seed_labels_from_leader(sched: Scheduler) -> None:
+    """Leader marker flood: labels 2..5 learned; a_n identified."""
+
+    def init(view: AgentView) -> None:
+        view.memory[KEY_LABEL] = 1 if view.memory.get(KEY_LEADER) else None
+        view.memory[KEY_IS_LAST] = False
+
+    sched.for_each_agent(init)
+    relay_flood(
+        sched,
+        lambda view: 1 if view.memory.get(KEY_LEADER) else None,
+        distance=_LEADER_MARKER_DISTANCE,
+        width=1,
+    )
+
+    def conclude(view: AgentView) -> None:
+        for own_side, hop, _value in received_messages(view):
+            side = _common_side(view, own_side)
+            if side == "left":
+                # The leader is hop places common-anticlockwise of me.
+                if view.memory[KEY_LABEL] is None:
+                    view.memory[KEY_LABEL] = 1 + hop
+            else:
+                if hop == 1:
+                    view.memory[KEY_IS_LAST] = True
+
+    sched.for_each_agent(conclude)
+
+
+def _check_completeness(sched: Scheduler) -> bool:
+    """One probe + restore; True iff a_n (hence everyone) is labelled."""
+
+    def choose(view: AgentView) -> LocalDirection:
+        if view.memory.get(KEY_IS_LAST) and view.memory.get(KEY_LABEL):
+            return aligned_direction(view, LocalDirection.RIGHT)
+        return aligned_direction(view, LocalDirection.LEFT)
+
+    sched.run_round(choose)
+    done = sched.views[0].last.dist != 0
+    sched.run_round(lambda view: choose(view).opposite())
+    return done
+
+
+def ring_distances(sched: Scheduler, on_iteration=None) -> None:
+    """Algorithm 5: assign every agent its 1-based ring label.
+
+    Preconditions: perceptive model, elected leader, common frame,
+    neighbor discovery completed.  Postcondition: every agent holds
+    ``ringdist.label``.
+
+    Args:
+        on_iteration: Optional harness callback invoked as
+            ``on_iteration(k)`` after the seed phase (k = 1) and after
+            each main-loop iteration (k = 2^i); used by the Figure 3
+            anatomy experiment to snapshot labelling progress.
+    """
+    if sched.model is not Model.PERCEPTIVE:
+        raise ProtocolError("RingDist requires the perceptive model")
+    if any(KEY_GAP_RIGHT not in v.memory for v in sched.views):
+        raise ProtocolError("RingDist requires neighbor discovery")
+    if any(KEY_FRAME_FLIP not in v.memory for v in sched.views):
+        raise ProtocolError("RingDist requires a common frame")
+
+    label_width = id_bits(sched.views[0].id_bound)
+    _seed_labels_from_leader(sched)
+    if on_iteration is not None:
+        on_iteration(1)
+    if _check_completeness(sched):
+        return
+
+    max_iterations = id_bits(sched.views[0].id_bound) + 2
+    for i in range(1, max_iterations + 1):
+        k = 1 << i
+
+        # --- y-phase -------------------------------------------------
+        sched.for_each_agent(lambda v: v.memory.__setitem__(_KEY_Y, []))
+        for _j in range(k):
+            sched.run_round(
+                lambda view: _shift_choice(view, k // 2, low_right=False)
+            )
+
+            def harvest_y(view: AgentView) -> None:
+                d = common_dist(view, view.last.dist)
+                if d == 0:
+                    raise ProtocolError(
+                        "Shift(-k/2) had rotation 0: k reached n; "
+                        "the completeness check should have fired earlier"
+                    )
+                view.memory[_KEY_Y].append(Fraction(1) - d)
+
+            sched.for_each_agent(harvest_y)
+        for _j in range(k):
+            sched.run_round(
+                lambda view: _shift_choice(view, k // 2, low_right=True)
+            )
+
+        # --- z-phase -------------------------------------------------
+        sched.run_round(lambda view: _shift_choice(view, k, low_right=True))
+        sched.for_each_agent(
+            lambda view: view.memory.__setitem__(_KEY_Z, view.last.coll)
+        )
+        sched.run_round(lambda view: _shift_choice(view, k, low_right=False))
+
+        # --- match ----------------------------------------------------
+        def match(view: AgentView, k=k) -> None:
+            view.memory[_KEY_FRESH] = False
+            label = view.memory.get(KEY_LABEL)
+            if label is not None:
+                # The paper's marking excludes only a_1..a_k; an agent
+                # that already knows a label of the form k + jk must
+                # still flood it (it may be the only source reaching the
+                # not-yet-labelled tail of the ring).
+                j, rem = divmod(label - k, k)
+                view.memory[_KEY_FRESH] = rem == 0 and 1 <= j <= k
+                return
+            z = view.memory[_KEY_Z]
+            if z is None:
+                return
+            prefix = Fraction(0)
+            for j, y in enumerate(view.memory[_KEY_Y], start=1):
+                prefix += y
+                if 2 * z == prefix:
+                    view.memory[KEY_LABEL] = k + j * k
+                    view.memory[_KEY_FRESH] = True
+                    return
+
+        sched.for_each_agent(match)
+
+        # --- label flood ----------------------------------------------
+        relay_flood(
+            sched,
+            lambda view: (
+                view.memory[KEY_LABEL] if view.memory[_KEY_FRESH] else None
+            ),
+            distance=k,
+            width=label_width,
+        )
+
+        def adopt(view: AgentView) -> None:
+            if view.memory.get(KEY_LABEL) is not None:
+                return
+            for own_side, hop, sender_label in received_messages(view):
+                side = _common_side(view, own_side)
+                label = (
+                    sender_label + hop if side == "left" else sender_label - hop
+                )
+                if label >= 1:
+                    view.memory[KEY_LABEL] = label
+                    return
+
+        sched.for_each_agent(adopt)
+
+        if on_iteration is not None:
+            on_iteration(k)
+        if _check_completeness(sched):
+            for view in sched.views:
+                view.memory.pop(_KEY_Y, None)
+                view.memory.pop(_KEY_Z, None)
+                view.memory.pop(_KEY_FRESH, None)
+            return
+
+    raise ProtocolError("RingDist did not converge: bug")
+
+
+def publish_ring_size(sched: Scheduler) -> int:
+    """Broadcast n (known to a_n as its own label) to every agent.
+
+    Postcondition: every agent stores n under ``ld.n``.  O(log N) rounds.
+    """
+    return broadcast_value(
+        sched,
+        is_announcer=lambda view: bool(view.memory.get(KEY_IS_LAST)),
+        value_of=lambda view: view.memory.get(KEY_LABEL),
+        result_key=KEY_RING_SIZE,
+    )

@@ -1,0 +1,133 @@
+"""Ring-size (and parity) discovery -- the paper's deferred question.
+
+Section I-F defers "the problem of determining the parity of n" to the
+full version.  This module settles it constructively for two of the
+three models, with pipelines that never consult the a-priori parity
+bit:
+
+* **Lazy model**: the parity-free coordination chain (published
+  distinguisher sequence -> Algorithm 1 -> Algorithm 2) elects a leader
+  without knowing the parity; the rotation-1 sweep then visits every
+  slot and each agent's gap total reaches exactly 1 after precisely n
+  rounds -- a self-terminating census.  Cost n + O(log N).
+* **Perceptive model**: NMoveS -> Algorithm 1 -> Algorithm 2 ->
+  neighbor discovery -> RingDist; the leader's anticlockwise neighbor
+  learns n as its own label and the rotation-coded broadcast publishes
+  it.  Cost O(√n log N) + n is *not* needed: the whole pipeline is
+  sublinear in n except for nothing -- ring size costs O(√n log N).
+
+* **Basic model**: the analogous census is ambiguous.  Every basic
+  round has even rotation index relative to the agent count it visits:
+  the rotation-2 sweep's stopping statistic t* equals n for odd n but
+  n/2 for even n, so observing t* leaves {t*, 2t*} indistinguishable
+  without further information -- the same parity obstruction as
+  Lemma 5.  We refuse rather than guess.
+
+Every agent ends with n under ``ld.n`` and its parity under
+``ringsize.parity_even``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.agent import AgentView
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import (
+    KEY_LEADER,
+    KEY_RING_SIZE,
+    aligned_direction,
+)
+from repro.protocols.direction_agreement import (
+    agree_direction_from_nontrivial_move,
+)
+from repro.protocols.leader_election import elect_leader_with_nontrivial_move
+from repro.protocols.neighbor_discovery import discover_neighbors
+from repro.protocols.nontrivial_move import nmove_seeded_family
+from repro.protocols.nmove_perceptive import nmove_perceptive
+from repro.protocols.ring_distance import publish_ring_size, ring_distances
+from repro.types import LocalDirection, Model
+
+KEY_PARITY = "ringsize.parity_even"
+
+
+def _census_sweep_lazy(sched: Scheduler) -> int:
+    """Rotation-1 rounds until each agent's collected gaps total 1.
+
+    Unlike the location-discovery sweep this needs no reconstruction --
+    only the stopping time, which *is* n.
+    """
+    sched.for_each_agent(
+        lambda view: view.memory.__setitem__("ringsize._acc", Fraction(0))
+    )
+
+    def choose(view: AgentView) -> LocalDirection:
+        if view.memory.get(KEY_LEADER):
+            return aligned_direction(view, LocalDirection.RIGHT)
+        return LocalDirection.IDLE
+
+    rounds = 0
+    while True:
+        sched.run_round(choose)
+        rounds += 1
+
+        def accumulate(view: AgentView) -> None:
+            from repro.protocols.base import common_dist
+
+            view.memory["ringsize._acc"] += common_dist(view, view.last.dist)
+
+        sched.for_each_agent(accumulate)
+        if sched.views[0].memory["ringsize._acc"] == 1:
+            break
+        if rounds > 4 * sched.state.n + 8:
+            raise ProtocolError("census sweep failed to close: bug")
+    sched.for_each_agent(lambda view: view.memory.pop("ringsize._acc"))
+    return rounds
+
+
+def discover_ring_size(sched: Scheduler) -> int:
+    """Determine n exactly, without using the a-priori parity bit.
+
+    Returns n; every agent stores it under ``ld.n`` and the parity
+    under ``ringsize.parity_even``.
+
+    Raises:
+        ProtocolError: In the basic model, where the census statistic
+            is parity-ambiguous (see module docstring).
+    """
+    if sched.model is Model.BASIC:
+        raise ProtocolError(
+            "ring-size discovery is parity-ambiguous in the basic model: "
+            "a rotation-2 census stops after n rounds for odd n but n/2 "
+            "for even n; use the lazy or perceptive model"
+        )
+
+    # Parity-free coordination chain.
+    if sched.model is Model.PERCEPTIVE:
+        nmove_perceptive(sched)
+    else:
+        nmove_seeded_family(sched)
+    agree_direction_from_nontrivial_move(sched)
+    elect_leader_with_nontrivial_move(sched)
+
+    if sched.model is Model.PERCEPTIVE:
+        from repro.protocols.neighbor_discovery import KEY_GAP_RIGHT
+
+        if any(KEY_GAP_RIGHT not in v.memory for v in sched.views):
+            discover_neighbors(sched)
+        ring_distances(sched)
+        n = publish_ring_size(sched)
+    else:
+        n = _census_sweep_lazy(sched)
+        sched.for_each_agent(
+            lambda view: view.memory.__setitem__(KEY_RING_SIZE, n)
+        )
+
+    sched.for_each_agent(
+        lambda view: view.memory.__setitem__(KEY_PARITY, n % 2 == 0)
+    )
+    values = {v.memory[KEY_RING_SIZE] for v in sched.views}
+    if values != {n}:
+        raise ProtocolError(f"ring-size discovery diverged: {values}")
+    return n

@@ -1,0 +1,132 @@
+"""Rotation-index probes (Lemma 2 and the RI(B) tests of Section II).
+
+A round's rotation index r is global, so simple functions of it are
+consensus observations:
+
+* r = 0  ⇔  every agent's ``dist()`` is 0  ⇔  any agent's ``dist()`` is 0;
+* running the *same* round twice, each agent's two measurements satisfy
+  d1 + d2 = 1 exactly when r = n/2 (the two half-turns complete the
+  circle); d1 + d2 < 1 means the rotation is less than half a turn in
+  the agent's own clockwise direction, d1 + d2 > 1 more than half.
+
+Each probe can restore positions by appending reversed rounds, so
+callers can compose probes without tracking drift.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Set
+
+from repro.core.agent import AgentView
+from repro.core.scheduler import Scheduler
+from repro.types import LocalDirection
+
+ChoiceFn = Callable[[AgentView], LocalDirection]
+
+KEY_PROBE_ZERO = "probe.zero"      # bool: was the probed round's r == 0?
+KEY_PROBE_CLASS = "probe.class"    # RotationClass of the probed round
+
+
+class RotationClass(enum.Enum):
+    """Classification of a round's rotation index, per Lemma 2.
+
+    ``BELOW_HALF``/``ABOVE_HALF`` are relative to each agent's own sense
+    of direction: a rotation below half a turn clockwise for one
+    chirality is above half for the other.  ``ZERO`` and ``HALF`` are
+    absolute.  ``HALF`` can only occur for even n.
+    """
+
+    ZERO = "zero"
+    HALF = "half"
+    BELOW_HALF = "below_half"
+    ABOVE_HALF = "above_half"
+
+    @property
+    def trivial(self) -> bool:
+        """Whether the round is a trivial move (r in {0, n/2})."""
+        return self in (RotationClass.ZERO, RotationClass.HALF)
+
+    @property
+    def weakly_trivial(self) -> bool:
+        """Whether the round fails even the *weak* nontrivial move test
+        (only r = 0 counts as weakly trivial)."""
+        return self is RotationClass.ZERO
+
+
+def probe_zero(sched: Scheduler, choose: ChoiceFn, restore: bool = True) -> bool:
+    """Run the round once and report whether its rotation index was 0.
+
+    Every agent stores the (consensus) answer under ``probe.zero``.
+    Costs 1 round, or 2 with ``restore``.
+    """
+    sched.run_round(choose)
+    sched.for_each_agent(
+        lambda view: view.memory.__setitem__(KEY_PROBE_ZERO, view.last.dist == 0)
+    )
+    if restore:
+        sched.run_round(lambda view: choose(view).opposite())
+    return bool(sched.views[0].memory[KEY_PROBE_ZERO])
+
+
+def classify_rotation(
+    sched: Scheduler, choose: ChoiceFn, restore: bool = True
+) -> None:
+    """Lemma 2: classify the probed round's rotation index.
+
+    Runs the round twice (and, with ``restore``, two reversed rounds).
+    Each agent stores its own :class:`RotationClass` under
+    ``probe.class``.  ``ZERO``/``HALF`` verdicts agree across agents;
+    ``BELOW_HALF``/``ABOVE_HALF`` are frame-relative, but *triviality*
+    (the property protocols branch on) is consensus.
+    """
+    sched.run_round(choose)
+    sched.for_each_agent(
+        lambda view: view.memory.__setitem__("probe._d1", view.last.dist)
+    )
+    sched.run_round(choose)
+
+    def classify(view: AgentView) -> None:
+        d1 = view.memory.pop("probe._d1")
+        d2 = view.last.dist
+        if d1 == 0:
+            verdict = RotationClass.ZERO
+        elif d1 + d2 == 1:
+            verdict = RotationClass.HALF
+        elif d1 + d2 < 1:
+            verdict = RotationClass.BELOW_HALF
+        else:
+            verdict = RotationClass.ABOVE_HALF
+        view.memory[KEY_PROBE_CLASS] = verdict
+
+    sched.for_each_agent(classify)
+    if restore:
+        reversed_choice = lambda view: choose(view).opposite()  # noqa: E731
+        sched.run_round(reversed_choice)
+        sched.run_round(reversed_choice)
+
+
+def probed_class(view: AgentView) -> RotationClass:
+    """The verdict this agent stored during the last classification."""
+    return view.memory[KEY_PROBE_CLASS]
+
+
+def membership_choice(
+    members: Set[int],
+    member_dir: LocalDirection = LocalDirection.RIGHT,
+) -> ChoiceFn:
+    """Choice function: agents whose ID is in ``members`` play
+    ``member_dir``; everyone else plays the opposite direction."""
+    other = member_dir.opposite()
+
+    def choose(view: AgentView) -> LocalDirection:
+        return member_dir if view.agent_id in members else other
+
+    return choose
+
+
+def ri_is_zero(sched: Scheduler, members: Set[int], restore: bool = True) -> bool:
+    """The RI(B) = 0 test of Section II: members move RIGHT, everyone
+    else LEFT; the round's rotation index is zero iff nobody's position
+    changed.  Costs 1 round (2 with restore)."""
+    return probe_zero(sched, membership_choice(members), restore=restore)

@@ -1,0 +1,24 @@
+"""The bouncing-agent ring world: state, kinematics, exact simulation."""
+
+from repro.ring.state import RingState
+from repro.ring.kinematics import rotation_index, closed_form_round
+from repro.ring.collisions import simulate_collisions, AgentTrace, position_at
+from repro.ring.simulator import RingSimulator
+from repro.ring.configs import (
+    random_configuration,
+    jittered_equidistant_configuration,
+    clustered_configuration,
+)
+
+__all__ = [
+    "RingState",
+    "rotation_index",
+    "closed_form_round",
+    "simulate_collisions",
+    "AgentTrace",
+    "position_at",
+    "RingSimulator",
+    "random_configuration",
+    "jittered_equidistant_configuration",
+    "clustered_configuration",
+]

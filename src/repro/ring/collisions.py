@@ -1,0 +1,237 @@
+"""Exact event-driven simulation of one round of bouncing agents.
+
+The closed-form kinematics (Lemma 1) give final positions cheaply, but
+the *perceptive* model also needs each agent's first collision, which
+depends on the full cascade of bounces.  This module simulates those
+cascades exactly:
+
+* positions and times are :class:`fractions.Fraction`, so collision
+  times are exact and simultaneous events are detected reliably;
+* collisions happen only between ring-adjacent agents (no overpassing),
+  so the event queue tracks one potential event per adjacent pair;
+* every collision exchanges the two velocities.  This single rule covers
+  both cases of the paper's model: two moving agents bounce, and a
+  moving agent hitting an idle one stops while the idle one continues in
+  the mover's objective direction;
+* simultaneous multi-agent contacts are resolved by repeated pairwise
+  exchanges at the same timestamp, which terminates because each
+  exchange strictly reduces the number of adjacent velocity inversions
+  at the contact point (a bubble-sort argument).
+
+The simulator reports, per agent: final position, first-collision time,
+first-collision position, and the arc travelled before the first
+collision (the paper's ``coll()``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import SimulationError
+from repro.geometry import normalize
+from repro.types import RoundOutcome  # noqa: F401  (re-exported context)
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+@dataclass
+class AgentTrace:
+    """Per-agent outcome of an event-driven round simulation.
+
+    Attributes:
+        final_position: Position at the end of the round, in [0, 1).
+        first_collision_time: Time of the agent's first collision, or
+            ``None`` if it never collided during the round.
+        first_collision_position: Where that collision happened.
+        coll_distance: Arc travelled from the round's start position to
+            the first collision -- 0 for an initially idle agent that is
+            struck, ``None`` if the agent never collided.
+        collisions: Total number of collisions the agent experienced.
+        path: When path recording is enabled, the agent's full
+            piecewise-linear trajectory as breakpoints
+            ``(time, position, velocity_after)`` -- one at t = 0, one
+            per velocity change, one at the round's end.  ``None`` when
+            recording is off.
+    """
+
+    final_position: Fraction
+    first_collision_time: Optional[Fraction] = None
+    first_collision_position: Optional[Fraction] = None
+    coll_distance: Optional[Fraction] = None
+    collisions: int = 0
+    path: Optional[List[Tuple[Fraction, Fraction, int]]] = None
+
+
+def position_at(
+    path: Sequence[Tuple[Fraction, Fraction, int]], t: Fraction
+) -> Fraction:
+    """Evaluate a recorded trajectory at time ``t`` (exact).
+
+    The path's breakpoints carry the velocity *after* each breakpoint,
+    so the position between breakpoints is linear interpolation along
+    the circle with that velocity.
+    """
+    if not path:
+        raise ValueError("empty path")
+    if t < path[0][0]:
+        raise ValueError(f"time {t} precedes the path start {path[0][0]}")
+    prev = path[0]
+    for entry in path[1:]:
+        if entry[0] > t:
+            break
+        prev = entry
+    t0, p0, v0 = prev
+    return normalize(p0 + v0 * (t - t0))
+
+
+class _World:
+    """Mutable simulation state with lazily-advanced positions."""
+
+    def __init__(self, positions: Sequence[Fraction], velocities: Sequence[int]):
+        self.n = len(positions)
+        # Unwrapped coordinates: agent i's coordinate lives on the real
+        # line; agent i+1's unwrapped coordinate exceeds agent i's.  Using
+        # unwrapped coordinates sidesteps all mod-1 corner cases in gap
+        # arithmetic; positions are re-wrapped only on output.
+        self.coord: List[Fraction] = []
+        base = normalize(positions[0])
+        prev = base
+        total = base
+        for i, p in enumerate(positions):
+            p = normalize(p)
+            if i == 0:
+                self.coord.append(p)
+                prev = p
+                continue
+            step = normalize(p - prev)
+            if step == 0:
+                raise SimulationError("coincident agent positions")
+            total += step
+            self.coord.append(total)
+            prev = p
+        self.vel: List[int] = list(velocities)
+        self.last_t: List[Fraction] = [_ZERO] * self.n
+        self.traces = [AgentTrace(final_position=_ZERO) for _ in range(self.n)]
+        self.start_moving = [v != 0 for v in velocities]
+        self.events = 0
+
+    def coord_at(self, i: int, t: Fraction) -> Fraction:
+        return self.coord[i] + self.vel[i] * (t - self.last_t[i])
+
+    def advance(self, i: int, t: Fraction) -> None:
+        self.coord[i] = self.coord_at(i, t)
+        self.last_t[i] = t
+
+    def pair_gap(self, i: int, t: Fraction) -> Fraction:
+        """Gap ahead of agent i (towards agent i+1) at time t.
+
+        For the wrap pair (n-1, 0) the follower is one full turn behind
+        in unwrapped coordinates.
+        """
+        j = (i + 1) % self.n
+        wrap = _ONE if j == 0 else _ZERO
+        return (self.coord_at(j, t) + wrap) - self.coord_at(i, t)
+
+
+def _pair_event_time(world: _World, i: int, now: Fraction) -> Optional[Fraction]:
+    """Next collision time of adjacent pair (i, i+1), or None."""
+    j = (i + 1) % world.n
+    closing = world.vel[i] - world.vel[j]
+    if closing <= 0:
+        return None
+    gap = world.pair_gap(i, now)
+    if gap < 0:
+        raise SimulationError("negative gap: ring order violated")
+    return now + gap / closing
+
+
+def simulate_collisions(
+    positions: Sequence[Fraction],
+    velocities: Sequence[int],
+    duration: Fraction = _ONE,
+    record_paths: bool = False,
+) -> Tuple[List[AgentTrace], int]:
+    """Simulate one round exactly; return per-agent traces and event count.
+
+    Args:
+        positions: Agent positions in clockwise ring order, in [0, 1).
+        velocities: Objective velocities in {-1, 0, +1}, same order.
+        duration: Round length (the paper's rounds last 1 time unit).
+        record_paths: Record each agent's full piecewise trajectory in
+            ``AgentTrace.path`` (costs memory proportional to events).
+
+    Returns:
+        ``(traces, n_events)`` where ``traces[i]`` describes agent i.
+    """
+    n = len(positions)
+    if n != len(velocities):
+        raise SimulationError("positions/velocities length mismatch")
+    if any(v not in (-1, 0, 1) for v in velocities):
+        raise SimulationError("velocities must be in {-1, 0, +1}")
+
+    world = _World(positions, velocities)
+    if record_paths:
+        for a in range(n):
+            world.traces[a].path = [
+                (_ZERO, normalize(world.coord[a]), world.vel[a])
+            ]
+    # Heap entries: (time, version, pair_index).  Stale entries are
+    # skipped by version check.
+    version = [0] * n
+    heap: List[Tuple[Fraction, int, int]] = []
+
+    def push(i: int, now: Fraction) -> None:
+        t = _pair_event_time(world, i, now)
+        if t is not None and t <= duration:
+            heapq.heappush(heap, (t, version[i], i))
+
+    for i in range(n):
+        push(i, _ZERO)
+
+    guard = 0
+    # 2 * nC * nA is an upper bound on token crossings in a unit round
+    # (each opposite pair of tokens meets at most twice); add slack for
+    # idle agents which convert crossings into short exchange chains.
+    max_events = 4 * n * n + 16
+    while heap:
+        t, ver, i = heapq.heappop(heap)
+        if ver != version[i]:
+            continue
+        j = (i + 1) % n
+        guard += 1
+        if guard > max_events:
+            raise SimulationError("event budget exceeded; simulator bug")
+        world.advance(i, t)
+        world.advance(j, t)
+        # Record collision for both participants.
+        for a in (i, j):
+            tr = world.traces[a]
+            tr.collisions += 1
+            if tr.first_collision_time is None:
+                tr.first_collision_time = t
+                tr.first_collision_position = normalize(world.coord[a])
+                tr.coll_distance = t if world.start_moving[a] else _ZERO
+        world.vel[i], world.vel[j] = world.vel[j], world.vel[i]
+        world.events += 1
+        if record_paths:
+            for a in (i, j):
+                world.traces[a].path.append(
+                    (t, normalize(world.coord[a]), world.vel[a])
+                )
+        for p in ((i - 1) % n, i, j):
+            version[p] += 1
+            push(p, t)
+
+    for a in range(n):
+        world.advance(a, duration)
+        world.traces[a].final_position = normalize(world.coord[a])
+        if record_paths:
+            world.traces[a].path.append(
+                (duration, world.traces[a].final_position, world.vel[a])
+            )
+
+    return world.traces, world.events

@@ -1,0 +1,142 @@
+"""Closed-form round kinematics (Lemma 1 of the paper).
+
+When two equal-speed agents collide they exchange velocities, which is
+indistinguishable from the agents passing through each other with
+relabelling ("beads on a ring").  Consequently the *set* of end
+positions of a round equals the set of straight-line token end
+positions, and each agent ends at the initial position of the agent
+``r`` ring places clockwise from it, where ``r = (nC - nA) mod n`` is
+the round's rotation index (Lemma 1).
+
+This module computes final positions and ``dist()`` observations in
+O(n) without simulating any collisions.  The event-driven simulator in
+:mod:`repro.ring.collisions` computes the same quantities the hard way;
+property tests assert they agree.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import cw_arc
+
+
+def rotation_index(velocities: Sequence[int], n: int) -> int:
+    """Rotation index r = (nC - nA) mod n of a round.
+
+    ``velocities`` are objective per-agent velocities in {-1, 0, +1}
+    (idle agents contribute to neither count -- the beads argument is
+    unaffected by idle agents because collisions still only exchange
+    velocities).
+    """
+    n_cw = sum(1 for v in velocities if v > 0)
+    n_acw = sum(1 for v in velocities if v < 0)
+    return (n_cw - n_acw) % n
+
+
+def closed_form_round(
+    positions: Sequence[Fraction], velocities: Sequence[int]
+) -> Tuple[List[Fraction], int]:
+    """Final positions after one unit-time round, plus the rotation index.
+
+    Agent i's final position is the initial position of agent
+    ``(i + r) mod n``.  Positions stay in ring order (agent order is
+    preserved on the circle; only the labels rotate relative to the
+    position multiset).
+    """
+    n = len(positions)
+    r = rotation_index(velocities, n)
+    final = [positions[(i + r) % n] for i in range(n)]
+    return final, r
+
+
+def first_collisions_basic(
+    positions: Sequence[Fraction], velocities: Sequence[int]
+) -> List[Optional[Fraction]]:
+    """Closed-form ``coll()`` for rounds in which every agent moves.
+
+    For a clockwise-moving agent, the first collision always comes from
+    ahead (an equal-speed chaser can never catch it before it first
+    reverses): the nearest anticlockwise-moving agent ahead defines a
+    converging boundary, the boundary pair meets at half its gap, and
+    the reflection cascades back through the intervening same-direction
+    chain one half-gap at a time.  The agent's first collision therefore
+    happens after it has travelled exactly half the arc to that nearest
+    opposite mover.  Mirror-symmetric for anticlockwise movers.  Agents
+    never collide when everyone moves the same way.
+
+    This is the general form of the paper's Proposition 4 (with the
+    nearest gap included in the sum, consistent with Proposition 37) and
+    is cross-validated against the event-driven simulator in tests.
+
+    Args:
+        positions: Ring-ordered positions.
+        velocities: Objective velocities, all in {-1, +1} (no idles --
+            idle agents break the cascade argument; use the event
+            simulator for lazy rounds).
+
+    Returns:
+        Per-agent first-collision arcs, or all None when the round is
+        collision-free.
+    """
+    n = len(positions)
+    if any(v == 0 for v in velocities):
+        raise ValueError("first_collisions_basic requires a basic round")
+    if len(set(velocities)) == 1:
+        return [None] * n
+    gap = [
+        cw_arc(positions[i], positions[(i + 1) % n]) for i in range(n)
+    ]
+    # prefix[i] = arc from agent 0 to agent i walking clockwise.
+    prefix = [Fraction(0)] * (n + 1)
+    for i in range(n):
+        prefix[i + 1] = prefix[i] + gap[i]
+
+    def arc_forward(i: int, hops: int) -> Fraction:
+        j = i + hops
+        if j < n:
+            return prefix[j] - prefix[i]
+        return prefix[n] - prefix[i] + prefix[j - n]
+
+    # hops_ahead[i]: ring distance to the nearest opposite mover in agent
+    # i's direction of travel; found with one scan over the doubled ring
+    # in each direction.
+    hops_ahead = [0] * n
+    last = None
+    for idx in range(2 * n - 1, -1, -1):
+        i = idx % n
+        if velocities[i] < 0:
+            last = idx
+        elif last is not None and idx < n:
+            hops_ahead[i] = last - idx
+    last = None
+    for idx in range(2 * n):
+        i = idx % n
+        if velocities[i] > 0:
+            last = idx
+        elif last is not None and idx >= n:
+            hops_ahead[i] = idx - last
+
+    result: List[Optional[Fraction]] = [None] * n
+    for i in range(n):
+        hops = hops_ahead[i]
+        if velocities[i] > 0:
+            result[i] = arc_forward(i, hops) / 2
+        else:
+            result[i] = arc_forward((i - hops) % n, hops) / 2
+    return result
+
+
+def objective_displacements(
+    positions: Sequence[Fraction], r: int
+) -> List[Fraction]:
+    """Clockwise arc travelled *net* by each agent in a rotation-r round.
+
+    Agent i's net displacement is the clockwise arc from its start
+    position to the start position of agent i+r.  Note that for rounds
+    with r counted "the long way" the physical trajectory differs from
+    this chord, but end-of-round ``dist()`` only exposes the net arc.
+    """
+    n = len(positions)
+    return [cw_arc(positions[i], positions[(i + r) % n]) for i in range(n)]

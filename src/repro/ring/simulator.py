@@ -1,0 +1,166 @@
+"""Round execution: from local direction choices to agent observations.
+
+:class:`RingSimulator` is the bridge between the world model and the
+agents.  Given each agent's *local* direction choice it:
+
+1. maps choices to objective velocities through each agent's private
+   chirality;
+2. enforces the model variant (idling is only legal in the lazy model);
+3. computes the round outcome -- by closed form (Lemma 1) when no
+   collision information is needed, or by exact event simulation when
+   the model is perceptive (or when cross-validation is enabled);
+4. updates the world state and returns per-agent
+   :class:`~repro.types.Observation` values expressed in each agent's
+   own frame.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ModelViolationError, SimulationError
+from repro.geometry import cw_arc, ccw_arc
+from repro.ring.collisions import simulate_collisions
+from repro.ring.kinematics import (
+    closed_form_round,
+    first_collisions_basic,
+    rotation_index,
+)
+from repro.ring.state import RingState
+from repro.types import (
+    Chirality,
+    LocalDirection,
+    Model,
+    Observation,
+    RoundOutcome,
+    local_to_velocity,
+)
+
+
+class RingSimulator:
+    """Executes rounds against a :class:`RingState` under a model variant.
+
+    Attributes:
+        state: The ground-truth world state (mutated by each round).
+        model: Which model variant's rules and observations apply.
+        cross_validate: When True, every round is computed both ways and
+            the closed-form and event-driven results are asserted equal.
+            Slower; intended for tests.
+        rounds_executed: Number of rounds run so far (the paper's cost
+            measure).
+    """
+
+    def __init__(
+        self,
+        state: RingState,
+        model: Model = Model.BASIC,
+        cross_validate: bool = False,
+    ) -> None:
+        self.state = state
+        self.model = model
+        self.cross_validate = cross_validate
+        self.rounds_executed = 0
+        self.collision_events = 0
+
+    def execute(self, directions: Sequence[LocalDirection]) -> RoundOutcome:
+        """Run one round with the given per-agent local directions.
+
+        Args:
+            directions: ``directions[i]`` is the choice of the agent at
+                ring index i, in that agent's own frame.
+
+        Returns:
+            The omniscient :class:`RoundOutcome`; the scheduler forwards
+            ``outcome.observations[i]`` to agent i only.
+
+        Raises:
+            ModelViolationError: If an agent idles outside the lazy model.
+        """
+        n = self.state.n
+        if len(directions) != n:
+            raise SimulationError("one direction per agent is required")
+        if not self.model.allows_idle:
+            if any(d is LocalDirection.IDLE for d in directions):
+                raise ModelViolationError(
+                    f"idle is not permitted in the {self.model.value} model"
+                )
+
+        velocities = [
+            local_to_velocity(directions[i], self.state.chiralities[i])
+            for i in range(n)
+        ]
+        start = list(self.state.positions)
+        r = rotation_index(velocities, n)
+
+        has_idle = any(v == 0 for v in velocities)
+        need_events = self.cross_validate or (
+            self.model.reports_collisions and has_idle
+        )
+        coll: List[Optional[Fraction]] = [None] * n
+        events = 0
+        if self.model.reports_collisions and not has_idle:
+            coll = first_collisions_basic(start, velocities)
+        if need_events:
+            traces, events = simulate_collisions(start, velocities)
+            final_event = [tr.final_position for tr in traces]
+            if self.model.reports_collisions:
+                coll_event = [tr.coll_distance for tr in traces]
+                if not has_idle and coll_event != coll:
+                    raise SimulationError(
+                        "closed-form and event-driven first collisions "
+                        f"disagree: closed={coll} event={coll_event}"
+                    )
+                coll = coll_event
+
+        final_closed, _ = closed_form_round(start, velocities)
+        if need_events and final_event != final_closed:
+            raise SimulationError(
+                "closed-form and event-driven final positions disagree "
+                f"(rotation index {r}); closed={final_closed} "
+                f"event={final_event}"
+            )
+
+        observations = tuple(
+            Observation(
+                dist=self._dist_in_frame(start[i], final_closed[i],
+                                         self.state.chiralities[i]),
+                coll=coll[i],
+            )
+            for i in range(n)
+        )
+
+        self.state.positions = final_closed
+        self.rounds_executed += 1
+        self.collision_events += events
+        return RoundOutcome(
+            observations=observations, rotation_index=r, collision_events=events
+        )
+
+    @staticmethod
+    def _dist_in_frame(
+        start: Fraction, end: Fraction, chirality: Chirality
+    ) -> Fraction:
+        """The paper's ``dist()``: start-to-end arc in the agent's own
+        clockwise direction."""
+        if chirality is Chirality.CLOCKWISE:
+            return cw_arc(start, end)
+        return ccw_arc(start, end)
+
+    def execute_objective(self, velocities: Sequence[int]) -> RoundOutcome:
+        """Run one round from objective velocities (testing/tooling hook).
+
+        Bypasses chirality mapping; still enforces the idle rule.
+        """
+        n = self.state.n
+        dirs: List[LocalDirection] = []
+        for i in range(n):
+            v = velocities[i]
+            if v == 0:
+                dirs.append(LocalDirection.IDLE)
+            else:
+                local_cw = v * int(self.state.chiralities[i])
+                dirs.append(
+                    LocalDirection.RIGHT if local_cw > 0 else LocalDirection.LEFT
+                )
+        return self.execute(dirs)

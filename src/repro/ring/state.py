@@ -1,0 +1,129 @@
+"""Ground-truth world state of a ring network.
+
+:class:`RingState` holds what an omniscient observer knows: every agent's
+exact position, its unique ID, and its private chirality.  Agents never
+read this object -- the scheduler mediates all information flow through
+:class:`repro.types.Observation` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.geometry import cw_arc, is_ring_ordered, normalize
+from repro.types import Chirality
+
+
+@dataclass
+class RingState:
+    """Positions, IDs and chiralities of the n agents, in ring order.
+
+    Index ``i`` refers to the i-th agent in the (objective) clockwise
+    ring order -- the paper's implicit periodic order a_1 .. a_n, shifted
+    to be 0-based.  The ring order never changes because agents cannot
+    overpass (collisions only exchange velocities).
+
+    Attributes:
+        positions: Current position of each agent, rationals in [0, 1),
+            strictly increasing along the clockwise direction.
+        ids: The unique identifier of each agent, a value in [1, N].
+        chiralities: Each agent's private sense of direction.
+        id_bound: The common knowledge bound N with ``N >= n``.
+    """
+
+    positions: List[Fraction]
+    ids: List[int]
+    chiralities: List[Chirality]
+    id_bound: int
+    initial_positions: Tuple[Fraction, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.positions)
+        if not (len(self.ids) == len(self.chiralities) == n):
+            raise ConfigurationError(
+                "positions, ids and chiralities must have equal length; got "
+                f"{n}, {len(self.ids)}, {len(self.chiralities)}"
+            )
+        if n <= 4:
+            raise ConfigurationError(
+                f"the paper assumes n > 4 agents; got n={n}"
+            )
+        self.positions = [normalize(p) for p in self.positions]
+        if not is_ring_ordered(self.positions):
+            raise ConfigurationError(
+                "positions must be distinct and listed in clockwise ring order"
+            )
+        if len(set(self.ids)) != n:
+            raise ConfigurationError("agent IDs must be unique")
+        if any(not (1 <= x <= self.id_bound) for x in self.ids):
+            raise ConfigurationError(
+                f"agent IDs must lie in [1, N] with N={self.id_bound}"
+            )
+        if self.id_bound < n:
+            raise ConfigurationError(
+                f"ID bound N={self.id_bound} must be at least n={n}"
+            )
+        self.initial_positions = tuple(self.positions)
+
+    @property
+    def n(self) -> int:
+        """Number of agents on the ring."""
+        return len(self.positions)
+
+    @property
+    def parity_even(self) -> bool:
+        """Whether n is even (the only fact about n agents know a priori)."""
+        return self.n % 2 == 0
+
+    def gaps(self) -> List[Fraction]:
+        """Current clockwise gaps x_i between agent i and agent i+1.
+
+        The multiset (indeed the cyclic sequence) of gaps is invariant
+        under rounds; rounds merely rotate which agent sits before which
+        gap (Lemma 1).
+        """
+        n = self.n
+        return [
+            cw_arc(self.positions[i], self.positions[(i + 1) % n])
+            for i in range(n)
+        ]
+
+    def initial_gaps(self) -> List[Fraction]:
+        """Clockwise gaps of the *initial* configuration."""
+        n = self.n
+        return [
+            cw_arc(self.initial_positions[i], self.initial_positions[(i + 1) % n])
+            for i in range(n)
+        ]
+
+    def index_of_id(self, agent_id: int) -> int:
+        """Ring index of the agent carrying ``agent_id``."""
+        try:
+            return self.ids.index(agent_id)
+        except ValueError:
+            raise ConfigurationError(f"no agent has ID {agent_id}") from None
+
+    def apply_rotation(self, r: int) -> None:
+        """Advance every agent by ``r`` ring places clockwise (Lemma 1).
+
+        Agent i moves to the (pre-round) position of agent i+r.  Gaps
+        travel with the positions, so the gap sequence seen from a fixed
+        agent shifts by r.
+        """
+        n = self.n
+        old = list(self.positions)
+        for i in range(n):
+            self.positions[i] = old[(i + r) % n]
+
+    def snapshot(self) -> Tuple[Fraction, ...]:
+        """Immutable copy of the current positions."""
+        return tuple(self.positions)
+
+    def restore(self, snapshot: Sequence[Fraction]) -> None:
+        """Reset positions to a previously taken snapshot."""
+        if len(snapshot) != self.n:
+            raise ConfigurationError("snapshot length mismatch")
+        self.positions = [normalize(p) for p in snapshot]

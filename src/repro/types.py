@@ -1,0 +1,137 @@
+"""Shared value types: model variants, directions, chirality, observations.
+
+These are the vocabulary types used across the simulator, the scheduler
+and every protocol.  They deliberately contain no behaviour beyond small
+conversion helpers, so that each module can depend on them without
+dragging in simulation machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence, Tuple
+
+
+class Model(enum.Enum):
+    """The three model variants of Section I-A of the paper.
+
+    * ``BASIC`` -- an agent must start every round moving right or left.
+    * ``LAZY`` -- an agent may additionally start a round idle.
+    * ``PERCEPTIVE`` -- the basic model plus the ``coll()`` observation
+      (distance from the round's start position to the first collision).
+    """
+
+    BASIC = "basic"
+    LAZY = "lazy"
+    PERCEPTIVE = "perceptive"
+
+    @property
+    def allows_idle(self) -> bool:
+        """Whether agents may choose to stay idle at the start of a round."""
+        return self is Model.LAZY
+
+    @property
+    def reports_collisions(self) -> bool:
+        """Whether agents receive ``coll()`` at the end of each round."""
+        return self is Model.PERCEPTIVE
+
+
+class LocalDirection(enum.Enum):
+    """A direction as chosen by an agent, in the agent's own frame.
+
+    ``RIGHT`` is the agent's own clockwise; an agent with flipped
+    chirality moving ``RIGHT`` moves objectively anticlockwise.
+    """
+
+    RIGHT = "right"
+    LEFT = "left"
+    IDLE = "idle"
+
+    def opposite(self) -> "LocalDirection":
+        """The reversed direction; ``IDLE`` reverses to itself."""
+        if self is LocalDirection.RIGHT:
+            return LocalDirection.LEFT
+        if self is LocalDirection.LEFT:
+            return LocalDirection.RIGHT
+        return LocalDirection.IDLE
+
+
+class Chirality(enum.IntEnum):
+    """An agent's private sense of direction.
+
+    ``CLOCKWISE`` (+1) means the agent's "right" coincides with the
+    objective clockwise direction (increasing position coordinate);
+    ``ANTICLOCKWISE`` (-1) means it is flipped.  Agents never see this
+    value -- it lives in the world state only.
+    """
+
+    CLOCKWISE = 1
+    ANTICLOCKWISE = -1
+
+    def flipped(self) -> "Chirality":
+        return Chirality(-int(self))
+
+
+def local_to_velocity(direction: LocalDirection, chirality: Chirality) -> int:
+    """Map an agent's local direction choice to an objective velocity.
+
+    Returns +1 (objective clockwise), -1 (objective anticlockwise) or 0.
+    """
+    if direction is LocalDirection.IDLE:
+        return 0
+    sign = 1 if direction is LocalDirection.RIGHT else -1
+    return sign * int(chirality)
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What one agent learns at the end of one round.
+
+    Attributes:
+        dist: Arc from the agent's start position to its end position,
+            measured in the agent's own clockwise direction, in [0, 1).
+        coll: Arc from the agent's start position to its first collision
+            in the round, or ``None`` if the agent experienced no
+            collision (or the model does not report collisions).  The
+            value is an unsigned arc length along the agent's initial
+            direction of travel; an initially idle agent that is struck
+            reports 0.
+    """
+
+    dist: Fraction
+    coll: Optional[Fraction] = None
+
+    @property
+    def moved(self) -> bool:
+        """True when the agent's end position differs from its start."""
+        return self.dist != 0
+
+    @property
+    def collided(self) -> bool:
+        """True when a first-collision distance was reported."""
+        return self.coll is not None
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """The full (omniscient) outcome of simulating one round.
+
+    Produced by the simulator for the scheduler; never shown to agents
+    directly.  ``observations[i]`` is agent ``i``'s view of the round.
+
+    Attributes:
+        observations: Per-agent observations, in ring order.
+        rotation_index: The round's rotation index r = (nC - nA) mod n
+            (Lemma 1), in the objective clockwise direction.
+        collision_events: Total number of collision events processed.
+    """
+
+    observations: Tuple[Observation, ...]
+    rotation_index: int
+    collision_events: int
+
+
+FractionLike = Fraction
+PositionSeq = Sequence[Fraction]

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ring.configs import random_configuration
+from repro.ring.state import RingState
+
+
+@pytest.fixture
+def small_ring() -> RingState:
+    """A 7-agent ring with mixed chiralities, fixed seed."""
+    return random_configuration(n=7, seed=42, common_sense=False)
+
+
+@pytest.fixture
+def even_ring() -> RingState:
+    """An 8-agent ring with mixed chiralities, fixed seed."""
+    return random_configuration(n=8, seed=7, common_sense=False)

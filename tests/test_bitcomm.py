@@ -1,0 +1,174 @@
+"""Tests for collision-based neighbor communication (Prop 31, Cor 32-34)."""
+
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.bitcomm import (
+    KEY_FROM_LEFT,
+    KEY_FROM_RIGHT,
+    exchange_bits,
+    exchange_frame,
+    relay_flood,
+    received_messages,
+)
+from repro.protocols.neighbor_discovery import discover_neighbors
+from repro.ring.configs import random_configuration
+from repro.types import Chirality, Model
+
+
+def prepared_sched(n, seed, common_sense=None):
+    state = random_configuration(n, seed=seed, common_sense=common_sense)
+    sched = Scheduler(state, Model.PERCEPTIVE)
+    discover_neighbors(sched)
+    return sched
+
+
+def own_right_index(state, i):
+    """Ring index of agent i's own-frame right neighbor."""
+    step = 1 if state.chiralities[i] is Chirality.CLOCKWISE else -1
+    return (i + step) % state.n
+
+
+class TestExchangeBits:
+    @pytest.mark.parametrize("n", [5, 6, 9, 12])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bits_delivered_both_sides(self, n, seed):
+        sched = prepared_sched(n, seed)
+        state = sched.state
+        # Each agent transmits its ID's parity.
+        exchange_bits(sched, lambda view: view.agent_id & 1)
+        for i, view in enumerate(sched.views):
+            r = own_right_index(state, i)
+            l = own_right_index(state, i) if False else None
+            left_idx = (
+                (i - 1) % state.n
+                if state.chiralities[i] is Chirality.CLOCKWISE
+                else (i + 1) % state.n
+            )
+            assert view.memory[KEY_FROM_RIGHT] == state.ids[r] & 1
+            assert view.memory[KEY_FROM_LEFT] == state.ids[left_idx] & 1
+
+    def test_positions_restored(self):
+        sched = prepared_sched(8, seed=3)
+        start = sched.state.snapshot()
+        exchange_bits(sched, lambda view: 1)
+        assert sched.state.snapshot() == start
+
+    def test_uniform_bits(self):
+        """All-equal bits: no collisions in some probes; decoding must
+        still work (None coll means no approach)."""
+        sched = prepared_sched(7, seed=4, common_sense=True)
+        exchange_bits(sched, lambda view: 1)
+        for view in sched.views:
+            assert view.memory[KEY_FROM_RIGHT] == 1
+            assert view.memory[KEY_FROM_LEFT] == 1
+
+    def test_rejects_bad_bit(self):
+        sched = prepared_sched(6, seed=0)
+        with pytest.raises(ProtocolError):
+            exchange_bits(sched, lambda view: 2)
+
+    def test_requires_neighbor_discovery(self):
+        state = random_configuration(6, seed=0)
+        sched = Scheduler(state, Model.PERCEPTIVE)
+        with pytest.raises(ProtocolError):
+            exchange_bits(sched, lambda view: 0)
+
+    def test_costs_four_rounds(self):
+        sched = prepared_sched(6, seed=1)
+        before = sched.rounds
+        exchange_bits(sched, lambda view: view.agent_id & 1)
+        assert sched.rounds - before == 4
+
+
+class TestExchangeFrame:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_values_delivered(self, seed):
+        sched = prepared_sched(8, seed=seed)
+        state = sched.state
+        exchange_frame(sched, lambda view: view.agent_id, width=6)
+        for i, view in enumerate(sched.views):
+            r = own_right_index(state, i)
+            assert view.memory["comm.frame_from_right"] == state.ids[r]
+
+    def test_none_frames(self):
+        sched = prepared_sched(8, seed=2)
+        exchange_frame(
+            sched,
+            lambda view: view.agent_id if view.agent_id & 1 else None,
+            width=6,
+        )
+        state = sched.state
+        for i, view in enumerate(sched.views):
+            r = own_right_index(state, i)
+            expected = state.ids[r] if state.ids[r] & 1 else None
+            assert view.memory["comm.frame_from_right"] == expected
+
+    def test_value_too_wide_rejected(self):
+        sched = prepared_sched(6, seed=0)
+        with pytest.raises(ProtocolError):
+            exchange_frame(sched, lambda view: 64, width=6)
+
+
+class TestRelayFlood:
+    @pytest.mark.parametrize("n,seed", [(9, 0), (12, 1), (8, 5)])
+    def test_single_source_flood(self, n, seed):
+        sched = prepared_sched(n, seed)
+        state = sched.state
+        source_id = state.ids[0]
+        distance = 3
+        relay_flood(
+            sched,
+            lambda view: 5 if view.agent_id == source_id else None,
+            distance=distance,
+            width=4,
+        )
+        for i, view in enumerate(sched.views):
+            msgs = received_messages(view)
+            # Ring distances from agent 0 (objective both ways).
+            cw_hops = (i - 0) % n      # source is cw_hops behind me
+            ccw_hops = (0 - i) % n
+            expect = []
+            if 1 <= cw_hops <= distance:
+                expect.append((cw_hops, 5))
+            if 1 <= ccw_hops <= distance:
+                expect.append((ccw_hops, 5))
+            got = sorted((hop, value) for _side, hop, value in msgs)
+            assert got == sorted(expect), f"agent {i}"
+
+    def test_sides_are_consistent_with_chirality(self):
+        sched = prepared_sched(10, seed=7)
+        state = sched.state
+        n = state.n
+        source_id = state.ids[0]
+        relay_flood(
+            sched,
+            lambda view: 1 if view.agent_id == source_id else None,
+            distance=2,
+            width=2,
+        )
+        for i, view in enumerate(sched.views):
+            for side, hop, _value in received_messages(view):
+                # Translate the own-frame side into an objective offset.
+                chir = state.chiralities[i]
+                sign = 1 if chir is Chirality.CLOCKWISE else -1
+                offset = hop * sign if side == "right" else -hop * sign
+                assert (i + offset) % n == 0, (
+                    f"agent {i} misattributed the source's side"
+                )
+
+    def test_two_sparse_sources(self):
+        sched = prepared_sched(12, seed=3)
+        state = sched.state
+        sources = {state.ids[0]: 2, state.ids[6]: 3}
+        relay_flood(
+            sched,
+            lambda view: sources.get(view.agent_id),
+            distance=2,
+            width=3,
+        )
+        # Agent 1 is 1 hop cw of source 0 and far from source 6.
+        msgs = received_messages(sched.views[1])
+        values = {value for _s, _h, value in msgs}
+        assert 2 in values and 3 not in values

@@ -1,0 +1,123 @@
+"""Hypothesis property tests for the communication stack.
+
+The collision-coded channel must deliver arbitrary bit patterns across
+arbitrary chirality assignments and geometries -- these sweeps try to
+break the decoding logic where unit tests cannot enumerate."""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.scheduler import Scheduler
+from repro.protocols.bitcomm import (
+    KEY_FROM_LEFT,
+    KEY_FROM_RIGHT,
+    exchange_bits,
+    exchange_frame,
+    relay_flood,
+    received_messages,
+)
+from repro.protocols.neighbor_discovery import discover_neighbors
+from repro.ring.configs import explicit_configuration
+from repro.types import Chirality, Model
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def rings(draw, min_n=5, max_n=10):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    denom = 1 << 10
+    ticks = sorted(draw(st.sets(
+        st.integers(min_value=0, max_value=denom - 1),
+        min_size=n, max_size=n,
+    )))
+    chirs = draw(st.lists(
+        st.sampled_from([Chirality.CLOCKWISE, Chirality.ANTICLOCKWISE]),
+        min_size=n, max_size=n,
+    ))
+    state = explicit_configuration(
+        positions=[Fraction(t, denom) for t in ticks],
+        ids=list(range(1, n + 1)),
+        chiralities=chirs,
+        id_bound=2 * n,
+    )
+    return state
+
+
+def own_neighbor_indices(state, i):
+    """(right, left) ring indices in agent i's own frame."""
+    step = 1 if state.chiralities[i] is Chirality.CLOCKWISE else -1
+    return (i + step) % state.n, (i - step) % state.n
+
+
+class TestExchangeProperties:
+    @SLOW
+    @given(rings(), st.data())
+    def test_arbitrary_bits_delivered(self, state, data):
+        n = state.n
+        bits = data.draw(st.lists(
+            st.integers(min_value=0, max_value=1), min_size=n, max_size=n
+        ))
+        sched = Scheduler(state, Model.PERCEPTIVE)
+        discover_neighbors(sched)
+        by_id = {state.ids[i]: bits[i] for i in range(n)}
+        exchange_bits(sched, lambda view: by_id[view.agent_id])
+        for i, view in enumerate(sched.views):
+            r, l = own_neighbor_indices(state, i)
+            assert view.memory[KEY_FROM_RIGHT] == bits[r]
+            assert view.memory[KEY_FROM_LEFT] == bits[l]
+
+    @SLOW
+    @given(rings(max_n=8), st.data())
+    def test_arbitrary_frames_delivered(self, state, data):
+        n = state.n
+        values = data.draw(st.lists(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=15)),
+            min_size=n, max_size=n,
+        ))
+        sched = Scheduler(state, Model.PERCEPTIVE)
+        discover_neighbors(sched)
+        by_id = {state.ids[i]: values[i] for i in range(n)}
+        exchange_frame(sched, lambda view: by_id[view.agent_id], width=4)
+        for i, view in enumerate(sched.views):
+            r, l = own_neighbor_indices(state, i)
+            assert view.memory["comm.frame_from_right"] == values[r]
+            assert view.memory["comm.frame_from_left"] == values[l]
+
+    @SLOW
+    @given(rings(max_n=9), st.data())
+    def test_flood_hop_attribution(self, state, data):
+        """Every received message's (side, hop) must point back at the
+        true source, whatever the chirality pattern."""
+        n = state.n
+        source_index = data.draw(st.integers(min_value=0, max_value=n - 1))
+        distance = data.draw(st.integers(min_value=1, max_value=3))
+        sched = Scheduler(state, Model.PERCEPTIVE)
+        discover_neighbors(sched)
+        source_id = state.ids[source_index]
+        relay_flood(
+            sched,
+            lambda view: 7 if view.agent_id == source_id else None,
+            distance=distance,
+            width=3,
+        )
+        for i, view in enumerate(sched.views):
+            for side, hop, value in received_messages(view):
+                assert value == 7
+                step = 1 if state.chiralities[i] is Chirality.CLOCKWISE else -1
+                offset = hop * step if side == "right" else -hop * step
+                assert (i + offset) % n == source_index
+
+    @SLOW
+    @given(rings(max_n=8))
+    def test_exchange_restores_positions(self, state):
+        sched = Scheduler(state, Model.PERCEPTIVE)
+        discover_neighbors(sched)
+        start = sched.state.snapshot()
+        exchange_bits(sched, lambda view: view.agent_id & 1)
+        assert sched.state.snapshot() == start

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo", "--n", "7", "--model", "basic", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "location discovery solved" in out
+        assert "discovery" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--odd", "9", "--even", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "not solvable" in out  # the Lemma 5 cell
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--odd", "9", "--even", "8"]) == 0
+        assert "TABLE II" in capsys.readouterr().out
+
+    def test_figures(self, capsys):
+        assert main(["figures", "--n", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "FIGURES 1-2" in out
+        assert "FIGURE 3" in out
+
+    def test_lower_bounds(self, capsys):
+        assert main(["lower-bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "LEMMA 5" in out and "LEMMA 6" in out and "COR 29" in out
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_rejects_bad_model(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--model", "psychic"])

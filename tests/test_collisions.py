@@ -1,0 +1,190 @@
+"""Tests for the exact event-driven collision simulator.
+
+The key correctness anchors:
+
+* final positions must match the closed-form Lemma 1 rotation;
+* the velocity *multiset* is conserved (collisions exchange velocities);
+* agents never overpass (ring order of final positions is preserved);
+* cascade first-collision distances match the hand-derived formula of
+  Proposition 4 (corrected to include the nearest gap);
+* pathological simultaneous collisions resolve like pass-through tokens.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import is_ring_ordered, normalize
+from repro.ring.collisions import simulate_collisions
+from repro.ring.kinematics import closed_form_round, rotation_index
+
+F = Fraction
+
+
+def ring_positions(n, denom_bits=8):
+    denom = 1 << denom_bits
+    return st.sets(
+        st.integers(min_value=0, max_value=denom - 1), min_size=n, max_size=n
+    ).map(lambda ticks: [F(t, denom) for t in sorted(ticks)])
+
+
+def velocities(n):
+    return st.lists(
+        st.sampled_from([-1, 0, 1]), min_size=n, max_size=n
+    )
+
+
+class TestAgainstClosedForm:
+    @settings(max_examples=120, deadline=None)
+    @given(st.data())
+    def test_final_positions_match_lemma1(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=10))
+        pos = data.draw(ring_positions(n))
+        vel = data.draw(velocities(n))
+        traces, _ = simulate_collisions(pos, vel)
+        expected, _ = closed_form_round(pos, vel)
+        assert [t.final_position for t in traces] == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_order_preserved(self, data):
+        n = data.draw(st.integers(min_value=3, max_value=9))
+        pos = data.draw(ring_positions(n))
+        vel = data.draw(velocities(n))
+        traces, _ = simulate_collisions(pos, vel)
+        finals = [t.final_position for t in traces]
+        # Distinct-final-position rounds must preserve the cyclic order.
+        if len(set(finals)) == n:
+            assert is_ring_ordered(finals)
+
+
+class TestNoCollisionCases:
+    def test_all_clockwise_no_collisions(self):
+        pos = [F(0), F(1, 4), F(1, 2), F(3, 4)]
+        traces, events = simulate_collisions(pos, [1, 1, 1, 1])
+        assert events == 0
+        assert all(t.first_collision_time is None for t in traces)
+        # A full unit-time lap returns everyone to the start.
+        assert [t.final_position for t in traces] == pos
+
+    def test_all_idle(self):
+        pos = [F(0), F(1, 3), F(2, 3)]
+        traces, events = simulate_collisions(pos, [0, 0, 0])
+        assert events == 0
+        assert [t.final_position for t in traces] == pos
+
+
+class TestTwoAgentHeadOn:
+    def test_meet_halfway(self):
+        pos = [F(0), F(1, 2)]
+        traces, events = simulate_collisions(pos, [1, -1])
+        # They meet at 1/4 after time 1/4, bounce, meet again at 3/4.
+        assert traces[0].first_collision_time == F(1, 4)
+        assert traces[0].first_collision_position == F(1, 4)
+        assert traces[0].coll_distance == F(1, 4)
+        assert traces[1].coll_distance == F(1, 4)
+        assert events == 2  # they bounce twice in a unit round
+
+    def test_rotation_index_zero(self):
+        pos = [F(0), F(1, 2)]
+        traces, _ = simulate_collisions(pos, [1, -1])
+        assert [t.final_position for t in traces] == pos
+
+
+class TestIdleCollisions:
+    def test_mover_stops_idle_continues(self):
+        # Agent 0 at 0 moving cw, agent 1 idle at 1/4, agent 2 idle at 7/8.
+        pos = [F(0), F(1, 4), F(7, 8)]
+        traces, _ = simulate_collisions(pos, [1, 0, 0])
+        # r = 1: everyone ends at successor's start position.
+        assert traces[0].final_position == F(1, 4)
+        assert traces[1].final_position == F(7, 8)
+        assert traces[2].final_position == F(0)
+        # The idle agent's first collision is at its own position.
+        assert traces[1].coll_distance == 0
+        assert traces[1].first_collision_time == F(1, 4)
+        # The initial mover travelled 1/4 before its first collision.
+        assert traces[0].coll_distance == F(1, 4)
+
+    def test_momentum_relay_travels_full_circle(self):
+        n = 8
+        pos = [F(i, n) for i in range(n)]
+        vel = [1] + [0] * (n - 1)
+        traces, events = simulate_collisions(pos, vel)
+        # One token of motion is relayed all the way around: r = 1.
+        expected, r = closed_form_round(pos, vel)
+        assert r == 1
+        assert [t.final_position for t in traces] == expected
+        # One hand-off per idle agent; the last carrier reaches the
+        # origin position exactly at t = 1 without another collision.
+        assert events == n - 1
+
+
+class TestCascadeFormula:
+    """Proposition 4 (corrected): with b0..bk moving the same way and
+    b_{k+1} opposite, b0's first collision is at (x0 + ... + xk)/2."""
+
+    def test_chain_of_three(self):
+        # Agents at 0, 1/8, 1/4, 5/8; first three move cw, last moves acw.
+        pos = [F(0), F(1, 8), F(1, 4), F(5, 8)]
+        vel = [1, 1, 1, -1]
+        traces, _ = simulate_collisions(pos, vel)
+        x = [F(1, 8), F(1, 8), F(3, 8)]  # gaps 0-1, 1-2, 2-3
+        assert traces[0].coll_distance == sum(x) / 2
+        assert traces[1].coll_distance == (x[1] + x[2]) / 2
+        assert traces[2].coll_distance == x[2] / 2
+        # The opposite mover's first collision is also at x2/2 arc.
+        assert traces[3].coll_distance == x[2] / 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_cascade_general(self, data):
+        n = data.draw(st.integers(min_value=3, max_value=8))
+        pos = data.draw(ring_positions(n))
+        k = data.draw(st.integers(min_value=0, max_value=n - 2))
+        # b0..bk clockwise, b_{k+1} anticlockwise, rest anticlockwise too
+        # so no cascade reaches b0 from behind faster.
+        vel = [1 if i <= k else -1 for i in range(n)]
+        traces, _ = simulate_collisions(pos, vel)
+        gaps_sum = normalize(pos[(k + 1) % n] - pos[0])
+        if gaps_sum == 0:
+            gaps_sum = F(1)
+        assert traces[0].coll_distance == gaps_sum / 2
+
+
+class TestSimultaneousEvents:
+    def test_symmetric_triple_contact(self):
+        # Two movers converge on an idle agent exactly symmetrically.
+        pos = [F(0), F(1, 4), F(1, 2)]
+        vel = [1, 0, -1]
+        traces, _ = simulate_collisions(pos, vel)
+        expected, _ = closed_form_round(pos, vel)
+        assert [t.final_position for t in traces] == expected
+        # Both movers first collide at the middle agent's position after 1/4.
+        assert traces[0].first_collision_time == F(1, 4)
+        assert traces[2].first_collision_time == F(1, 4)
+        assert traces[1].coll_distance == 0
+
+    def test_four_agent_double_pair(self):
+        pos = [F(0), F(1, 4), F(1, 2), F(3, 4)]
+        vel = [1, -1, 1, -1]
+        traces, _ = simulate_collisions(pos, vel)
+        expected, _ = closed_form_round(pos, vel)
+        assert [t.final_position for t in traces] == expected
+        # Both pairs collide simultaneously at t = 1/8.
+        assert all(t.first_collision_time == F(1, 8) for t in traces)
+
+
+class TestVelocityConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_total_displacement_matches_momentum(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=8))
+        pos = data.draw(ring_positions(n))
+        vel = data.draw(velocities(n))
+        traces, _ = simulate_collisions(pos, vel)
+        r = rotation_index(vel, n)
+        # Lemma 1: net rotation equals momentum; every agent shifted r slots.
+        for i, t in enumerate(traces):
+            assert t.final_position == pos[(i + r) % n]

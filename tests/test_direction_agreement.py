@@ -1,0 +1,109 @@
+"""Tests for direction agreement (Algorithm 1 and Proposition 17)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_FRAME_FLIP, KEY_NMOVE_DIR
+from repro.protocols.direction_agreement import (
+    agree_direction_from_nontrivial_move,
+    agree_direction_odd,
+    assume_common_frame,
+)
+from repro.ring.configs import random_configuration
+from repro.types import Chirality, LocalDirection, Model
+
+
+def frames_are_common(sched: Scheduler) -> bool:
+    """Omniscient check: chirality XOR flip must be constant."""
+    effective = set()
+    for view, chir in zip(sched.views, sched.state.chiralities):
+        flip = view.memory[KEY_FRAME_FLIP]
+        effective.add(int(chir) * (-1 if flip else 1))
+    return len(effective) == 1
+
+
+class TestOddDirectionAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mixed_chirality(self, seed):
+        state = random_configuration(7, seed=seed, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        start = state.snapshot()
+        agree_direction_odd(sched)
+        assert frames_are_common(sched)
+        assert state.snapshot() == start  # position restoring
+        assert sched.rounds == 4
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_already_common(self, seed):
+        state = random_configuration(9, seed=seed, common_sense=True)
+        sched = Scheduler(state, Model.BASIC)
+        agree_direction_odd(sched)
+        assert frames_are_common(sched)
+        # Nobody should flip when senses already agree.
+        assert all(not v.memory[KEY_FRAME_FLIP] for v in sched.views)
+
+    def test_rejects_even_n(self):
+        state = random_configuration(8, seed=0)
+        sched = Scheduler(state, Model.BASIC)
+        with pytest.raises(ProtocolError):
+            agree_direction_odd(sched)
+
+    @pytest.mark.parametrize("n", [5, 7, 11, 15])
+    def test_various_sizes(self, n):
+        state = random_configuration(n, seed=n, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        agree_direction_odd(sched)
+        assert frames_are_common(sched)
+
+
+class TestAlgorithmOne:
+    def _sched_with_nmove(self, n, seed, model=Model.BASIC):
+        """Set up a scheduler with an omnisciently-chosen nontrivial move."""
+        state = random_configuration(n, seed=seed, common_sense=False)
+        sched = Scheduler(state, model)
+        # Omniscient nontrivial move: exactly one agent objectively cw.
+        # r = (1 - (n-1)) mod n = 2 (mod n), nontrivial for n > 4.
+        for i, view in enumerate(sched.views):
+            objective = 1 if i == 0 else -1
+            local_cw = objective * int(state.chiralities[i])
+            view.memory[KEY_NMOVE_DIR] = (
+                LocalDirection.RIGHT if local_cw > 0 else LocalDirection.LEFT
+            )
+        return sched
+
+    @pytest.mark.parametrize("n", [6, 7, 8, 12])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_agreement_from_nontrivial_move(self, n, seed):
+        sched = self._sched_with_nmove(n, seed)
+        start = sched.state.snapshot()
+        agree_direction_from_nontrivial_move(sched)
+        assert frames_are_common(sched)
+        assert sched.state.snapshot() == start
+        assert sched.rounds == 4
+
+    def test_raises_without_nmove(self):
+        state = random_configuration(6, seed=0)
+        sched = Scheduler(state, Model.BASIC)
+        with pytest.raises(ProtocolError):
+            agree_direction_from_nontrivial_move(sched)
+
+    def test_raises_on_trivial_move(self):
+        state = random_configuration(6, seed=0, common_sense=True)
+        sched = Scheduler(state, Model.BASIC)
+        # All agents share chirality, all move RIGHT: r = n mod n = 0.
+        for view in sched.views:
+            view.memory[KEY_NMOVE_DIR] = LocalDirection.RIGHT
+        with pytest.raises(ProtocolError):
+            agree_direction_from_nontrivial_move(sched)
+
+
+class TestAssumeCommonFrame:
+    def test_sets_flips_without_rounds(self):
+        state = random_configuration(6, seed=0, common_sense=True)
+        sched = Scheduler(state, Model.BASIC)
+        assume_common_frame(sched)
+        assert sched.rounds == 0
+        assert frames_are_common(sched)

@@ -1,0 +1,123 @@
+"""Tests for the Distances protocol (Algorithm 6)."""
+
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_FRAME_FLIP, KEY_LD_GAPS
+from repro.protocols.direction_agreement import agree_direction_from_nontrivial_move
+from repro.protocols.distances import (
+    coll_window,
+    convolution_direction,
+    discover_distances,
+    pivot_direction,
+)
+from repro.protocols.leader_election import elect_leader_with_nontrivial_move
+from repro.protocols.neighbor_discovery import discover_neighbors
+from repro.protocols.nontrivial_move import nmove_seeded_family
+from repro.protocols.ring_distance import publish_ring_size, ring_distances
+from repro.ring.configs import (
+    clustered_configuration,
+    jittered_equidistant_configuration,
+    random_configuration,
+)
+from repro.types import Model
+
+from tests.test_location_discovery_walk import check_reconstruction
+
+
+def prepared(state):
+    sched = Scheduler(state, Model.PERCEPTIVE)
+    nmove_seeded_family(sched)
+    agree_direction_from_nontrivial_move(sched)
+    elect_leader_with_nontrivial_move(sched)
+    discover_neighbors(sched)
+    ring_distances(sched)
+    publish_ring_size(sched)
+    return sched
+
+
+class TestDirectionMaps:
+    def test_convolution_alternates_with_exception(self):
+        moves = convolution_direction(6, exception_label=4)
+        # 1-based: 1R 2L 3R 4R(exc) 5R 6L  ->  0-based evens + label0 3.
+        assert [moves(t) for t in range(6)] == [
+            True, False, True, True, True, False,
+        ]
+
+    def test_pivot_half_ring(self):
+        moves = pivot_direction(6, j=6)
+        # Labels 4,5,6 RIGHT; 1,2,3 LEFT (1-based).
+        assert [moves(t) for t in range(6)] == [
+            False, False, False, True, True, True,
+        ]
+
+    def test_pivot_wraps(self):
+        moves = pivot_direction(6, j=2)
+        # Labels 6,1,2 RIGHT; 3,4,5 LEFT.
+        assert [moves(t) for t in range(6)] == [
+            True, True, False, False, False, True,
+        ]
+
+    def test_coll_window_right_mover(self):
+        moves = convolution_direction(6, exception_label=6)
+        # 0-based dirs: R L R L R R(exc=5).
+        assert coll_window(6, moves, 0, rho=0) == (0, 1)
+        assert coll_window(6, moves, 4, rho=0) == (4, 3)  # 5R, 0R, 1L
+        assert coll_window(6, moves, 5, rho=0) == (5, 2)
+
+    def test_coll_window_left_mover_walks_back(self):
+        moves = convolution_direction(6, exception_label=6)
+        assert coll_window(6, moves, 1, rho=0) == (0, 1)
+        assert coll_window(6, moves, 3, rho=0) == (2, 1)
+
+    def test_coll_window_rho_shift(self):
+        moves = convolution_direction(6, exception_label=6)
+        assert coll_window(6, moves, 0, rho=2) == (2, 1)
+
+    def test_uniform_direction_returns_none(self):
+        assert coll_window(4, lambda t: True, 0, 0) is None
+
+
+class TestDiscoverDistances:
+    @pytest.mark.parametrize("n", [6, 8, 10, 12, 14, 16, 20, 26])
+    def test_reconstruction_even_rings(self, n):
+        state = random_configuration(n, seed=n + 1, common_sense=False)
+        sched = prepared(state)
+        start = state.snapshot()
+        rounds = discover_distances(sched)
+        assert rounds == n // 2 + 3
+        assert state.snapshot() == start
+        check_reconstruction(sched)
+
+    @pytest.mark.parametrize("maker", [
+        jittered_equidistant_configuration,
+        clustered_configuration,
+    ])
+    def test_stress_geometries(self, maker):
+        state = maker(12, seed=5, common_sense=False)
+        sched = prepared(state)
+        discover_distances(sched)
+        check_reconstruction(sched)
+
+    def test_rejects_odd_n(self):
+        state = random_configuration(9, seed=2, common_sense=False)
+        sched = prepared(state)
+        with pytest.raises(ProtocolError):
+            discover_distances(sched)
+
+    def test_requires_labels(self):
+        state = random_configuration(8, seed=0, common_sense=False)
+        sched = Scheduler(state, Model.PERCEPTIVE)
+        with pytest.raises(ProtocolError):
+            discover_distances(sched)
+
+    def test_total_rounds_near_half_n(self):
+        """Headline of Theorem 42: the discovery phase itself takes
+        n/2 + O(1) rounds -- half of what dist()-only protocols need."""
+        n = 20
+        state = random_configuration(n, seed=3, common_sense=False)
+        sched = prepared(state)
+        before = sched.rounds
+        discover_distances(sched)
+        assert sched.rounds - before == n // 2 + 3

@@ -1,0 +1,144 @@
+"""Tests for emptiness testing (Lemma 12) and leader election (Alg 2, Lemma 13)."""
+
+import pytest
+
+from repro.core.agent import id_bits
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_LEADER, KEY_NMOVE_DIR
+from repro.protocols.direction_agreement import (
+    agree_direction_from_nontrivial_move,
+    agree_direction_odd,
+    assume_common_frame,
+)
+from repro.protocols.emptiness import KEY_EMPTY_RESULT, emptiness_test
+from repro.protocols.leader_election import (
+    elect_leader_common_sense,
+    elect_leader_with_nontrivial_move,
+)
+from repro.protocols.nontrivial_move import nmove_seeded_family
+from repro.ring.configs import random_configuration
+from repro.types import Model
+
+
+def sched_with_frame(n, seed, model, common_sense=None):
+    state = random_configuration(n, seed=seed, common_sense=common_sense)
+    sched = Scheduler(state, model)
+    if common_sense:
+        assume_common_frame(sched)
+    elif n % 2 == 1:
+        agree_direction_odd(sched)
+    else:
+        nmove_seeded_family(sched)
+        agree_direction_from_nontrivial_move(sched)
+    return sched
+
+
+class TestEmptiness:
+    @pytest.mark.parametrize("model", [Model.BASIC, Model.LAZY, Model.PERCEPTIVE])
+    @pytest.mark.parametrize("n", [7, 8])
+    def test_empty_and_nonempty(self, model, n):
+        sched = sched_with_frame(n, seed=3, model=model)
+        present = set(sched.state.ids)
+        absent = set(range(1, sched.state.id_bound + 1)) - present
+
+        assert emptiness_test(sched, set(list(absent)[:3])) is True
+        assert emptiness_test(sched, {next(iter(present))}) is False
+        mixed = set(list(absent)[:2]) | {next(iter(present))}
+        assert emptiness_test(sched, mixed) is False
+        assert emptiness_test(sched, set()) is True
+
+    def test_consensus_recorded(self):
+        sched = sched_with_frame(7, seed=1, model=Model.BASIC)
+        emptiness_test(sched, {sched.state.ids[0]})
+        assert all(v.memory[KEY_EMPTY_RESULT] is False for v in sched.views)
+
+    def test_positions_restored(self):
+        sched = sched_with_frame(8, seed=5, model=Model.LAZY)
+        start = sched.state.snapshot()
+        emptiness_test(sched, {sched.state.ids[2]})
+        assert sched.state.snapshot() == start
+
+    def test_requires_frame(self):
+        state = random_configuration(7, seed=0)
+        sched = Scheduler(state, Model.BASIC)
+        with pytest.raises(ProtocolError):
+            emptiness_test(sched, {1})
+
+    def test_even_basic_costs_log_rounds(self):
+        sched = sched_with_frame(8, seed=2, model=Model.BASIC,
+                                 common_sense=True)
+        before = sched.rounds
+        emptiness_test(sched, {sched.state.ids[0]})
+        used = sched.rounds - before
+        bits = id_bits(sched.state.id_bound)
+        assert used == 2 * (1 + bits)  # probes + restores
+
+    def test_lazy_costs_one_probe(self):
+        sched = sched_with_frame(8, seed=2, model=Model.LAZY,
+                                 common_sense=True)
+        before = sched.rounds
+        emptiness_test(sched, {sched.state.ids[0]})
+        assert sched.rounds - before == 2  # 1 probe + 1 restore
+
+    @pytest.mark.parametrize("n", [6, 8, 10])
+    def test_even_basic_half_occupancy_detected(self, n):
+        """The adversarial case: |B ∩ A| = n/2 has rotation index 0."""
+        sched = sched_with_frame(n, seed=4, model=Model.BASIC,
+                                 common_sense=True)
+        half = set(sched.state.ids[: n // 2])
+        assert emptiness_test(sched, half) is False
+
+
+class TestLeaderElectionCommonSense:
+    @pytest.mark.parametrize("model", [Model.BASIC, Model.LAZY, Model.PERCEPTIVE])
+    @pytest.mark.parametrize("n", [7, 8])
+    def test_elects_min_id(self, model, n):
+        sched = sched_with_frame(n, seed=9, model=model, common_sense=True)
+        winner = elect_leader_common_sense(sched)
+        assert winner == min(sched.state.ids)
+        flags = [v.memory[KEY_LEADER] for v in sched.views]
+        assert flags.count(True) == 1
+
+    def test_positions_restored(self):
+        sched = sched_with_frame(8, seed=11, model=Model.LAZY,
+                                 common_sense=True)
+        start = sched.state.snapshot()
+        elect_leader_common_sense(sched)
+        assert sched.state.snapshot() == start
+
+
+class TestLeaderElectionAlgorithm2:
+    @pytest.mark.parametrize("n", [6, 8, 10, 12])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_unique_leader_even_rings(self, n, seed):
+        sched = sched_with_frame(n, seed=seed, model=Model.BASIC)
+        leader = elect_leader_with_nontrivial_move(sched)
+        assert leader in sched.state.ids
+        flags = [v.memory[KEY_LEADER] for v in sched.views]
+        assert flags.count(True) == 1
+
+    @pytest.mark.parametrize("n", [7, 9])
+    def test_unique_leader_odd_rings(self, n):
+        sched = sched_with_frame(n, seed=5, model=Model.BASIC)
+        # Odd pipeline: frame agreed; derive a nontrivial move from the
+        # all-RIGHT-in-common-frame round? Simplest: seeded family works
+        # for odd n too (any split round is nontrivial).
+        nmove_seeded_family(sched)
+        leader = elect_leader_with_nontrivial_move(sched)
+        flags = [v.memory[KEY_LEADER] for v in sched.views]
+        assert flags.count(True) == 1
+        assert leader in sched.state.ids
+
+    def test_round_cost_is_logarithmic(self):
+        sched = sched_with_frame(8, seed=3, model=Model.BASIC)
+        before = sched.rounds
+        elect_leader_with_nontrivial_move(sched)
+        used = sched.rounds - before
+        assert used == 2 * id_bits(sched.state.id_bound)
+
+    def test_requires_preconditions(self):
+        state = random_configuration(8, seed=0)
+        sched = Scheduler(state, Model.BASIC)
+        with pytest.raises(ProtocolError):
+            elect_leader_with_nontrivial_move(sched)

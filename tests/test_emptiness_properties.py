@@ -1,0 +1,79 @@
+"""Hypothesis property tests for emptiness testing (Lemma 12).
+
+Emptiness is the one protocol whose answer depends on an arbitrary
+input set B, so it deserves a randomized sweep: any B, any geometry,
+any chirality pattern, all four model/parity variants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.scheduler import Scheduler
+from repro.protocols.direction_agreement import (
+    agree_direction_from_nontrivial_move,
+    agree_direction_odd,
+)
+from repro.protocols.emptiness import KEY_EMPTY_RESULT, emptiness_test
+from repro.protocols.nontrivial_move import nmove_seeded_family
+from repro.ring.configs import random_configuration
+from repro.types import Model
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def prepared(n, seed, model):
+    state = random_configuration(n, seed=seed, common_sense=False)
+    sched = Scheduler(state, model)
+    if n % 2 == 1:
+        agree_direction_odd(sched)
+    else:
+        nmove_seeded_family(sched)
+        agree_direction_from_nontrivial_move(sched)
+    return sched
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=5, max_value=11))
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    model = draw(st.sampled_from(list(Model)))
+    sched = prepared(n, seed, model)
+    id_bound = sched.views[0].id_bound
+    candidate = draw(st.sets(
+        st.integers(min_value=1, max_value=id_bound), max_size=id_bound
+    ))
+    return sched, candidate
+
+
+class TestEmptinessProperties:
+    @SLOW
+    @given(instances())
+    def test_answer_matches_ground_truth(self, instance):
+        sched, candidate = instance
+        present = set(sched.state.ids)
+        truth = not (candidate & present)
+        assert emptiness_test(sched, candidate) is truth
+
+    @SLOW
+    @given(instances())
+    def test_consensus_and_restoration(self, instance):
+        sched, candidate = instance
+        start = sched.state.snapshot()
+        emptiness_test(sched, candidate)
+        answers = {v.memory[KEY_EMPTY_RESULT] for v in sched.views}
+        assert len(answers) == 1
+        assert sched.state.snapshot() == start
+
+    @SLOW
+    @given(st.integers(min_value=3, max_value=5),
+           st.integers(min_value=0, max_value=1_000))
+    def test_exact_half_intersections(self, half, seed):
+        """The adversarial even-basic case |B ∩ A| = n/2 across sizes."""
+        n = 2 * half
+        if n <= 4:
+            n = 6
+        sched = prepared(n, seed, Model.BASIC)
+        subset = set(sched.state.ids[: sched.state.n // 2])
+        assert emptiness_test(sched, subset) is False

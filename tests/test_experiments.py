@@ -1,0 +1,117 @@
+"""Tests for the experiment drivers and the table harness."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentRow,
+    geometric_sizes,
+    render_table,
+)
+from repro.experiments import figures, lower_bounds, table1, table2
+from repro.types import Model
+
+
+class TestHarness:
+    def test_geometric_sizes(self):
+        assert geometric_sizes(8, 64) == [8, 16, 32, 64]
+        assert geometric_sizes(5, 50, factor=3) == [5, 15, 45]
+        assert geometric_sizes(100, 50) == []
+
+    def test_render_empty(self):
+        assert "(empty)" in render_table([], "title")
+
+    def test_render_alignment(self):
+        rows = [
+            ExperimentRow("a", {"n": 8}, {"x": 1}, {"x": 2.0}),
+            ExperimentRow("bee", {"n": 100}, {"x": 12345}, {"x": None}),
+        ]
+        out = render_table(rows, "T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+        assert "12345" in out
+        assert "2.0" in out
+        assert "-" in lines[-1]  # None renders as dash
+
+
+class TestTable1Rows:
+    def test_odd_row_fields(self):
+        row = table1.row_odd_n(9, seed=0)
+        assert row.measured["dir_agree"] == 4
+        assert row.measured["ld"] > 9
+        assert row.reference["nmove"] > 0
+
+    def test_basic_even_row_unsolvable(self):
+        row = table1.row_basic_even(8, seed=0)
+        assert row.measured["ld"] == "not solvable"
+
+    def test_lazy_even_row(self):
+        row = table1.row_lazy_even(8, seed=0)
+        assert row.measured["ld"] >= 8
+
+    def test_perceptive_even_row(self):
+        row = table1.row_perceptive_even(8, seed=0)
+        assert row.measured["ld_discovery_phase"] == 7
+
+    def test_generate_covers_all_rows(self):
+        rows = table1.generate(odd_sizes=(9,), even_sizes=(8,))
+        labels = [r.label for r in rows]
+        assert labels == [
+            "odd n (basic)", "basic, even n", "lazy, even n",
+            "perceptive, even n",
+        ]
+
+    def test_parity_preconditions_enforced(self):
+        with pytest.raises(AssertionError):
+            table1.row_odd_n(8)
+        with pytest.raises(AssertionError):
+            table1.row_basic_even(9)
+
+
+class TestTable2Rows:
+    @pytest.mark.parametrize("model", list(Model))
+    def test_even_rows(self, model):
+        row = table2.row(8, model, seed=0)
+        assert row.measured["nmove"] <= 8
+        if model is Model.BASIC:
+            assert row.measured["ld"] == "not solvable"
+        else:
+            assert row.measured["ld"] >= 4
+
+    def test_odd_basic_row(self):
+        row = table2.row(9, Model.BASIC, seed=0)
+        assert isinstance(row.measured["ld"], int)
+
+    def test_generate_shape(self):
+        rows = table2.generate(odd_sizes=(9,), even_sizes=(8,))
+        assert len(rows) == 1 + 3
+
+
+class TestFigures:
+    def test_reduction_edges_labels(self):
+        rows = figures.reduction_edges(n=8, seed=0)
+        labels = {r.label for r in rows}
+        assert "leader -> nontrivial move" in labels
+        assert "nontrivial move -> leader election" in labels
+        assert len(rows) == 6
+
+    def test_ringdist_anatomy_monotone(self):
+        rows = figures.ringdist_anatomy(n=16, seed=0)
+        labelled = [r.measured["labelled"] for r in rows]
+        assert labelled == sorted(labelled)
+        assert labelled[-1] == 16
+
+
+class TestLowerBounds:
+    def test_lemma5_witness(self):
+        row = lower_bounds.lemma5_witness(6)
+        assert row.measured["rotation_parities"] == [0]
+
+    def test_lemma6_rows_respect_floor(self):
+        for row in lower_bounds.lemma6_floors(seed=0):
+            assert row.measured["discovery_rounds"] >= row.reference["floor"]
+
+    def test_distinguisher_rows(self):
+        rows = lower_bounds.distinguisher_sizes(max_exact_universe=5)
+        n1 = [r for r in rows if r.label == "exact minimal (n=1)"]
+        assert [r.measured["size"] for r in n1] == [2, 3]

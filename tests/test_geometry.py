@@ -1,0 +1,119 @@
+"""Unit tests for exact circle arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    ccw_arc,
+    cw_arc,
+    gaps,
+    interleave_sum,
+    is_ring_ordered,
+    normalize,
+    sort_ring,
+)
+
+F = Fraction
+
+
+def frac(denom_bits: int = 10):
+    denom = 1 << denom_bits
+    return st.integers(min_value=-3 * denom, max_value=3 * denom).map(
+        lambda k: Fraction(k, denom)
+    )
+
+
+class TestNormalize:
+    def test_identity_in_range(self):
+        assert normalize(F(1, 3)) == F(1, 3)
+
+    def test_wraps_above_one(self):
+        assert normalize(F(7, 3)) == F(1, 3)
+
+    def test_wraps_negative(self):
+        assert normalize(F(-1, 4)) == F(3, 4)
+
+    def test_zero(self):
+        assert normalize(F(0)) == 0
+        assert normalize(F(1)) == 0
+
+    @given(frac())
+    def test_result_in_unit_interval(self, x):
+        y = normalize(x)
+        assert 0 <= y < 1
+
+    @given(frac(), st.integers(min_value=-5, max_value=5))
+    def test_invariant_under_integer_shift(self, x, k):
+        assert normalize(x + k) == normalize(x)
+
+
+class TestArcs:
+    def test_cw_simple(self):
+        assert cw_arc(F(1, 4), F(3, 4)) == F(1, 2)
+
+    def test_cw_wraps(self):
+        assert cw_arc(F(3, 4), F(1, 4)) == F(1, 2)
+
+    def test_cw_zero(self):
+        assert cw_arc(F(2, 5), F(2, 5)) == 0
+
+    def test_ccw_is_complement(self):
+        assert ccw_arc(F(1, 4), F(3, 4)) == F(1, 2)
+        assert ccw_arc(F(0), F(1, 3)) == F(2, 3)
+
+    @given(frac(), frac())
+    def test_cw_plus_ccw_is_one_or_zero(self, a, b):
+        total = cw_arc(a, b) + ccw_arc(a, b)
+        assert total in (0, 1)
+        assert (total == 0) == (normalize(a) == normalize(b))
+
+    @given(frac(), frac(), frac())
+    def test_cw_triangle_additivity(self, a, b, c):
+        # Walking a->b->c clockwise covers a->c plus possibly full turns.
+        walked = cw_arc(a, b) + cw_arc(b, c)
+        assert normalize(walked) == cw_arc(a, c)
+
+
+class TestGaps:
+    def test_gaps_sum_to_one(self):
+        p = [F(0), F(1, 8), F(1, 2), F(3, 4)]
+        assert sum(gaps(p)) == 1
+
+    def test_gap_values(self):
+        p = [F(0), F(1, 4), F(1, 2)]
+        assert gaps(p) == [F(1, 4), F(1, 4), F(1, 2)]
+
+    def test_ring_ordered_accepts_rotated_start(self):
+        p = [F(1, 2), F(3, 4), F(0), F(1, 4)]
+        assert is_ring_ordered(p)
+
+    def test_ring_ordered_rejects_shuffled(self):
+        p = [F(0), F(1, 2), F(1, 4), F(3, 4)]
+        assert not is_ring_ordered(p)
+
+    def test_ring_ordered_rejects_duplicates(self):
+        p = [F(0), F(1, 2), F(1, 2)]
+        assert not is_ring_ordered(p)
+
+    def test_sort_ring(self):
+        p = [F(1, 2), F(0), F(3, 4)]
+        assert sort_ring(p) == [1, 0, 2]
+
+
+class TestInterleaveSum:
+    def test_window(self):
+        vals = [F(1), F(2), F(3), F(4)]
+        assert interleave_sum(vals, 1, 2) == 5
+
+    def test_wraparound(self):
+        vals = [F(1), F(2), F(3), F(4)]
+        assert interleave_sum(vals, 3, 2) == 5
+
+    def test_zero_count(self):
+        assert interleave_sum([F(1)], 0, 0) == 0
+
+    def test_full_cycle_is_total(self):
+        vals = [F(1, 3), F(1, 3), F(1, 3)]
+        assert interleave_sum(vals, 2, 3) == 1

@@ -1,0 +1,89 @@
+"""Tests for closed-form kinematics, including the coll() closed form."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ring.collisions import simulate_collisions
+from repro.ring.kinematics import (
+    closed_form_round,
+    first_collisions_basic,
+    rotation_index,
+)
+
+F = Fraction
+
+
+def ring_positions(n, denom_bits=8):
+    denom = 1 << denom_bits
+    return st.sets(
+        st.integers(min_value=0, max_value=denom - 1), min_size=n, max_size=n
+    ).map(lambda ticks: [F(t, denom) for t in sorted(ticks)])
+
+
+class TestRotationIndex:
+    def test_all_clockwise(self):
+        assert rotation_index([1, 1, 1, 1, 1], 5) == 0
+
+    def test_balanced_even(self):
+        assert rotation_index([1, 1, -1, -1], 4) == 0
+
+    def test_mixed(self):
+        assert rotation_index([1, -1, -1, -1, -1], 5) == (1 - 4) % 5
+
+    def test_idle_agents_do_not_count(self):
+        assert rotation_index([1, 0, 0, 0, 0, 0], 6) == 1
+        assert rotation_index([0, 0, 0, 0, 0, 0], 6) == 0
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), min_size=2, max_size=12))
+    def test_matches_definition(self, vel):
+        n = len(vel)
+        n_cw = vel.count(1)
+        n_acw = vel.count(-1)
+        assert rotation_index(vel, n) == (n_cw - n_acw) % n
+
+
+class TestClosedFormRound:
+    def test_rotation_two(self):
+        pos = [F(0), F(1, 8), F(1, 2), F(5, 8), F(3, 4)]
+        vel = [1, 1, 1, -1, 1]  # r = (4 - 1) mod 5 = 3
+        final, r = closed_form_round(pos, vel)
+        assert r == 3
+        assert final == [pos[(i + 3) % 5] for i in range(5)]
+
+
+class TestFirstCollisionsClosedForm:
+    def test_rejects_idle(self):
+        with pytest.raises(ValueError):
+            first_collisions_basic([F(0), F(1, 2)], [1, 0])
+
+    def test_uniform_direction_no_collision(self):
+        pos = [F(0), F(1, 4), F(1, 2)]
+        assert first_collisions_basic(pos, [1, 1, 1]) == [None, None, None]
+        assert first_collisions_basic(pos, [-1, -1, -1]) == [None, None, None]
+
+    def test_cascade_window(self):
+        # Three cw movers then one acw: windows grow by one gap each.
+        pos = [F(0), F(1, 8), F(1, 4), F(5, 8)]
+        vel = [1, 1, 1, -1]
+        coll = first_collisions_basic(pos, vel)
+        assert coll[0] == (F(1, 8) + F(1, 8) + F(3, 8)) / 2
+        assert coll[1] == (F(1, 8) + F(3, 8)) / 2
+        assert coll[2] == F(3, 8) / 2
+        # The acw mover's window walks backwards to agent 2.
+        assert coll[3] == F(3, 8) / 2
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.data())
+    def test_matches_event_simulator(self, data):
+        """The load-bearing property: closed form == exact event sim."""
+        n = data.draw(st.integers(min_value=2, max_value=11))
+        pos = data.draw(ring_positions(n))
+        vel = data.draw(
+            st.lists(st.sampled_from([-1, 1]), min_size=n, max_size=n)
+        )
+        traces, _ = simulate_collisions(pos, vel)
+        closed = first_collisions_basic(pos, vel)
+        event = [t.coll_distance for t in traces]
+        assert closed == event

@@ -1,0 +1,140 @@
+"""Tests for exact linear solvers and incremental equation systems."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.equations import Equation, EquationSystem
+from repro.analysis.linear_system import (
+    solve_cyclic_pair_sums,
+    solve_linear_system,
+)
+from repro.exceptions import SingularSystemError
+
+F = Fraction
+
+
+def fracs(n):
+    return st.lists(
+        st.integers(min_value=-50, max_value=50).map(lambda k: F(k, 7)),
+        min_size=n, max_size=n,
+    )
+
+
+class TestSolveLinearSystem:
+    def test_identity(self):
+        rows = [[F(1), F(0)], [F(0), F(1)]]
+        assert solve_linear_system(rows, [F(3), F(4)]) == [F(3), F(4)]
+
+    def test_general_2x2(self):
+        rows = [[F(2), F(1)], [F(1), F(-1)]]
+        sol = solve_linear_system(rows, [F(5), F(1)])
+        assert sol == [F(2), F(1)]
+
+    def test_redundant_rows_tolerated(self):
+        rows = [[F(1), F(1)], [F(2), F(2)], [F(1), F(-1)]]
+        sol = solve_linear_system(rows, [F(3), F(6), F(1)])
+        assert sol == [F(2), F(1)]
+
+    def test_underdetermined_raises(self):
+        with pytest.raises(SingularSystemError):
+            solve_linear_system([[F(1), F(1)]], [F(2)])
+
+    def test_empty(self):
+        assert solve_linear_system([], []) == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_roundtrip_random_systems(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=5))
+        x = data.draw(fracs(n))
+        rows = []
+        rhs = []
+        import random
+
+        rng = random.Random(data.draw(st.integers(0, 1000)))
+        for _ in range(n + 2):
+            row = [F(rng.randint(-3, 3)) for _ in range(n)]
+            rows.append(row)
+            rhs.append(sum(c * v for c, v in zip(row, x)))
+        try:
+            sol = solve_linear_system(rows, rhs)
+        except SingularSystemError:
+            return  # random rows may be rank deficient; fine
+        assert sol == x
+
+
+class TestCyclicPairSums:
+    @pytest.mark.parametrize("n", [3, 5, 7, 9])
+    def test_roundtrip_odd(self, n):
+        x = [F(i + 1, 2 * n) for i in range(n)]
+        sums = [x[j] + x[(j + 1) % n] for j in range(n)]
+        assert solve_cyclic_pair_sums(sums) == x
+
+    def test_even_raises(self):
+        with pytest.raises(SingularSystemError):
+            solve_cyclic_pair_sums([F(1), F(1), F(1), F(1)])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_roundtrip_property(self, data):
+        n = data.draw(st.sampled_from([3, 5, 7, 9, 11]))
+        x = data.draw(fracs(n))
+        sums = [x[j] + x[(j + 1) % n] for j in range(n)]
+        assert solve_cyclic_pair_sums(sums) == x
+
+
+class TestEquationSystem:
+    def test_window_equation_wraps(self):
+        eq = Equation.window(4, start=3, count=2, scale=F(1), value=F(5))
+        assert eq.coeffs == (F(1), F(0), F(0), F(1))
+
+    def test_incremental_rank(self):
+        sys_ = EquationSystem(3)
+        assert sys_.add(Equation.window(3, 0, 1, F(1), F(1)))
+        assert sys_.rank == 1
+        assert not sys_.full_rank
+        assert sys_.add(Equation.window(3, 1, 1, F(1), F(2)))
+        assert sys_.add(Equation.window(3, 0, 3, F(1), F(6)))
+        assert sys_.full_rank
+        assert sys_.solve() == [F(1), F(2), F(3)]
+
+    def test_dependent_row_rejected_quietly(self):
+        sys_ = EquationSystem(2)
+        sys_.add(Equation((F(1), F(1)), F(3)))
+        assert not sys_.add(Equation((F(2), F(2)), F(6)))
+        assert sys_.rank == 1
+
+    def test_contradiction_raises(self):
+        sys_ = EquationSystem(2)
+        sys_.add(Equation((F(1), F(1)), F(3)))
+        with pytest.raises(SingularSystemError):
+            sys_.add(Equation((F(2), F(2)), F(7)))
+
+    def test_solve_before_full_rank_raises(self):
+        sys_ = EquationSystem(2)
+        with pytest.raises(SingularSystemError):
+            sys_.solve()
+        assert sys_.solve_if_ready() is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_window_equations_recover_gaps(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=6))
+        x = data.draw(fracs(n))
+        sys_ = EquationSystem(n)
+        import random
+
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        for _ in range(6 * n):
+            start = rng.randrange(n)
+            count = rng.randint(1, n - 1)
+            value = sum(x[(start + k) % n] for k in range(count))
+            sys_.add(Equation.window(n, start, count, F(1), F(value)))
+            if sys_.full_rank:
+                break
+        # Add the full-circle equation to guarantee solvability.
+        sys_.add(Equation.window(n, 0, n, F(1), sum(x, F(0))))
+        if sys_.full_rank:
+            assert sys_.solve() == x

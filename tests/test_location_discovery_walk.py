@@ -1,0 +1,154 @@
+"""Tests for walk-based location discovery (Lemma 16 sweeps)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import InfeasibleProblemError, ProtocolError
+from repro.geometry import cw_arc, ccw_arc
+from repro.protocols.base import KEY_FRAME_FLIP, KEY_LD_GAPS, KEY_LEADER
+from repro.protocols.direction_agreement import (
+    agree_direction_from_nontrivial_move,
+    agree_direction_odd,
+)
+from repro.protocols.leader_election import elect_leader_with_nontrivial_move
+from repro.protocols.location_discovery import (
+    reconstructed_positions,
+    sweep_rotation_one,
+    sweep_rotation_two,
+)
+from repro.protocols.nontrivial_move import nmove_from_leader, nmove_seeded_family
+from repro.ring.configs import random_configuration
+from repro.types import Chirality, Model
+
+
+def coordinate(sched: Scheduler) -> None:
+    """Run the coordination pipeline appropriate for the test rings."""
+    if sched.views[0].parity_even:
+        nmove_seeded_family(sched)
+    else:
+        agree_direction_odd(sched)
+        nmove_seeded_family(sched)
+    agree_direction_from_nontrivial_move(sched)
+    elect_leader_with_nontrivial_move(sched)
+
+
+def check_reconstruction(sched: Scheduler) -> None:
+    """Every agent's reconstructed gap vector must match ground truth,
+    read in that agent's common-frame direction from its own slot."""
+    state = sched.state
+    n = state.n
+    true_gaps_cw = state.initial_gaps()
+    for i, view in enumerate(sched.views):
+        got = view.memory[KEY_LD_GAPS]
+        flip = view.memory[KEY_FRAME_FLIP]
+        chir = state.chiralities[i]
+        # The agent's common clockwise is objective clockwise iff its
+        # chirality and flip cancel.
+        common_is_objective_cw = (int(chir) * (-1 if flip else 1)) == 1
+        if common_is_objective_cw:
+            expected = [true_gaps_cw[(i + k) % n] for k in range(n)]
+        else:
+            expected = [true_gaps_cw[(i - 1 - k) % n] for k in range(n)]
+        assert got == expected, f"agent at ring index {i} misreconstructed"
+
+
+class TestSweepRotationOne:
+    @pytest.mark.parametrize("n", [5, 6, 8, 9, 12])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_reconstructs_all_gaps(self, n, seed):
+        state = random_configuration(n, seed=seed, common_sense=False)
+        sched = Scheduler(state, Model.LAZY)
+        coordinate(sched)
+        start = state.snapshot()
+        rounds = sweep_rotation_one(sched)
+        assert rounds == n
+        assert state.snapshot() == start  # sweep returns to start
+        check_reconstruction(sched)
+
+    def test_costs_exactly_n_plus_coordination(self):
+        n = 10
+        state = random_configuration(n, seed=4, common_sense=False)
+        sched = Scheduler(state, Model.LAZY)
+        coordinate(sched)
+        before = sched.rounds
+        sweep_rotation_one(sched)
+        assert sched.rounds - before == n
+
+    def test_requires_lazy_model(self):
+        state = random_configuration(7, seed=0, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        coordinate(sched)
+        with pytest.raises(ProtocolError):
+            sweep_rotation_one(sched)
+
+    def test_requires_leader(self):
+        state = random_configuration(7, seed=0, common_sense=False)
+        sched = Scheduler(state, Model.LAZY)
+        with pytest.raises(ProtocolError):
+            sweep_rotation_one(sched)
+
+
+class TestSweepRotationTwo:
+    @pytest.mark.parametrize("n", [5, 7, 9, 11, 15])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_reconstructs_all_gaps_odd_basic(self, n, seed):
+        state = random_configuration(n, seed=seed, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        coordinate(sched)
+        start = state.snapshot()
+        rounds = sweep_rotation_two(sched)
+        assert rounds == n
+        assert state.snapshot() == start
+        check_reconstruction(sched)
+
+    def test_even_n_is_infeasible(self):
+        state = random_configuration(8, seed=0, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        coordinate(sched)
+        with pytest.raises(InfeasibleProblemError):
+            sweep_rotation_two(sched)
+
+
+class TestReconstructedPositions:
+    def test_prefix_sums(self):
+        state = random_configuration(7, seed=2, common_sense=False)
+        sched = Scheduler(state, Model.LAZY)
+        coordinate(sched)
+        sweep_rotation_one(sched)
+        for view in sched.views:
+            positions = reconstructed_positions(view)
+            gaps = view.memory[KEY_LD_GAPS]
+            assert positions[0] == 0
+            assert len(positions) == state.n
+            assert positions[1] == gaps[0]
+            assert positions[-1] + gaps[-1] == 1
+
+    def test_matches_ground_truth_arcs(self):
+        state = random_configuration(9, seed=6, common_sense=False)
+        sched = Scheduler(state, Model.LAZY)
+        coordinate(sched)
+        sweep_rotation_one(sched)
+        n = state.n
+        for i, view in enumerate(sched.views):
+            positions = reconstructed_positions(view)
+            flip = view.memory[KEY_FRAME_FLIP]
+            chir = state.chiralities[i]
+            common_is_cw = (int(chir) * (-1 if flip else 1)) == 1
+            for k in range(n):
+                other = (i + k) % n if common_is_cw else (i - k) % n
+                arc = (
+                    cw_arc(state.initial_positions[i],
+                           state.initial_positions[other])
+                    if common_is_cw
+                    else ccw_arc(state.initial_positions[i],
+                                 state.initial_positions[other])
+                )
+                assert positions[k] == arc
+
+    def test_raises_before_discovery(self):
+        state = random_configuration(7, seed=0)
+        sched = Scheduler(state, Model.LAZY)
+        with pytest.raises(ProtocolError):
+            reconstructed_positions(sched.views[0])

@@ -1,0 +1,111 @@
+"""Tests for neighbor discovery (Algorithm 3)."""
+
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.neighbor_discovery import (
+    KEY_GAP_LEFT,
+    KEY_GAP_RIGHT,
+    KEY_SAME_LEFT,
+    KEY_SAME_RIGHT,
+    discover_neighbors,
+    neighbor_info,
+)
+from repro.ring.configs import random_configuration
+from repro.types import Chirality, Model
+
+
+def check_against_ground_truth(sched: Scheduler) -> None:
+    state = sched.state
+    n = state.n
+    gaps = state.initial_gaps()  # gaps[i] = cw arc agent i -> agent i+1
+    for i, view in enumerate(sched.views):
+        gap_right, gap_left, same_right, same_left = neighbor_info(view)
+        chir = state.chiralities[i]
+        if chir is Chirality.CLOCKWISE:
+            true_right, true_left = gaps[i], gaps[(i - 1) % n]
+            right_idx, left_idx = (i + 1) % n, (i - 1) % n
+        else:
+            true_right, true_left = gaps[(i - 1) % n], gaps[i]
+            right_idx, left_idx = (i - 1) % n, (i + 1) % n
+        assert gap_right == true_right, f"agent {i}: wrong right gap"
+        assert gap_left == true_left, f"agent {i}: wrong left gap"
+        assert same_right == (state.chiralities[right_idx] == chir)
+        assert same_left == (state.chiralities[left_idx] == chir)
+
+
+class TestNeighborDiscovery:
+    @pytest.mark.parametrize("n", [5, 6, 8, 11, 16])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mixed_chirality(self, n, seed):
+        state = random_configuration(n, seed=seed, common_sense=False)
+        sched = Scheduler(state, Model.PERCEPTIVE)
+        start = state.snapshot()
+        discover_neighbors(sched)
+        assert state.snapshot() == start
+        check_against_ground_truth(sched)
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_all_common_chirality(self, seed):
+        state = random_configuration(9, seed=seed, common_sense=True)
+        sched = Scheduler(state, Model.PERCEPTIVE)
+        discover_neighbors(sched)
+        check_against_ground_truth(sched)
+
+    def test_alternating_chirality(self):
+        """Worst case for the uniform rounds: every neighbor flipped."""
+        from fractions import Fraction
+        from repro.ring.configs import explicit_configuration
+
+        n = 8
+        state = explicit_configuration(
+            positions=[Fraction(3 * i + (i % 2), 3 * n) for i in range(n)],
+            ids=list(range(1, n + 1)),
+            chiralities=[
+                Chirality.CLOCKWISE if i % 2 == 0 else Chirality.ANTICLOCKWISE
+                for i in range(n)
+            ],
+            id_bound=2 * n,
+        )
+        sched = Scheduler(state, Model.PERCEPTIVE)
+        discover_neighbors(sched)
+        check_against_ground_truth(sched)
+
+    def test_adversarial_complement_ids(self):
+        """IDs sharing no bit: bit rounds alone cannot produce head-on
+        collisions between flipped neighbors; uniform rounds must."""
+        from fractions import Fraction
+        from repro.ring.configs import explicit_configuration
+
+        # 5 agents, IDs chosen so some adjacent pairs share no set bits.
+        state = explicit_configuration(
+            positions=[Fraction(i, 5) for i in range(5)],
+            ids=[0b0101, 0b1010, 0b0110, 0b1001, 0b0011],
+            chiralities=[
+                Chirality.CLOCKWISE,
+                Chirality.ANTICLOCKWISE,
+                Chirality.CLOCKWISE,
+                Chirality.ANTICLOCKWISE,
+                Chirality.CLOCKWISE,
+            ],
+            id_bound=16,
+        )
+        sched = Scheduler(state, Model.PERCEPTIVE)
+        discover_neighbors(sched)
+        check_against_ground_truth(sched)
+
+    def test_requires_perceptive_model(self):
+        state = random_configuration(6, seed=0)
+        sched = Scheduler(state, Model.BASIC)
+        with pytest.raises(ProtocolError):
+            discover_neighbors(sched)
+
+    def test_round_cost_logarithmic(self):
+        state = random_configuration(8, seed=1, common_sense=False)
+        sched = Scheduler(state, Model.PERCEPTIVE)
+        discover_neighbors(sched)
+        from repro.core.agent import id_bits
+
+        bits = id_bits(state.id_bound)
+        assert sched.rounds == 4 * bits + 4

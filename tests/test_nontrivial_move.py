@@ -1,0 +1,165 @@
+"""Tests for nontrivial move protocols (Lemma 10, Prop 19, Theorem 27)."""
+
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_LEADER, KEY_NMOVE_DIR
+from repro.protocols.direction_agreement import (
+    agree_direction_odd,
+    assume_common_frame,
+)
+from repro.protocols.nontrivial_move import (
+    nmove_from_leader,
+    nmove_odd_bisection,
+    nmove_seeded_family,
+)
+from repro.ring.configs import random_configuration
+from repro.ring.kinematics import rotation_index
+from repro.types import LocalDirection, Model, local_to_velocity
+
+
+def stored_rotation_index(sched: Scheduler) -> int:
+    """Omniscient: rotation index of the round stored under nmove.dir."""
+    state = sched.state
+    velocities = [
+        local_to_velocity(view.memory[KEY_NMOVE_DIR], state.chiralities[i])
+        for i, view in enumerate(sched.views)
+    ]
+    return rotation_index(velocities, state.n)
+
+
+def assert_nontrivial(sched: Scheduler, weak: bool = False) -> None:
+    r = stored_rotation_index(sched)
+    n = sched.state.n
+    assert r != 0
+    if not weak:
+        assert r * 2 != n
+
+
+class TestNMoveFromLeader:
+    @pytest.mark.parametrize("n", [6, 7, 8, 11])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_produces_nontrivial_move(self, n, seed):
+        state = random_configuration(n, seed=seed, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        # Omnisciently crown a leader (leader election is tested elsewhere).
+        leader_index = 0
+        for i, view in enumerate(sched.views):
+            view.memory[KEY_LEADER] = i == leader_index
+        nmove_from_leader(sched)
+        assert_nontrivial(sched)
+
+    def test_constant_round_cost(self):
+        state = random_configuration(8, seed=0, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        for i, view in enumerate(sched.views):
+            view.memory[KEY_LEADER] = i == 0
+        nmove_from_leader(sched)
+        assert sched.rounds <= 8
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_common_chirality(self, seed):
+        """With one shared sense, all-RIGHT is trivial (r = 0); the
+        leader-flips round must be selected."""
+        state = random_configuration(6, seed=seed, common_sense=True)
+        sched = Scheduler(state, Model.BASIC)
+        for i, view in enumerate(sched.views):
+            view.memory[KEY_LEADER] = i == 2
+        nmove_from_leader(sched)
+        assert_nontrivial(sched)
+        assert stored_rotation_index(sched) in (2, sched.state.n - 2)
+
+
+class TestNMoveOddBisection:
+    @pytest.mark.parametrize("n", [5, 7, 9, 13])
+    @pytest.mark.parametrize("seed", [0, 3, 8])
+    def test_produces_nontrivial_move(self, n, seed):
+        state = random_configuration(n, seed=seed, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        agree_direction_odd(sched)
+        nmove_odd_bisection(sched)
+        assert_nontrivial(sched)
+
+    def test_round_cost_scales_with_log_ratio(self):
+        """Θ(log(N/n)): a huge ID space with few agents costs more
+        probes than a tight one, but stays ≈ log2(N/n) + O(1)."""
+        import math
+
+        n = 9
+        for id_bound in (16, 1 << 12):
+            state = random_configuration(
+                n, id_bound=id_bound, seed=1, common_sense=True
+            )
+            sched = Scheduler(state, Model.BASIC)
+            assume_common_frame(sched)
+            nmove_odd_bisection(sched)
+            probes = sched.rounds / 2  # each probe has a restore round
+            assert probes <= math.log2(id_bound / n) + 3
+            assert_nontrivial(sched)
+
+    def test_rejects_even_n(self):
+        state = random_configuration(8, seed=0)
+        sched = Scheduler(state, Model.BASIC)
+        assume_common_frame(sched)
+        with pytest.raises(ProtocolError):
+            nmove_odd_bisection(sched)
+
+    def test_adversarial_contiguous_ids(self):
+        """All IDs packed in one half of the ID space: bisection must
+        keep descending before it can split."""
+        from repro.ring.configs import explicit_configuration
+        from fractions import Fraction
+        from repro.types import Chirality
+
+        n, id_bound = 7, 1 << 10
+        ids = list(range(900, 900 + n))
+        state = explicit_configuration(
+            positions=[Fraction(i, n) for i in range(n)],
+            ids=ids,
+            chiralities=[Chirality.CLOCKWISE] * n,
+            id_bound=id_bound,
+        )
+        sched = Scheduler(state, Model.BASIC)
+        assume_common_frame(sched)
+        nmove_odd_bisection(sched)
+        assert_nontrivial(sched)
+
+
+class TestNMoveSeededFamily:
+    @pytest.mark.parametrize("n", [6, 8, 10, 16])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_even_rings_mixed_chirality(self, n, seed):
+        state = random_configuration(n, seed=seed, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        probes = nmove_seeded_family(sched)
+        assert_nontrivial(sched)
+        assert probes >= 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_even_rings_common_chirality(self, seed):
+        """Lemma 15 realisation: works with a shared sense too."""
+        state = random_configuration(8, seed=seed, common_sense=True)
+        sched = Scheduler(state, Model.BASIC)
+        nmove_seeded_family(sched)
+        assert_nontrivial(sched)
+
+    def test_weak_variant_allows_half_turn(self):
+        state = random_configuration(8, seed=5, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        nmove_seeded_family(sched, weak=True)
+        assert_nontrivial(sched, weak=True)
+
+    def test_deterministic_given_seed(self):
+        a = random_configuration(8, seed=2, common_sense=False)
+        b = random_configuration(8, seed=2, common_sense=False)
+        pa = nmove_seeded_family(Scheduler(a, Model.BASIC))
+        pb = nmove_seeded_family(Scheduler(b, Model.BASIC))
+        assert pa == pb
+
+    def test_probe_budget_enforced(self):
+        state = random_configuration(8, seed=2, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        with pytest.raises(ProtocolError):
+            # A zero-probe budget can never find a move.
+            nmove_seeded_family(sched, max_probes=0)

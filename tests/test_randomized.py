@@ -1,0 +1,103 @@
+"""Tests for the randomized (anonymous agents) variant."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.protocols.randomized import (
+    anonymous_configuration,
+    collision_probability,
+    draw_random_ids,
+    randomized_location_discovery,
+)
+from repro.ring.configs import random_configuration
+from repro.types import Chirality, Model
+
+
+def anonymous_ring(n, seed):
+    base = random_configuration(n, seed=seed, common_sense=False)
+    return base.positions, base.chiralities
+
+
+class TestCollisionProbability:
+    def test_certain_when_space_too_small(self):
+        assert collision_probability(5, 4) == 1.0
+
+    def test_birthday_bound(self):
+        # P(collision) <= n^2 / (2R).
+        for n, space in ((8, 8 ** 3), (16, 16 ** 3)):
+            assert collision_probability(n, space) <= n * n / (2 * space) * 1.1
+
+    def test_monotone_in_n(self):
+        assert collision_probability(10, 1000) > collision_probability(
+            5, 1000
+        )
+
+
+class TestDrawRandomIds:
+    def test_deterministic_given_seed(self):
+        assert draw_random_ids(8, 512, seed=1) == draw_random_ids(
+            8, 512, seed=1
+        )
+
+    def test_range(self):
+        ids = draw_random_ids(100, 7, seed=2)
+        assert all(1 <= x <= 7 for x in ids)
+
+    def test_collisions_do_occur_with_replacement(self):
+        """With R = n the draw collides almost surely -- the generator
+        must not silently deduplicate."""
+        collided = any(
+            len(set(draw_random_ids(12, 12, seed=s))) < 12 for s in range(10)
+        )
+        assert collided
+
+
+class TestAnonymousConfiguration:
+    def test_successful_draw_builds_state(self):
+        positions, chirs = anonymous_ring(9, seed=4)
+        state = anonymous_configuration(positions, chirs, seed=1)
+        assert state.n == 9
+        assert state.id_bound == 9 ** 3
+        assert len(set(state.ids)) == 9
+
+    def test_collision_raises(self):
+        positions, chirs = anonymous_ring(12, seed=4)
+        with pytest.raises(ConfigurationError, match="collision"):
+            # R = 2 guarantees twins for n = 12.
+            anonymous_configuration(positions, chirs, seed=0, id_space=2)
+
+
+class TestRandomizedLocationDiscovery:
+    @pytest.mark.parametrize("model", [Model.LAZY, Model.PERCEPTIVE])
+    @pytest.mark.parametrize("n", [8, 9])
+    def test_whp_success(self, model, n):
+        positions, chirs = anonymous_ring(n, seed=n)
+        result = randomized_location_discovery(
+            positions, chirs, model=model, seed=5
+        )
+        gaps = result.gaps_by_agent[0]
+        assert sum(gaps, Fraction(0)) == 1
+        assert len(gaps) == n
+
+    def test_many_seeds_never_collide_at_cubic_space(self):
+        """Empirical w.h.p.: 60 independent runs at R = n³ all get
+        unique IDs (expected failures ≈ 60/(2n) ... < 4; we tolerate a
+        couple but the bound must roughly hold)."""
+        n = 10
+        positions, chirs = anonymous_ring(n, seed=1)
+        failures = 0
+        for seed in range(60):
+            try:
+                anonymous_configuration(positions, chirs, seed=seed)
+            except ConfigurationError:
+                failures += 1
+        assert failures <= 6  # bound: 60 * n²/(2n³) = 3 expected
+
+    def test_reproducible(self):
+        positions, chirs = anonymous_ring(8, seed=2)
+        a = randomized_location_discovery(positions, chirs, seed=10)
+        b = randomized_location_discovery(positions, chirs, seed=10)
+        assert a.rounds == b.rounds
+        assert a.gaps_by_agent == b.gaps_by_agent

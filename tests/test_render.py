@@ -1,0 +1,66 @@
+"""Tests for the ASCII space-time renderer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.render import render_round, render_trajectory_summary
+
+F = Fraction
+
+
+class TestRenderRound:
+    def test_dimensions(self):
+        out = render_round([F(0), F(1, 2)], [1, -1], width=40, steps=10)
+        lines = out.splitlines()
+        assert len(lines) == 12  # header + 11 rows
+        assert all(len(line) == 2 + 40 + 1 for line in lines[1:])
+
+    def test_agents_appear_every_row(self):
+        out = render_round([F(0), F(1, 2)], [1, -1], width=40, steps=8)
+        for line in out.splitlines()[1:]:
+            body = line[2:-1]
+            # Either both glyphs visible or they share a cell.
+            assert ("0" in body) or ("1" in body)
+
+    def test_collision_rows_marked(self):
+        out = render_round([F(0), F(1, 2)], [1, -1], width=40, steps=8)
+        assert "*" in out
+
+    def test_no_collisions_no_marks(self):
+        out = render_round(
+            [F(0), F(1, 4), F(1, 2)], [1, 1, 1], width=30, steps=6
+        )
+        assert "*" not in out
+
+    def test_custom_labels(self):
+        out = render_round(
+            [F(0), F(1, 2)], [1, -1], width=20, steps=4, labels=["A", "B"]
+        )
+        assert "A" in out and "B" in out
+
+    def test_label_count_validated(self):
+        with pytest.raises(ValueError):
+            render_round([F(0), F(1, 2)], [1, -1], labels=["A"])
+
+    def test_idle_agent_stays_put_until_struck(self):
+        out = render_round(
+            [F(0), F(1, 2)], [1, 0], width=40, steps=8
+        )
+        lines = out.splitlines()[1:]
+        col_first = lines[0].index("1")
+        col_second = lines[1].index("1")
+        assert col_first == col_second  # idle before the hit
+
+
+class TestTrajectorySummary:
+    def test_mentions_all_agents(self):
+        out = render_trajectory_summary(
+            [F(0), F(1, 4), F(1, 2)], [1, -1, 1]
+        )
+        assert "agent 0" in out and "agent 2" in out
+
+    def test_no_collision_case(self):
+        out = render_trajectory_summary([F(0), F(1, 2)], [1, 1])
+        assert "no collision" in out
+        assert out.startswith("0 collision events")

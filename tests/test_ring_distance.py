@@ -1,0 +1,124 @@
+"""Tests for RingDist (Algorithm 5) and the ring-size broadcast."""
+
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_FRAME_FLIP, KEY_LABEL, KEY_RING_SIZE
+from repro.protocols.direction_agreement import agree_direction_from_nontrivial_move
+from repro.protocols.leader_election import elect_leader_with_nontrivial_move
+from repro.protocols.neighbor_discovery import discover_neighbors
+from repro.protocols.nontrivial_move import nmove_seeded_family
+from repro.protocols.ring_distance import (
+    KEY_IS_LAST,
+    publish_ring_size,
+    ring_distances,
+)
+from repro.ring.configs import (
+    clustered_configuration,
+    jittered_equidistant_configuration,
+    random_configuration,
+)
+from repro.types import Model
+
+
+def perceptive_sched(state):
+    sched = Scheduler(state, Model.PERCEPTIVE)
+    nmove_seeded_family(sched)
+    agree_direction_from_nontrivial_move(sched)
+    elect_leader_with_nontrivial_move(sched)
+    discover_neighbors(sched)
+    return sched
+
+
+def expected_labels(sched):
+    """Omniscient: 1-based labels increasing in the common clockwise."""
+    state = sched.state
+    n = state.n
+    leader_index = next(
+        i for i, v in enumerate(sched.views) if v.memory.get("leader.is_leader")
+    )
+    effective = {
+        int(state.chiralities[i])
+        * (-1 if sched.views[i].memory[KEY_FRAME_FLIP] else 1)
+        for i in range(n)
+    }
+    assert len(effective) == 1
+    cw = effective.pop() == 1
+    labels = {}
+    for i in range(n):
+        offset = (i - leader_index) % n if cw else (leader_index - i) % n
+        labels[i] = offset + 1
+    return labels
+
+
+class TestRingDistances:
+    @pytest.mark.parametrize("n", [5, 6, 7, 8, 9, 12, 16, 21, 30])
+    def test_labels_correct(self, n):
+        state = random_configuration(n, seed=n, common_sense=False)
+        sched = perceptive_sched(state)
+        start = state.snapshot()
+        ring_distances(sched)
+        assert state.snapshot() == start
+        want = expected_labels(sched)
+        for i, view in enumerate(sched.views):
+            assert view.memory[KEY_LABEL] == want[i], f"agent index {i}"
+
+    def test_last_agent_identified(self):
+        state = random_configuration(10, seed=3, common_sense=False)
+        sched = perceptive_sched(state)
+        ring_distances(sched)
+        lasts = [v for v in sched.views if v.memory.get(KEY_IS_LAST)]
+        assert len(lasts) == 1
+        assert lasts[0].memory[KEY_LABEL] == 10
+
+    @pytest.mark.parametrize("maker", [
+        jittered_equidistant_configuration,
+        clustered_configuration,
+    ])
+    def test_stress_geometries(self, maker):
+        state = maker(12, seed=1, common_sense=False)
+        sched = perceptive_sched(state)
+        ring_distances(sched)
+        want = expected_labels(sched)
+        for i, view in enumerate(sched.views):
+            assert view.memory[KEY_LABEL] == want[i]
+
+    def test_requires_perceptive(self):
+        state = random_configuration(8, seed=0, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        with pytest.raises(ProtocolError):
+            ring_distances(sched)
+
+    def test_round_cost_matches_sqrt_n_log_bound(self):
+        """O(√n log N): rounds stay below C · k_final · log N where
+        k_final <= 2√n is the last power-of-two iteration."""
+        import math
+
+        from repro.core.agent import id_bits
+
+        for n in (8, 16, 32, 48):
+            state = random_configuration(n, seed=1, common_sense=False)
+            sched = perceptive_sched(state)
+            before = sched.rounds
+            ring_distances(sched)
+            cost = sched.rounds - before
+            k_final = 2
+            while k_final * k_final + 2 * k_final < n - 1:
+                k_final *= 2
+            assert k_final <= 2 * math.sqrt(n) + 2
+            bits = id_bits(state.id_bound)
+            assert cost <= 26 * k_final * bits, (
+                f"n={n}: cost {cost} exceeds 26 * {k_final} * {bits}"
+            )
+
+
+class TestPublishRingSize:
+    @pytest.mark.parametrize("n", [6, 9, 13])
+    def test_everyone_learns_n(self, n):
+        state = random_configuration(n, seed=n, common_sense=False)
+        sched = perceptive_sched(state)
+        ring_distances(sched)
+        value = publish_ring_size(sched)
+        assert value == n
+        assert all(v.memory[KEY_RING_SIZE] == n for v in sched.views)

@@ -1,0 +1,60 @@
+"""Tests for ring-size / parity discovery (the paper's deferred case)."""
+
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_RING_SIZE
+from repro.protocols.ring_size import KEY_PARITY, discover_ring_size
+from repro.ring.configs import random_configuration
+from repro.types import Model
+
+
+class TestDiscoverRingSize:
+    @pytest.mark.parametrize("n", [5, 6, 8, 9, 12, 13])
+    @pytest.mark.parametrize("model", [Model.LAZY, Model.PERCEPTIVE])
+    def test_discovers_exact_n(self, n, model):
+        state = random_configuration(n, seed=n, common_sense=False)
+        sched = Scheduler(state, model)
+        assert discover_ring_size(sched) == n
+        for view in sched.views:
+            assert view.memory[KEY_RING_SIZE] == n
+            assert view.memory[KEY_PARITY] == (n % 2 == 0)
+
+    @pytest.mark.parametrize("model", [Model.LAZY, Model.PERCEPTIVE])
+    def test_parity_bit_is_never_consulted(self, model):
+        """Falsification: corrupt every agent's a-priori parity bit;
+        discovery must still return the true n (the pipeline is
+        parity-free by construction)."""
+        n = 10
+        state = random_configuration(n, seed=3, common_sense=False)
+        sched = Scheduler(state, model)
+        for view in sched.views:
+            view.parity_even = not view.parity_even  # now WRONG
+        assert discover_ring_size(sched) == n
+
+    def test_basic_model_refused(self):
+        state = random_configuration(8, seed=0, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        with pytest.raises(ProtocolError, match="parity-ambiguous"):
+            discover_ring_size(sched)
+
+    def test_lazy_census_cost(self):
+        """Lazy-model census: n rounds + polylog coordination."""
+        n = 16
+        state = random_configuration(n, seed=1, common_sense=False)
+        sched = Scheduler(state, Model.LAZY)
+        discover_ring_size(sched)
+        assert sched.rounds <= n + 60
+
+    def test_perceptive_cost_sublinear_in_n(self):
+        """Perceptive ring-size discovery costs O(√n log N) -- it gets
+        *cheaper per agent* as rings grow."""
+        costs = {}
+        for n in (16, 64):
+            state = random_configuration(n, seed=2, common_sense=False)
+            sched = Scheduler(state, Model.PERCEPTIVE)
+            discover_ring_size(sched)
+            costs[n] = sched.rounds
+        assert costs[64] < 4 * costs[16]
+        assert costs[64] / 64 < costs[16] / 16  # sublinear growth

@@ -1,0 +1,168 @@
+"""Direct tests for the Lemma 2 rotation probes.
+
+These primitives are the sensor every protocol is built on: r = 0
+detection from a single round, and the ZERO / HALF / BELOW / ABOVE
+classification from running a round twice.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.scheduler import Scheduler
+from repro.protocols.rotation_probe import (
+    KEY_PROBE_CLASS,
+    KEY_PROBE_ZERO,
+    RotationClass,
+    classify_rotation,
+    membership_choice,
+    probe_zero,
+    probed_class,
+    ri_is_zero,
+)
+from repro.ring.configs import explicit_configuration, random_configuration
+from repro.types import Chirality, LocalDirection, Model
+
+F = Fraction
+
+
+def objective_ring(n, cw_count, id_bound=None):
+    """Common-chirality ring where a choice fn can set exact rotations."""
+    return explicit_configuration(
+        positions=[F(2 * i + (i % 2), 2 * n) for i in range(n)],
+        ids=list(range(1, n + 1)),
+        chiralities=[Chirality.CLOCKWISE] * n,
+        id_bound=id_bound or 2 * n,
+    )
+
+
+def split_choice(cw_ids):
+    def choose(view):
+        return (
+            LocalDirection.RIGHT
+            if view.agent_id in cw_ids
+            else LocalDirection.LEFT
+        )
+
+    return choose
+
+
+class TestProbeZero:
+    def test_zero_rotation_detected(self):
+        n = 8
+        sched = Scheduler(objective_ring(n, 0), Model.BASIC)
+        # 4 right vs 4 left: r = 0.
+        assert probe_zero(sched, split_choice({1, 2, 3, 4})) is True
+        assert all(v.memory[KEY_PROBE_ZERO] for v in sched.views)
+
+    def test_nonzero_rotation_detected(self):
+        n = 8
+        sched = Scheduler(objective_ring(n, 0), Model.BASIC)
+        assert probe_zero(sched, split_choice({1, 2, 3})) is False
+
+    def test_restore_flag(self):
+        n = 6
+        sched = Scheduler(objective_ring(n, 0), Model.BASIC)
+        start = sched.state.snapshot()
+        probe_zero(sched, split_choice({1}), restore=True)
+        assert sched.state.snapshot() == start
+        assert sched.rounds == 2
+        probe_zero(sched, split_choice({1}), restore=False)
+        assert sched.state.snapshot() != start
+        assert sched.rounds == 3
+
+    def test_half_rotation_reads_as_nonzero(self):
+        """probe_zero only separates r = 0; r = n/2 must read nonzero
+        (the reason classify_rotation exists)."""
+        n = 8
+        sched = Scheduler(objective_ring(n, 0), Model.BASIC)
+        # 6 right vs 2 left: r = 4 = n/2.
+        assert probe_zero(sched, split_choice({1, 2, 3, 4, 5, 6})) is False
+
+
+class TestClassifyRotation:
+    @pytest.mark.parametrize("cw_ids,expected", [
+        ({1, 2, 3, 4}, RotationClass.ZERO),            # r = 0
+        ({1, 2, 3, 4, 5, 6}, RotationClass.HALF),      # r = 4 = n/2
+        ({1, 2, 3, 4, 5}, RotationClass.BELOW_HALF),   # r = 2
+        ({1, 2, 3}, RotationClass.ABOVE_HALF),         # r = -2 = 6
+    ])
+    def test_all_classes(self, cw_ids, expected):
+        n = 8
+        sched = Scheduler(objective_ring(n, 0), Model.BASIC)
+        classify_rotation(sched, split_choice(cw_ids))
+        for view in sched.views:
+            assert probed_class(view) is expected
+
+    def test_positions_restored(self):
+        sched = Scheduler(objective_ring(8, 0), Model.BASIC)
+        start = sched.state.snapshot()
+        classify_rotation(sched, split_choice({1, 2, 3}))
+        assert sched.state.snapshot() == start
+        assert sched.rounds == 4
+
+    def test_triviality_is_consensus_even_with_mixed_frames(self):
+        """BELOW/ABOVE verdicts are frame-relative, but .trivial must
+        agree across agents with arbitrary chirality."""
+        state = random_configuration(9, seed=13, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        classify_rotation(sched, lambda view: LocalDirection.RIGHT)
+        trivial = {probed_class(v).trivial for v in sched.views}
+        assert len(trivial) == 1
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=5, max_value=11),
+           st.integers(min_value=0, max_value=3_000))
+    def test_verdict_matches_true_rotation(self, n, seed):
+        state = random_configuration(n, seed=seed, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        outcome_holder = {}
+
+        def choose(view):
+            return (
+                LocalDirection.RIGHT
+                if view.agent_id % 2 == 0
+                else LocalDirection.LEFT
+            )
+
+        # Omnisciently compute the true rotation from a dry run.
+        from repro.ring.kinematics import rotation_index
+        from repro.types import local_to_velocity
+
+        velocities = [
+            local_to_velocity(choose(view), state.chiralities[i])
+            for i, view in enumerate(sched.views)
+        ]
+        r = rotation_index(velocities, n)
+        classify_rotation(sched, choose)
+        verdicts = {probed_class(v) for v in sched.views}
+        if r == 0:
+            assert verdicts == {RotationClass.ZERO}
+        elif 2 * r == n:
+            assert verdicts == {RotationClass.HALF}
+        else:
+            assert verdicts <= {
+                RotationClass.BELOW_HALF, RotationClass.ABOVE_HALF
+            }
+        del outcome_holder
+
+
+class TestRiProbe:
+    def test_ri_zero_cases(self):
+        n = 6
+        sched = Scheduler(objective_ring(n, 0), Model.BASIC)
+        # RI(B) = 2|B| mod n: |B| = 3 = n/2 -> 0; |B| = 2 -> 4 != 0.
+        assert ri_is_zero(sched, {1, 2, 3}) is True
+        assert ri_is_zero(sched, {1, 2}) is False
+        assert ri_is_zero(sched, set()) is True
+
+    def test_membership_choice_directions(self):
+        choose = membership_choice({7}, member_dir=LocalDirection.LEFT)
+        from repro.core.agent import AgentView
+
+        member = AgentView(7, 16, True, Model.BASIC)
+        other = AgentView(3, 16, True, Model.BASIC)
+        assert choose(member) is LocalDirection.LEFT
+        assert choose(other) is LocalDirection.RIGHT

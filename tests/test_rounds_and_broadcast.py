@@ -1,0 +1,168 @@
+"""Tests for the round helpers (SINGLEROUND machinery) and the
+rotation-coded global broadcast."""
+
+import pytest
+
+from repro.core.rounds import (
+    get_direction,
+    reversed_round,
+    run_marked_sequence,
+    run_set_round,
+    set_direction,
+    single_round,
+)
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.direction_agreement import assume_common_frame
+from repro.protocols.global_broadcast import (
+    KEY_BROADCAST_VALUE,
+    broadcast_value,
+)
+from repro.ring.configs import random_configuration
+from repro.types import LocalDirection, Model
+
+R, L = LocalDirection.RIGHT, LocalDirection.LEFT
+
+
+class TestSingleReversedRounds:
+    def test_default_direction_is_right(self):
+        state = random_configuration(6, seed=0)
+        sched = Scheduler(state, Model.BASIC)
+        assert get_direction(sched.views[0]) is R
+
+    def test_single_then_reversed_restores(self):
+        state = random_configuration(7, seed=1, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        for i, view in enumerate(sched.views):
+            set_direction(view, R if i % 2 else L)
+        start = state.snapshot()
+        single_round(sched)
+        reversed_round(sched)
+        assert state.snapshot() == start
+
+    def test_two_singles_rotate_twice(self):
+        state = random_configuration(6, seed=2, common_sense=True)
+        sched = Scheduler(state, Model.BASIC)
+        for i, view in enumerate(sched.views):
+            set_direction(view, R if i == 0 else L)
+        # r = (1 - 5) mod 6 = 2 per round.
+        single_round(sched)
+        single_round(sched)
+        expected = list(state.initial_positions)
+        assert state.positions == [expected[(i + 4) % 6] for i in range(6)]
+
+
+class TestSetRounds:
+    def test_run_set_round_rotation(self):
+        state = random_configuration(6, seed=3, common_sense=True)
+        sched = Scheduler(state, Model.BASIC)
+        outcome = run_set_round(sched, set(state.ids[:2]))
+        # RI(B) = 2|B| mod n = 4.
+        assert outcome.rotation_index == 4
+
+    def test_marked_sequence_stop_predicate(self):
+        state = random_configuration(6, seed=4, common_sense=True)
+        sched = Scheduler(state, Model.BASIC)
+        sets = [set(), {state.ids[0]}, {state.ids[0], state.ids[1]}]
+        outcomes = run_marked_sequence(
+            sched,
+            sets,
+            is_marked=lambda view: True,
+            stop=lambda outcome: outcome.rotation_index != 0,
+        )
+        # The empty set gives r = -n = 0; the singleton gives r = 2-n != 0.
+        assert len(outcomes) == 2
+        assert outcomes[-1].rotation_index != 0
+
+    def test_unmarked_agents_move_right(self):
+        state = random_configuration(6, seed=5, common_sense=True)
+        sched = Scheduler(state, Model.BASIC)
+        marked_id = state.ids[0]
+        outcomes = run_marked_sequence(
+            sched,
+            [set()],
+            is_marked=lambda view: view.agent_id == marked_id,
+        )
+        # One marked agent moves LEFT (not in the set); rest RIGHT.
+        assert outcomes[0].rotation_index == (6 - 2) % 6
+
+
+class TestGlobalBroadcast:
+    def _sched(self, n=8, seed=1):
+        state = random_configuration(n, seed=seed, common_sense=False)
+        sched = Scheduler(state, Model.BASIC)
+        # Broadcast needs a common frame; grant it via the test's
+        # omniscient knowledge of chirality.
+        from repro.protocols.base import KEY_FRAME_FLIP
+        from repro.types import Chirality
+
+        for i, view in enumerate(sched.views):
+            view.memory[KEY_FRAME_FLIP] = (
+                state.chiralities[i] is Chirality.ANTICLOCKWISE
+            )
+        return sched, state
+
+    @pytest.mark.parametrize("value", [0, 1, 5, 13, 31])
+    def test_value_received_by_all(self, value):
+        sched, state = self._sched()
+        announcer = state.ids[3]
+        got = broadcast_value(
+            sched,
+            is_announcer=lambda v: v.agent_id == announcer,
+            value_of=lambda v: value,
+        )
+        assert got == value
+        assert all(
+            v.memory[KEY_BROADCAST_VALUE] == value for v in sched.views
+        )
+
+    def test_positions_restored(self):
+        sched, state = self._sched()
+        start = state.snapshot()
+        broadcast_value(
+            sched,
+            is_announcer=lambda v: v.agent_id == state.ids[0],
+            value_of=lambda v: 9,
+        )
+        assert state.snapshot() == start
+
+    def test_round_cost(self):
+        sched, state = self._sched()
+        broadcast_value(
+            sched,
+            is_announcer=lambda v: v.agent_id == state.ids[0],
+            value_of=lambda v: 3,
+            width=5,
+        )
+        assert sched.rounds == 10  # 2 per bit
+
+    def test_requires_unique_announcer(self):
+        sched, state = self._sched()
+        with pytest.raises(ProtocolError):
+            broadcast_value(
+                sched, is_announcer=lambda v: True, value_of=lambda v: 1
+            )
+        with pytest.raises(ProtocolError):
+            broadcast_value(
+                sched, is_announcer=lambda v: False, value_of=lambda v: 1
+            )
+
+    def test_value_must_fit(self):
+        sched, state = self._sched()
+        with pytest.raises(ProtocolError):
+            broadcast_value(
+                sched,
+                is_announcer=lambda v: v.agent_id == state.ids[0],
+                value_of=lambda v: 1 << 20,
+                width=4,
+            )
+
+    def test_requires_common_frame(self):
+        state = random_configuration(6, seed=0)
+        sched = Scheduler(state, Model.BASIC)
+        with pytest.raises(ProtocolError):
+            broadcast_value(
+                sched,
+                is_announcer=lambda v: v.agent_id == state.ids[0],
+                value_of=lambda v: 1,
+            )

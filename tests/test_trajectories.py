@@ -1,0 +1,112 @@
+"""Tests for full trajectory recording in the event simulator."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import cw_arc, ccw_arc
+from repro.ring.collisions import position_at, simulate_collisions
+
+F = Fraction
+
+
+def ring_positions(n, denom_bits=8):
+    denom = 1 << denom_bits
+    return st.sets(
+        st.integers(min_value=0, max_value=denom - 1), min_size=n, max_size=n
+    ).map(lambda ticks: [F(t, denom) for t in sorted(ticks)])
+
+
+class TestPathRecording:
+    def test_off_by_default(self):
+        traces, _ = simulate_collisions([F(0), F(1, 2)], [1, -1])
+        assert all(t.path is None for t in traces)
+
+    def test_breakpoints_of_head_on_pair(self):
+        traces, _ = simulate_collisions(
+            [F(0), F(1, 2)], [1, -1], record_paths=True
+        )
+        path0 = traces[0].path
+        # start, two bounces, end.
+        assert len(path0) == 4
+        assert path0[0] == (F(0), F(0), 1)
+        assert path0[1] == (F(1, 4), F(1, 4), -1)
+        assert path0[2] == (F(3, 4), F(3, 4), 1)
+        assert path0[3][0] == 1 and path0[3][1] == F(0)
+
+    def test_position_at_interpolates(self):
+        traces, _ = simulate_collisions(
+            [F(0), F(1, 2)], [1, -1], record_paths=True
+        )
+        path0 = traces[0].path
+        assert position_at(path0, F(1, 8)) == F(1, 8)
+        assert position_at(path0, F(1, 2)) == F(0)   # bounced back
+        assert position_at(path0, F(1)) == F(0)
+
+    def test_position_at_rejects_early_time(self):
+        traces, _ = simulate_collisions(
+            [F(0), F(1, 2)], [1, -1], record_paths=True
+        )
+        with pytest.raises(ValueError):
+            position_at(traces[0].path, F(-1, 2))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_paths_are_continuous_and_consistent(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=8))
+        pos = data.draw(ring_positions(n))
+        vel = data.draw(
+            st.lists(st.sampled_from([-1, 0, 1]), min_size=n, max_size=n)
+        )
+        traces, _ = simulate_collisions(pos, vel, record_paths=True)
+        for i, tr in enumerate(traces):
+            path = tr.path
+            assert path[0] == (F(0), pos[i], vel[i])
+            assert path[-1][1] == tr.final_position
+            # Breakpoints are time-ordered and positionally continuous:
+            # the linear segment from each breakpoint must land exactly
+            # on the next breakpoint's position.
+            for (t0, p0, v0), (t1, p1, _v1) in zip(path, path[1:]):
+                assert t0 <= t1
+                assert (p0 + v0 * (t1 - t0)) % 1 == p1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_no_overpass_along_paths(self, data):
+        """Sampled at collision times, adjacent agents never swap ring
+        order -- the model's core invariant, now checkable mid-round."""
+        n = data.draw(st.integers(min_value=3, max_value=7))
+        pos = data.draw(ring_positions(n))
+        vel = data.draw(
+            st.lists(st.sampled_from([-1, 1]), min_size=n, max_size=n)
+        )
+        traces, _ = simulate_collisions(pos, vel, record_paths=True)
+        sample_times = sorted(
+            {bp[0] for tr in traces for bp in tr.path}
+        )
+        for t in sample_times:
+            points = [position_at(tr.path, t) for tr in traces]
+            # Ring order preserved <=> walking clockwise from agent 0
+            # meets agents in index order: the cyclic sequence of
+            # arcs from agent i to i+1 must sum to exactly 1 (touching
+            # agents may share a point, so arcs are >= 0).
+            arcs = [
+                cw_arc(points[i], points[(i + 1) % n]) for i in range(n)
+            ]
+            # Order preserved <=> one full clockwise turn visits the
+            # agents in index order (touching pairs contribute arc 0);
+            # an order violation forces an extra wrap, total >= 2.
+            assert sum(arcs) == 1, f"order violated at t={t}"
+
+    def test_first_collision_consistent_with_path(self):
+        traces, _ = simulate_collisions(
+            [F(0), F(1, 8), F(1, 4), F(5, 8)], [1, 1, 1, -1],
+            record_paths=True,
+        )
+        for tr in traces:
+            if tr.first_collision_time is None:
+                assert len(tr.path) == 2  # start and end only
+            else:
+                assert tr.path[1][0] == tr.first_collision_time
+                assert tr.path[1][1] == tr.first_collision_position

@@ -1,0 +1,152 @@
+"""Tests for the vocabulary types, agent views, and frame helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.agent import AgentView, id_bits
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleProblemError,
+    ModelViolationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    SingularSystemError,
+)
+from repro.protocols.base import (
+    KEY_FRAME_FLIP,
+    aligned_direction,
+    common_dist,
+)
+from repro.types import (
+    Chirality,
+    LocalDirection,
+    Model,
+    Observation,
+    local_to_velocity,
+)
+
+F = Fraction
+
+
+class TestModel:
+    def test_only_lazy_allows_idle(self):
+        assert Model.LAZY.allows_idle
+        assert not Model.BASIC.allows_idle
+        assert not Model.PERCEPTIVE.allows_idle
+
+    def test_only_perceptive_reports_collisions(self):
+        assert Model.PERCEPTIVE.reports_collisions
+        assert not Model.BASIC.reports_collisions
+        assert not Model.LAZY.reports_collisions
+
+    def test_constructible_from_value(self):
+        assert Model("lazy") is Model.LAZY
+
+
+class TestLocalDirection:
+    def test_opposites(self):
+        assert LocalDirection.RIGHT.opposite() is LocalDirection.LEFT
+        assert LocalDirection.LEFT.opposite() is LocalDirection.RIGHT
+        assert LocalDirection.IDLE.opposite() is LocalDirection.IDLE
+
+
+class TestChirality:
+    def test_flip(self):
+        assert Chirality.CLOCKWISE.flipped() is Chirality.ANTICLOCKWISE
+        assert Chirality.ANTICLOCKWISE.flipped() is Chirality.CLOCKWISE
+
+    @pytest.mark.parametrize("direction,chir,expected", [
+        (LocalDirection.RIGHT, Chirality.CLOCKWISE, 1),
+        (LocalDirection.RIGHT, Chirality.ANTICLOCKWISE, -1),
+        (LocalDirection.LEFT, Chirality.CLOCKWISE, -1),
+        (LocalDirection.LEFT, Chirality.ANTICLOCKWISE, 1),
+        (LocalDirection.IDLE, Chirality.CLOCKWISE, 0),
+        (LocalDirection.IDLE, Chirality.ANTICLOCKWISE, 0),
+    ])
+    def test_velocity_mapping(self, direction, chir, expected):
+        assert local_to_velocity(direction, chir) == expected
+
+
+class TestObservation:
+    def test_flags(self):
+        moved = Observation(dist=F(1, 3))
+        assert moved.moved and not moved.collided
+        still = Observation(dist=F(0), coll=F(1, 8))
+        assert not still.moved and still.collided
+
+
+class TestAgentView:
+    def _view(self, agent_id=5):
+        return AgentView(
+            agent_id=agent_id, id_bound=16, parity_even=True,
+            model=Model.BASIC,
+        )
+
+    def test_id_bits_helper(self):
+        assert id_bits(1) == 1
+        assert id_bits(16) == 5
+        assert id_bits(255) == 8
+
+    def test_id_bit(self):
+        view = self._view(agent_id=0b1010)
+        assert [view.id_bit(i) for i in range(4)] == [0, 1, 0, 1]
+
+    def test_last_raises_before_rounds(self):
+        with pytest.raises(ProtocolError):
+            _ = self._view().last
+
+    def test_rounds_seen(self):
+        view = self._view()
+        assert view.rounds_seen() == 0
+        view.log.append(Observation(dist=F(0)))
+        assert view.rounds_seen() == 1
+        assert view.last.dist == 0
+
+
+class TestFrameHelpers:
+    def _view(self, flip):
+        view = AgentView(
+            agent_id=1, id_bound=8, parity_even=False, model=Model.BASIC
+        )
+        view.memory[KEY_FRAME_FLIP] = flip
+        return view
+
+    def test_aligned_direction_no_flip(self):
+        view = self._view(False)
+        assert aligned_direction(view, LocalDirection.RIGHT) is (
+            LocalDirection.RIGHT
+        )
+
+    def test_aligned_direction_flip(self):
+        view = self._view(True)
+        assert aligned_direction(view, LocalDirection.RIGHT) is (
+            LocalDirection.LEFT
+        )
+
+    def test_idle_never_flips(self):
+        view = self._view(True)
+        assert aligned_direction(view, LocalDirection.IDLE) is (
+            LocalDirection.IDLE
+        )
+
+    def test_common_dist_identity(self):
+        view = self._view(False)
+        assert common_dist(view, F(1, 3)) == F(1, 3)
+
+    def test_common_dist_flipped(self):
+        view = self._view(True)
+        assert common_dist(view, F(1, 3)) == F(2, 3)
+        assert common_dist(view, F(0)) == 0
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, ModelViolationError, ProtocolError,
+        InfeasibleProblemError, SimulationError, SingularSystemError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
