@@ -16,6 +16,10 @@
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.bench_heavy
+
 import time
 
 from repro.core.scheduler import Scheduler

@@ -18,6 +18,10 @@ where" statement.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.bench_heavy
+
 from repro.experiments import render_table
 from repro.experiments.harness import ExperimentRow
 from repro.protocols.full_stack import solve_location_discovery

@@ -14,6 +14,10 @@ The combinatorial heart of the paper's lower bounds.  We regenerate:
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.bench_heavy
+
 import math
 
 from repro.combinatorics import bounds

@@ -8,6 +8,10 @@ edge with its precondition granted and assert the annotation.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.bench_heavy
+
 from repro.combinatorics import bounds
 from repro.experiments import render_table
 from repro.experiments.figures import reduction_edges

@@ -8,6 +8,10 @@ sequence) keeps O(log N)-expected probing.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.bench_heavy
+
 from repro.combinatorics import bounds
 from repro.core.scheduler import Scheduler
 from repro.experiments import render_table

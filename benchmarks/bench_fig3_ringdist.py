@@ -9,6 +9,10 @@ labelled-agent coverage grows quadratically in the iteration radius k
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.bench_heavy
+
 from repro.experiments import render_table
 from repro.experiments.figures import ringdist_anatomy
 

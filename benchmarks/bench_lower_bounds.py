@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.bench_heavy
+
 from repro.exceptions import InfeasibleProblemError
 from repro.experiments import render_table
 from repro.experiments.lower_bounds import lemma5_witness, lemma6_floors

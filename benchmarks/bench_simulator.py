@@ -4,19 +4,32 @@ Not a paper table, but the substrate every experiment stands on: the
 closed-form kinematics (rotation index, first-collision cascades) must
 agree with the exact event-driven simulation, and the closed form must
 be fast enough to carry the protocol suite.
+
+This module also runs the kinematics-backend shootout (integer lattice
+vs. exact Fractions, identical 64-agent perceptive workloads) and
+writes the machine-readable ``BENCH_simulator.json`` report to the repo
+root, so successive PRs can track the performance trajectory.
 """
 
 from __future__ import annotations
 
+import json
 import random
 from fractions import Fraction
+from pathlib import Path
 
-from repro.ring.collisions import simulate_collisions
+from repro.experiments.harness import backend_shootout
+from repro.ring.collisions import (
+    simulate_collisions,
+    simulate_collisions_ticks,
+)
 from repro.ring.configs import random_configuration
 from repro.ring.kinematics import (
     closed_form_round,
     first_collisions_basic,
 )
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
 
 def _random_round(n: int, seed: int):
@@ -71,6 +84,43 @@ def test_event_sim_throughput(benchmark):
     traces, events = benchmark(run)
     assert len(traces) == 64
     assert events > 0
+
+
+def test_event_sim_ticks_throughput(benchmark):
+    """Throughput of the integer tick-space event engine on the same
+    round as :func:`test_event_sim_throughput`, with an agreement check
+    against the Fraction engine."""
+    pos, vel = _random_round(64, seed=2)
+    denom = 1 << 16
+    ring_ticks = 4 * denom
+    coords = [int(p * ring_ticks) for p in pos]
+
+    def run():
+        return simulate_collisions_ticks(coords, vel, ring_ticks)
+
+    traces, events = benchmark(run)
+    ref_traces, ref_events = simulate_collisions(pos, vel)
+    assert events == ref_events
+    assert [Fraction(t.final_coord, ring_ticks) for t in traces] == [
+        t.final_position for t in ref_traces
+    ]
+    assert [
+        None if t.coll_ticks is None else Fraction(t.coll_ticks, ring_ticks)
+        for t in traces
+    ] == [t.coll_distance for t in ref_traces]
+
+
+def test_backend_shootout_perceptive_64(once):
+    """The PR-gating perf target: the integer-lattice backend must beat
+    the Fraction backend >= 5x on a 64-agent perceptive workload, with
+    bit-exact agreement (checked inside the shootout).  Writes the
+    machine-readable report to BENCH_simulator.json."""
+    report = once(lambda: backend_shootout(n=64, rounds=256, seed=11))
+    print("\nbackend shootout:", json.dumps(report["seconds"]),
+          f"speedup={report['speedup_lattice_over_fraction']}x")
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    assert report["bit_exact"] is True
+    assert report["speedup_lattice_over_fraction"] >= 5.0
 
 
 def test_full_pipeline_throughput(benchmark):

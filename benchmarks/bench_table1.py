@@ -9,6 +9,10 @@ perceptive cells beat it, and Lemma 5's unsolvability holds.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.bench_heavy
+
 from repro.combinatorics import bounds
 from repro.experiments import render_table
 from repro.experiments.table1 import (

@@ -7,6 +7,10 @@ O(log² N); location discovery keeps its model-specific discovery cost.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.bench_heavy
+
 from repro.combinatorics import bounds
 from repro.experiments import render_table
 from repro.experiments.table2 import generate

@@ -5,11 +5,45 @@ the paper: it runs the relevant experiment driver once under
 pytest-benchmark timing, prints the rendered table (captured in the
 bench log), records the measured round counts in ``extra_info``, and
 asserts the paper's qualitative shape (who wins, how cells scale).
+
+Smoke mode: ``python -m pytest benchmarks -q --bench-fast`` skips every
+module marked ``bench_heavy`` (the multi-minute table/figure sweeps)
+and runs only the fast substrate benchmarks -- including the backend
+shootout that writes ``BENCH_simulator.json`` -- so CI can track the
+performance trajectory cheaply.
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-fast",
+        action="store_true",
+        default=False,
+        help="run only the quick smoke benchmarks (skip bench_heavy)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "bench_heavy: long-running table/figure regeneration; skipped "
+        "under --bench-fast",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list
+) -> None:
+    if not config.getoption("--bench-fast"):
+        return
+    skip = pytest.mark.skip(reason="--bench-fast smoke mode")
+    for item in items:
+        if item.get_closest_marker("bench_heavy"):
+            item.add_marker(skip)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

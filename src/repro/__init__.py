@@ -15,6 +15,13 @@ from repro.exceptions import (
     SingularSystemError,
 )
 from repro.ring.state import RingState
+from repro.ring.backends import (
+    DEFAULT_BACKEND,
+    FractionBackend,
+    KinematicsBackend,
+    LatticeBackend,
+    make_backend,
+)
 from repro.ring.simulator import RingSimulator
 from repro.ring.configs import (
     clustered_configuration,
@@ -52,6 +59,11 @@ __all__ = [
     "RingState",
     "RingSimulator",
     "Scheduler",
+    "DEFAULT_BACKEND",
+    "KinematicsBackend",
+    "FractionBackend",
+    "LatticeBackend",
+    "make_backend",
     "random_configuration",
     "jittered_equidistant_configuration",
     "clustered_configuration",

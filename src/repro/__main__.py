@@ -7,6 +7,8 @@ Usage::
     python -m repro figures
     python -m repro lower-bounds
     python -m repro demo [--n 8] [--model perceptive] [--seed 2024]
+                         [--backend lattice|fraction]
+    python -m repro bench [--n 64] [--rounds 256] [--out BENCH.json]
 """
 
 from __future__ import annotations
@@ -79,12 +81,29 @@ def _cmd_demo(args: argparse.Namespace) -> None:
 
     model = Model(args.model)
     state = random_configuration(n=args.n, seed=args.seed, common_sense=False)
-    print(f"n={args.n}, model={model.value}, N={state.id_bound}")
-    result = solve_location_discovery(state, model)
+    print(f"n={args.n}, model={model.value}, N={state.id_bound}, "
+          f"backend={args.backend}")
+    result = solve_location_discovery(state, model, backend=args.backend)
     print(f"location discovery solved in {result.rounds} rounds:")
     for phase, rounds in result.rounds_by_phase.items():
         print(f"  {phase:22s} {rounds:6d}")
     print("agent 0's reconstructed gaps:", result.gaps_by_agent[0])
+
+
+def _cmd_bench(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.experiments.harness import backend_shootout
+
+    report = backend_shootout(
+        n=args.n, rounds=args.rounds, seed=args.seed, repeats=args.repeats
+    )
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,7 +142,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["basic", "lazy", "perceptive"],
     )
     demo.add_argument("--seed", type=int, default=2024)
+    demo.add_argument(
+        "--backend", default="lattice", choices=["lattice", "fraction"],
+        help="kinematics backend for the simulation",
+    )
     demo.set_defaults(fn=_cmd_demo)
+
+    bench = sub.add_parser(
+        "bench", help="time the kinematics backends against each other"
+    )
+    bench.add_argument("--n", type=int, default=64)
+    bench.add_argument("--rounds", type=int, default=256)
+    bench.add_argument("--seed", type=int, default=11)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--out", default=None, help="also write the JSON report to this path"
+    )
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -8,6 +8,16 @@ simulator, and appends each agent's observation to its private log.
 
 Round counting happens here, so every protocol's cost is measured
 uniformly, matching the paper's complexity metric.
+
+Batched execution: :meth:`Scheduler.run_rounds` executes ``k``
+choice-driven rounds and :meth:`Scheduler.run_fixed` executes ``k``
+rounds of one fixed direction.  The fixed variant validates the round
+and maps chiralities once for the whole batch; both lean on the
+kinematics backend's memoised per-velocity-pattern tables (see
+:mod:`repro.ring.backends`), so long homogeneous stretches -- sweeps,
+probes, restore sequences -- execute without re-deriving anything.
+Backend selection (``backend="lattice"|"fraction"``) threads through to
+:class:`~repro.ring.simulator.RingSimulator`.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.core.agent import AgentView
+from repro.ring.backends import BackendSpec
 from repro.ring.simulator import RingSimulator
 from repro.ring.state import RingState
 from repro.types import LocalDirection, Model, RoundOutcome
@@ -38,8 +49,11 @@ class Scheduler:
         state: RingState,
         model: Model = Model.BASIC,
         cross_validate: bool = False,
+        backend: BackendSpec = None,
     ) -> None:
-        self.simulator = RingSimulator(state, model, cross_validate)
+        self.simulator = RingSimulator(
+            state, model, cross_validate, backend=backend
+        )
         self.model = model
         self.views: List[AgentView] = [
             AgentView(
@@ -79,9 +93,33 @@ class Scheduler:
             view.log.append(obs)
         return outcome
 
-    def run_fixed(self, direction: LocalDirection) -> RoundOutcome:
-        """Every agent plays the same local direction."""
-        return self.run_round(lambda view: direction)
+    def run_rounds(self, choose: ChoiceFn, k: int) -> List[RoundOutcome]:
+        """Execute ``k`` choice-driven rounds; returns all outcomes.
+
+        The choice function is re-consulted every round (protocol state
+        may change), but repeated direction patterns hit the backend's
+        memoised tables, so homogeneous stretches run at batched speed.
+        """
+        return [self.run_round(choose) for _ in range(k)]
+
+    def run_fixed(
+        self, direction: LocalDirection, k: int = 1
+    ) -> RoundOutcome:
+        """Every agent plays the same local direction for ``k`` rounds.
+
+        Validation and chirality mapping happen once for the whole
+        batch.  Returns the outcome of the *last* round (all rounds'
+        observations are appended to the agent logs).
+        """
+        if k < 1:
+            raise ValueError("run_fixed requires k >= 1")
+        directions = [direction] * self.state.n
+        outcomes = self.simulator.execute_batch(directions, k)
+        views = self.views
+        for outcome in outcomes:
+            for view, obs in zip(views, outcome.observations):
+                view.log.append(obs)
+        return outcomes[-1]
 
     def for_each_agent(self, fn: Callable[[AgentView], None]) -> None:
         """Run a local computation step on every agent."""
@@ -89,12 +127,18 @@ class Scheduler:
             fn(view)
 
     def unanimous_memory(self, key: str) -> Optional[object]:
-        """Assert all agents agree on ``memory[key]`` and return the value.
+        """Return ``memory[key]`` iff all agents agree on it, else None.
 
         A *test* convenience for protocols whose outputs must be
         consensus values (e.g. the outcome of an emptiness test).
+        Agreement is decided by value equality (``==``) -- not by
+        comparing ``repr()`` strings, which conflates distinct values
+        with identical printouts and splits equal values with unstable
+        printouts (e.g. dict ordering).
         """
-        values = {repr(view.memory.get(key)) for view in self.views}
-        if len(values) != 1:
-            return None
-        return self.views[0].memory.get(key)
+        values = [view.memory.get(key) for view in self.views]
+        first = values[0]
+        for value in values[1:]:
+            if not (value == first):
+                return None
+        return first

@@ -1,9 +1,14 @@
-"""Shared experiment utilities: rows, rendering, size sweeps."""
+"""Shared experiment utilities: rows, rendering, size sweeps, and the
+kinematics-backend shootout used by ``python -m repro bench`` and the
+benchmark suite."""
 
 from __future__ import annotations
 
+import platform
+import random
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -74,3 +79,109 @@ def geometric_sizes(start: int, stop: int, factor: int = 2) -> List[int]:
         sizes.append(size)
         size *= factor
     return sizes
+
+
+def _shootout_directions(n: int, rounds: int, seed: int) -> List[list]:
+    """Deterministic per-round direction vectors for the shootout.
+
+    Roughly half the rounds repeat the previous vector (protocols run
+    long homogeneous probe/restore stretches, which exercises the
+    lattice backend's memoised pattern tables) and half draw fresh
+    per-agent directions (exercising the derivation path).
+    """
+    from repro.types import LocalDirection
+
+    rng = random.Random(seed)
+    choices = (LocalDirection.RIGHT, LocalDirection.LEFT)
+    sequence: List[list] = []
+    prev: Optional[list] = None
+    for _ in range(rounds):
+        if prev is None or rng.random() >= 0.5:
+            prev = [rng.choice(choices) for _ in range(n)]
+        sequence.append(prev)
+    return sequence
+
+
+def _shootout_run(backend: str, n: int, seed: int, sequence, collect: bool):
+    """Run the shootout round sequence on a fresh state; optionally
+    collect outcomes and the final positions for the agreement check."""
+    from repro.core.scheduler import Scheduler
+    from repro.ring.configs import random_configuration
+    from repro.types import Model
+
+    state = random_configuration(n, seed=seed, common_sense=False)
+    sched = Scheduler(state, Model.PERCEPTIVE, backend=backend)
+    sim = sched.simulator
+    outcomes = [] if collect else None
+    start = time.perf_counter()
+    for directions in sequence:
+        outcome = sim.execute(directions)
+        if collect:
+            outcomes.append(outcome)
+    elapsed = time.perf_counter() - start
+    return elapsed, outcomes, list(state.positions)
+
+
+def backend_shootout(
+    n: int = 64, rounds: int = 256, seed: int = 11, repeats: int = 3
+) -> Dict[str, object]:
+    """Time the lattice backend against the Fraction backend.
+
+    Both backends execute the identical perceptive-model round sequence
+    on identical initial configurations.  Before timing, one collecting
+    run per backend verifies bit-exact agreement of every observation,
+    rotation index, collision-event count and the final positions; a
+    mismatch raises ``AssertionError``.  Timings are the best of
+    ``repeats`` runs.
+
+    Returns a JSON-ready report (the ``BENCH_simulator.json`` payload).
+    """
+    from repro.exceptions import SimulationError
+
+    sequence = _shootout_directions(n, rounds, seed)
+
+    _, frac_outcomes, frac_pos = _shootout_run(
+        "fraction", n, seed, sequence, collect=True
+    )
+    _, latt_outcomes, latt_pos = _shootout_run(
+        "lattice", n, seed, sequence, collect=True
+    )
+    # Explicit raises, not asserts: the emitted bit_exact field must
+    # stay trustworthy under `python -O` too.
+    if frac_pos != latt_pos:
+        raise SimulationError("backends disagree on final positions")
+    for k, (a, b) in enumerate(zip(frac_outcomes, latt_outcomes)):
+        if (
+            a.rotation_index != b.rotation_index
+            or a.collision_events != b.collision_events
+            or a.observations != b.observations
+        ):
+            raise SimulationError(f"backends disagree on round {k}")
+
+    timings: Dict[str, float] = {}
+    for backend in ("fraction", "lattice"):
+        best = min(
+            _shootout_run(backend, n, seed, sequence, collect=False)[0]
+            for _ in range(max(1, repeats))
+        )
+        timings[backend] = best
+
+    speedup = timings["fraction"] / timings["lattice"]
+    return {
+        "benchmark": "backend_shootout",
+        "workload": {
+            "n": n,
+            "rounds": rounds,
+            "model": "perceptive",
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "bit_exact": True,
+        "seconds": {k: round(v, 6) for k, v in timings.items()},
+        "rounds_per_second": {
+            k: round(rounds / v, 1) for k, v in timings.items()
+        },
+        "speedup_lattice_over_fraction": round(speedup, 2),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }

@@ -73,6 +73,7 @@ def solve_coordination(
     model: Model = Model.BASIC,
     common_sense: bool = False,
     scheduler: Optional[Scheduler] = None,
+    backend: Optional[str] = None,
 ) -> CoordinationResult:
     """Solve direction agreement, leader election and nontrivial move.
 
@@ -83,13 +84,15 @@ def solve_coordination(
             (the Table II setting).  The caller must guarantee it.
         scheduler: Reuse an existing scheduler (e.g. to continue with
             location discovery); a new one is created otherwise.
+        backend: Kinematics backend name ("lattice"/"fraction") for a
+            newly created scheduler; ignored when ``scheduler`` is given.
 
     Returns:
         A :class:`CoordinationResult` with the leader's ID and per-phase
         round counts.  Positions are restored to the initial
         configuration on exit.
     """
-    sched = scheduler or Scheduler(state, model)
+    sched = scheduler or Scheduler(state, model, backend=backend)
     phases: Dict[str, int] = {}
     parity_even = state.parity_even
 
@@ -132,8 +135,13 @@ def solve_location_discovery(
     state: RingState,
     model: Model = Model.LAZY,
     common_sense: bool = False,
+    backend: Optional[str] = None,
 ) -> LocationDiscoveryResult:
     """Full location discovery from a cold start.
+
+    Args:
+        backend: Kinematics backend name ("lattice"/"fraction"); the
+            default picks :data:`repro.ring.backends.DEFAULT_BACKEND`.
 
     Raises:
         InfeasibleProblemError: basic model with even n (Lemma 5).
@@ -148,7 +156,7 @@ def solve_location_discovery(
             "impossible (Lemma 5): every rotation index is even, so an "
             "agent can never visit odd-ring-distance positions"
         )
-    sched = Scheduler(state, model)
+    sched = Scheduler(state, model, backend=backend)
     coordination = solve_coordination(
         state, model, common_sense=common_sense, scheduler=sched
     )

@@ -1,8 +1,32 @@
-"""The bouncing-agent ring world: state, kinematics, exact simulation."""
+"""The bouncing-agent ring world: state, kinematics, exact simulation.
+
+Round arithmetic is pluggable (see :mod:`repro.ring.backends`): the
+``lattice`` backend runs each round in integer arithmetic over one
+shared denominator, the ``fraction`` backend is the exact-rational
+reference; both produce bit-identical outcomes.
+"""
 
 from repro.ring.state import RingState
-from repro.ring.kinematics import rotation_index, closed_form_round
-from repro.ring.collisions import simulate_collisions, AgentTrace, position_at
+from repro.ring.kinematics import (
+    rotation_index,
+    closed_form_round,
+    first_collisions_basic,
+    hops_to_opposite,
+)
+from repro.ring.collisions import (
+    simulate_collisions,
+    simulate_collisions_ticks,
+    AgentTrace,
+    TickTrace,
+    position_at,
+)
+from repro.ring.backends import (
+    DEFAULT_BACKEND,
+    FractionBackend,
+    KinematicsBackend,
+    LatticeBackend,
+    make_backend,
+)
 from repro.ring.simulator import RingSimulator
 from repro.ring.configs import (
     random_configuration,
@@ -14,9 +38,18 @@ __all__ = [
     "RingState",
     "rotation_index",
     "closed_form_round",
+    "first_collisions_basic",
+    "hops_to_opposite",
     "simulate_collisions",
+    "simulate_collisions_ticks",
     "AgentTrace",
+    "TickTrace",
     "position_at",
+    "DEFAULT_BACKEND",
+    "KinematicsBackend",
+    "FractionBackend",
+    "LatticeBackend",
+    "make_backend",
     "RingSimulator",
     "random_configuration",
     "jittered_equidistant_configuration",

@@ -1,0 +1,535 @@
+"""Pluggable kinematics backends: exact Fractions vs. integer lattice.
+
+A *kinematics backend* owns the arithmetic of round execution.  Given a
+:class:`~repro.ring.state.RingState` and the objective velocities of
+one round it produces the full :class:`~repro.types.RoundOutcome`
+(per-agent ``dist()``/``coll()`` observations, the rotation index, the
+collision-event count) and commits the post-round positions back to the
+state.  :class:`~repro.ring.simulator.RingSimulator` delegates every
+round to its backend, so the two implementations are interchangeable
+and property-tested to produce bit-identical outcomes:
+
+* :class:`FractionBackend` -- the reference implementation.  All
+  positions, gaps and collision arcs are :class:`fractions.Fraction`
+  values; every addition pays a gcd.  Kept both as the semantics anchor
+  and for states whose positions would induce an awkwardly large
+  common denominator.
+
+* :class:`LatticeBackend` -- the performance implementation.  At
+  attach time it rescales all positions to integers over the single
+  common denominator ``D`` (the lcm of the position denominators).
+  Velocities are in {-1, 0, +1} and rounds last one unit, so every
+  reachable end-of-round position stays on the lattice ``Z/D`` forever
+  (Lemma 1: rounds merely rotate the position multiset), and every
+  collision time/place within a round lands on ``Z/(2D)`` (token
+  crossings meet at half-gaps).  The backend therefore tracks one
+  shared scale integer instead of per-value gcds, and each round is
+  pure integer arithmetic:
+
+  - positions are never rebuilt: a single rotation ``offset`` into the
+    frozen base arrays replaces per-round list rebuilds, and the
+    committed position list reuses the original ``Fraction`` objects;
+  - gap and prefix-sum arrays over the base slots are computed once at
+    attach and never again (the gap *sequence* only rotates);
+  - per-velocity-pattern derivations (rotation index, nearest-opposite
+    hop counts) and per-rotation displacement arcs are memoised, so
+    batched execution of repeating rounds does no re-derivation;
+  - ``Fraction`` and :class:`~repro.types.Observation` objects are
+    interned by integer numerator, so repeated observations cost one
+    dictionary lookup instead of a gcd plus two allocations;
+  - when the event engine is needed (cross-validation, or lazy rounds
+    under a collision-reporting model) it runs in integer tick space
+    (:func:`~repro.ring.collisions.simulate_collisions_ticks`).
+
+Backends hold derived state, so they detect external position writes
+(``restore()``, manual assignment) through ``RingState.version`` and
+resynchronise automatically.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import SimulationError
+from repro.geometry import ccw_arc, cw_arc
+from repro.ring.collisions import (
+    simulate_collisions,
+    simulate_collisions_ticks,
+)
+from repro.ring.kinematics import (
+    first_collisions_basic,
+    hops_to_opposite,
+    rotation_index,
+)
+from repro.ring.state import RingState
+from repro.types import Chirality, Observation, RoundOutcome
+
+#: Backend used when none is requested explicitly.
+DEFAULT_BACKEND = "lattice"
+
+BackendSpec = Union[None, str, "KinematicsBackend"]
+
+
+class KinematicsBackend(ABC):
+    """Executes rounds against an attached :class:`RingState`."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.state: Optional[RingState] = None
+
+    def attach(self, state: RingState) -> None:
+        """Bind the backend to a world state (derives internal caches).
+
+        A backend instance serves exactly one world: silently re-pointing
+        a shared instance would make one simulator mutate another's
+        state.
+        """
+        if self.state is not None and self.state is not state:
+            raise SimulationError(
+                "backend is already attached to a different RingState; "
+                "create one backend instance per simulator"
+            )
+        self.state = state
+
+    @abstractmethod
+    def execute_round(
+        self,
+        velocities: Sequence[int],
+        need_coll: bool,
+        cross_validate: bool = False,
+    ) -> RoundOutcome:
+        """Run one unit round and commit the result to the state.
+
+        Args:
+            velocities: Objective per-agent velocities in {-1, 0, +1}.
+            need_coll: Whether ``coll()`` observations must be produced
+                (the perceptive model).  Event simulation is skipped
+                whenever the round provably does not need it: closed
+                forms cover all-moving rounds, and no-collision rounds
+                are recognised from the velocity pattern alone.
+            cross_validate: Additionally run the event-driven engine and
+                assert it agrees with the closed form (slow; tests).
+        """
+
+
+def make_backend(spec: BackendSpec) -> "KinematicsBackend":
+    """Resolve a backend spec: an instance, a name, or None (default).
+
+    Recognised names: ``"lattice"`` (default) and ``"fraction"``.
+    """
+    if isinstance(spec, KinematicsBackend):
+        return spec
+    if spec is None:
+        spec = DEFAULT_BACKEND
+    if spec == "lattice":
+        return LatticeBackend()
+    if spec == "fraction":
+        return FractionBackend()
+    raise SimulationError(
+        f"unknown kinematics backend {spec!r}; "
+        "expected 'lattice', 'fraction', or a KinematicsBackend instance"
+    )
+
+
+class FractionBackend(KinematicsBackend):
+    """Reference backend: exact :class:`fractions.Fraction` arithmetic."""
+
+    name = "fraction"
+
+    def execute_round(
+        self,
+        velocities: Sequence[int],
+        need_coll: bool,
+        cross_validate: bool = False,
+    ) -> RoundOutcome:
+        state = self.state
+        n = state.n
+        start = state._positions  # internal read; never mutated here
+        r = rotation_index(velocities, n)
+        has_idle = any(v == 0 for v in velocities)
+        need_events = cross_validate or (need_coll and has_idle)
+
+        coll: List[Optional[Fraction]] = [None] * n
+        events = 0
+        if need_coll and not has_idle:
+            coll = first_collisions_basic(
+                start, velocities, prefix=state._prefix_cached()
+            )
+        final_closed = [start[(i + r) % n] for i in range(n)]
+        if need_events:
+            traces, events = simulate_collisions(start, velocities)
+            final_event = [tr.final_position for tr in traces]
+            if need_coll:
+                coll_event = [tr.coll_distance for tr in traces]
+                if not has_idle and coll_event != coll:
+                    raise SimulationError(
+                        "closed-form and event-driven first collisions "
+                        f"disagree: closed={coll} event={coll_event}"
+                    )
+                coll = coll_event
+            if final_event != final_closed:
+                raise SimulationError(
+                    "closed-form and event-driven final positions disagree "
+                    f"(rotation index {r}); closed={final_closed} "
+                    f"event={final_event}"
+                )
+
+        chir = state.chiralities
+        observations = tuple(
+            Observation(
+                dist=(
+                    cw_arc(start[i], final_closed[i])
+                    if chir[i] is Chirality.CLOCKWISE
+                    else ccw_arc(start[i], final_closed[i])
+                ),
+                coll=coll[i],
+            )
+            for i in range(n)
+        )
+
+        state.commit_round(final_closed, r)
+        return RoundOutcome(
+            observations=observations,
+            rotation_index=r,
+            collision_events=events,
+        )
+
+
+class LatticeBackend(KinematicsBackend):
+    """Integer-lattice backend: one shared denominator, int arithmetic.
+
+    See the module docstring for the representation.  All arcs are
+    integer numerators over the shared scale ``D`` (positions, dists)
+    or ``2D`` (first-collision arcs); the event engine runs on a
+    ``1/(4D)`` tick grid so that tentative heap entries stay integral.
+    """
+
+    name = "lattice"
+
+    def attach(self, state: RingState) -> None:
+        super().attach(state)
+        self._sync()
+
+    def _sync(self) -> None:
+        """(Re)derive the lattice representation from the state."""
+        state = self.state
+        pos = state.positions
+        n = len(pos)
+        scale = math.lcm(*(p.denominator for p in pos))
+        num = [p.numerator * (scale // p.denominator) for p in pos]
+        gap = [(num[(i + 1) % n] - num[i]) % scale for i in range(n)]
+        prefix = [0] * (n + 1)
+        for i in range(n):
+            prefix[i + 1] = prefix[i] + gap[i]
+        if prefix[n] != scale:
+            raise SimulationError(
+                "positions are not in clockwise ring order: gaps sum to "
+                f"{prefix[n]}/{scale}, expected 1"
+            )
+        self.n = n
+        self.scale = scale
+        self.offset = 0
+        self._ring = list(pos)  # frozen base Fractions, slot-indexed
+        self._ring2 = self._ring + self._ring  # doubled: rotation by slice
+        self._num = num  # slot-indexed integer positions over `scale`
+        self._gap = gap
+        self._prefix = prefix
+        self._chir_cw = [
+            c is Chirality.CLOCKWISE for c in state.chiralities
+        ]
+        # Memoisation tables (see module docstring).
+        self._patterns: Dict[
+            Tuple[int, ...],
+            Tuple[int, bool, bool, Optional[List[Tuple[int, int]]]],
+        ] = {}
+        self._dist_rows: Dict[int, Tuple[List[int], List[int]]] = {}
+        self._fracs1: Dict[int, Fraction] = {}  # numerator over scale
+        self._fracs2: Dict[int, Fraction] = {}  # numerator over 2*scale
+        self._obs_plain: Dict[int, Observation] = {}  # dist only
+        self._obs_coll: Dict[Tuple[int, int], Observation] = {}
+        self._obs_quarter: Dict[Tuple[int, int], Observation] = {}
+        # Whole-round memo: (velocities, offset, need_coll) -> (outcome,
+        # rotation).  Cyclic workloads (probe/restore loops, sweeps)
+        # repeat exact (pattern, offset) states, collapsing a round to
+        # one dictionary hit plus the state commit.
+        self._outcomes: Dict[
+            Tuple[Tuple[int, ...], int, bool], Tuple[RoundOutcome, int]
+        ] = {}
+        self._version = state.version
+
+    def _arc_slots(self, s: int, hops: int) -> int:
+        """Clockwise arc numerator over ``hops`` slots starting at ``s``."""
+        prefix = self._prefix
+        j = s + hops
+        if j <= self.n:
+            return prefix[j] - prefix[s]
+        return self.scale - prefix[s] + prefix[j - self.n]
+
+    def _frac2(self, numerator: int) -> Fraction:
+        """Interned ``Fraction(numerator, 2 * scale)``."""
+        value = self._fracs2.get(numerator)
+        if value is None:
+            value = Fraction(numerator, 2 * self.scale)
+            self._fracs2[numerator] = value
+        return value
+
+    def _pattern(
+        self, velocities: Tuple[int, ...]
+    ) -> Tuple[int, bool, bool, Optional[List[Tuple[int, int]]]]:
+        """Memoised per-velocity-pattern derivations.
+
+        Returns ``(r, has_idle, mixed, coll_spec)``.  ``coll_spec`` is
+        only present for idle-free mixed rounds (the only rounds with
+        closed-form collisions): per agent, ``(rel, hops)`` such that
+        the first-collision arc spans ``hops`` slots starting ``rel``
+        slots from the agent's own (clockwise movers look ahead from
+        their slot, anticlockwise movers from ``hops`` slots behind).
+        """
+        pat = self._patterns.get(velocities)
+        if pat is None:
+            if len(self._patterns) > 8192:  # bound adversarial growth
+                self._patterns.clear()
+            # rotation_index, with C-speed counting on the tuple.
+            r = (velocities.count(1) - velocities.count(-1)) % self.n
+            has_idle = 0 in velocities
+            mixed = 1 in velocities and -1 in velocities
+            coll_spec = None
+            if mixed and not has_idle:
+                coll_spec = [
+                    (0, h) if velocities[i] > 0 else (-h, h)
+                    for i, h in enumerate(hops_to_opposite(velocities))
+                ]
+            pat = (r, has_idle, mixed, coll_spec)
+            self._patterns[velocities] = pat
+        return pat
+
+    def _dist_row(self, r: int) -> Tuple[List[int], List[int]]:
+        """Per-slot ``dist()`` numerators of a rotation-r round, in both
+        frames: ``(clockwise_row, anticlockwise_row)``."""
+        rows = self._dist_rows.get(r)
+        if rows is None:
+            scale = self.scale
+            cw = [self._arc_slots(s, r) for s in range(self.n)]
+            ccw = [scale - a if a else 0 for a in cw]
+            rows = (cw, ccw)
+            self._dist_rows[r] = rows
+        return rows
+
+    def _event_round(
+        self, velocities: Sequence[int]
+    ) -> Tuple[List[Optional[int]], List[int], int]:
+        """Run the integer event engine for the current round.
+
+        Returns ``(coll_quarter_ticks, final_coords, events)`` with
+        collision arcs in ``1/(4*scale)`` ticks.
+        """
+        n, off = self.n, self.offset
+        num = self._num
+        coords = [4 * num[(i + off) % n] for i in range(n)]
+        traces, events = simulate_collisions_ticks(
+            coords, velocities, ring_ticks=4 * self.scale
+        )
+        coll = [tr.coll_ticks for tr in traces]
+        final = [tr.final_coord for tr in traces]
+        return coll, final, events
+
+    def execute_round(
+        self,
+        velocities: Sequence[int],
+        need_coll: bool,
+        cross_validate: bool = False,
+    ) -> RoundOutcome:
+        state = self.state
+        if state.version != self._version:
+            self._sync()
+        if not isinstance(velocities, tuple):
+            velocities = tuple(velocities)
+        n, off, scale = self.n, self.offset, self.scale
+        if not cross_validate:
+            hit = self._outcomes.get((velocities, off, need_coll))
+            if hit is not None:
+                outcome, r = hit
+                off += r
+                if off >= n:
+                    off -= n
+                self.offset = off
+                state.commit_round(self._ring2[off:off + n], r)
+                self._version = state.version
+                return outcome
+        r, has_idle, mixed, coll_spec = self._pattern(velocities)
+        need_events = cross_validate or (need_coll and has_idle)
+
+        events = 0
+        coll_quarter: Optional[List[Optional[int]]] = None
+        if need_events:
+            coll_quarter, events = self._validate_events(
+                velocities, r, need_coll,
+                closed_coll=need_coll and coll_spec is not None,
+            )
+
+        # Assemble observations from interned values.  The loops are
+        # deliberately flat int/dict code: this is the innermost hot
+        # path of every simulation in the library.
+        if len(self._obs_coll) > 1 << 18:  # bound adversarial growth
+            self._obs_coll.clear()
+            self._obs_quarter.clear()
+        cw_row, ccw_row = self._dist_row(r)
+        chir_cw = self._chir_cw
+        prefix = self._prefix
+        obs_list: List[Observation] = [None] * n  # type: ignore[list-item]
+        s = off
+        if need_coll and coll_spec is not None:
+            obs_cache = self._obs_coll
+            fracs1 = self._fracs1
+            for i in range(n):
+                d = cw_row[s] if chir_cw[i] else ccw_row[s]
+                rel, h = coll_spec[i]
+                s0 = s + rel
+                if s0 < 0:
+                    s0 += n
+                elif s0 >= n:
+                    s0 -= n
+                j = s0 + h
+                if j <= n:
+                    a = prefix[j] - prefix[s0]
+                else:
+                    a = scale - prefix[s0] + prefix[j - n]
+                key = (d, a)
+                ob = obs_cache.get(key)
+                if ob is None:
+                    df = fracs1.get(d)
+                    if df is None:
+                        df = fracs1[d] = Fraction(d, scale)
+                    ob = Observation(dist=df, coll=self._frac2(a))
+                    obs_cache[key] = ob
+                obs_list[i] = ob
+                s += 1
+                if s == n:
+                    s = 0
+        elif coll_quarter is not None and need_coll:
+            # Lazy rounds under a collision-reporting model: arcs from
+            # the event engine, in 1/(4*scale) ticks.
+            obs_cache_q = self._obs_quarter
+            obs_plain = self._obs_plain
+            scale4 = 4 * scale
+            for i in range(n):
+                d = cw_row[s] if chir_cw[i] else ccw_row[s]
+                q = coll_quarter[i]
+                if q is None:
+                    ob = obs_plain.get(d)
+                    if ob is None:
+                        ob = Observation(dist=self._frac1(d))
+                        obs_plain[d] = ob
+                else:
+                    keyq = (d, q)
+                    ob = obs_cache_q.get(keyq)
+                    if ob is None:
+                        ob = Observation(
+                            dist=self._frac1(d), coll=Fraction(q, scale4)
+                        )
+                        obs_cache_q[keyq] = ob
+                obs_list[i] = ob
+                s += 1
+                if s == n:
+                    s = 0
+        else:
+            obs_plain = self._obs_plain
+            fracs1 = self._fracs1
+            for i in range(n):
+                d = cw_row[s] if chir_cw[i] else ccw_row[s]
+                ob = obs_plain.get(d)
+                if ob is None:
+                    df = fracs1.get(d)
+                    if df is None:
+                        df = fracs1[d] = Fraction(d, scale)
+                    ob = Observation(dist=df)
+                    obs_plain[d] = ob
+                obs_list[i] = ob
+                s += 1
+                if s == n:
+                    s = 0
+
+        outcome = RoundOutcome(
+            observations=tuple(obs_list),
+            rotation_index=r,
+            collision_events=events,
+        )
+        if not need_events:
+            # Closed-form rounds are pure functions of (pattern, offset):
+            # memoise the whole immutable outcome.
+            if len(self._outcomes) > 1 << 16:
+                self._outcomes.clear()
+            self._outcomes[(velocities, self.offset, need_coll)] = (
+                outcome, r,
+            )
+
+        # Commit: rotate the offset; the position list reuses the frozen
+        # base Fraction objects (no arithmetic, no gcd).
+        off = off + r
+        if off >= n:
+            off -= n
+        self.offset = off
+        state.commit_round(self._ring2[off:off + n], r)
+        self._version = state.version
+        return outcome
+
+    def _frac1(self, numerator: int) -> Fraction:
+        """Interned ``Fraction(numerator, scale)``."""
+        value = self._fracs1.get(numerator)
+        if value is None:
+            value = Fraction(numerator, self.scale)
+            self._fracs1[numerator] = value
+        return value
+
+    def _validate_events(
+        self,
+        velocities: Tuple[int, ...],
+        r: int,
+        need_coll: bool,
+        closed_coll: bool,
+    ) -> Tuple[Optional[List[Optional[int]]], int]:
+        """Run the integer event engine; cross-check the closed forms.
+
+        Returns ``(coll_quarter_ticks, events)`` where the collision
+        arcs are only returned when the closed form cannot supply them
+        (idle rounds under a collision-reporting model).
+        """
+        n, off, scale = self.n, self.offset, self.scale
+        ev_coll, ev_final, events = self._event_round(velocities)
+        num = self._num
+        expected = [4 * num[(i + off + r) % n] for i in range(n)]
+        if ev_final != expected:
+            raise SimulationError(
+                "closed-form and event-driven final positions disagree "
+                f"(rotation index {r}); closed={expected} "
+                f"event={ev_final} (in 1/(4*{scale}) ticks)"
+            )
+        if not need_coll:
+            return None, events
+        if closed_coll:
+            # Recompute the closed-form arcs here (tick-doubled) and
+            # compare; the main loop then uses the closed form.
+            _, _, _, coll_spec = self._pattern(velocities)
+            arc = self._arc_slots
+            for i in range(n):
+                rel, h = coll_spec[i]
+                a = arc((i + off + rel) % n, h)
+                if ev_coll[i] != 2 * a:
+                    raise SimulationError(
+                        "closed-form and event-driven first collisions "
+                        f"disagree for agent {i}: closed={2 * a} "
+                        f"event={ev_coll[i]} (in 1/(4*{scale}) ticks)"
+                    )
+            return None, events
+        if all(v == velocities[0] for v in velocities) and 0 not in velocities:
+            if any(c is not None for c in ev_coll):
+                raise SimulationError(
+                    "event engine reported collisions in a "
+                    "uniform-direction round"
+                )
+            return None, events
+        return ev_coll, events

@@ -21,11 +21,28 @@ cascades exactly:
 The simulator reports, per agent: final position, first-collision time,
 first-collision position, and the arc travelled before the first
 collision (the paper's ``coll()``).
+
+Two engines share the algorithm:
+
+* :func:`simulate_collisions` -- the reference engine over
+  :class:`fractions.Fraction` positions and times (supports arbitrary
+  rational durations and trajectory recording);
+* :func:`simulate_collisions_ticks` -- the integer-lattice engine used
+  by :class:`repro.ring.backends.LatticeBackend`.  Positions and times
+  are plain ``int`` tick counts, so heap keys compare with native
+  integer comparisons and no gcd is ever taken.  Callers pre-scale
+  coordinates onto a tick grid fine enough that every event lands on
+  it: with initial positions on ``Z/D`` and unit speeds, all token
+  crossings (hence all agent collisions -- agents are relabelled
+  tokens) happen at times and places on ``Z/(2D)``; a grid of
+  ``1/(4D)`` additionally makes every *tentative* pair-event
+  prediction integral, not just the realised ones.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
@@ -149,6 +166,19 @@ def _pair_event_time(world: _World, i: int, now: Fraction) -> Optional[Fraction]
     return now + gap / closing
 
 
+def _event_budget(n: int, duration_units: float) -> int:
+    """Upper bound on collision events for a round of ``duration_units``.
+
+    2 * nC * nA bounds token crossings per unit of time (each opposite
+    pair of tokens meets at most twice per unit lap); idle agents only
+    convert crossings into short exchange chains, covered by doubling.
+    The bound scales linearly with the round duration -- the historical
+    constant ``4*n*n + 16`` was only justified for unit rounds.
+    """
+    units = max(1, math.ceil(duration_units))
+    return 4 * n * n * units + 16
+
+
 def simulate_collisions(
     positions: Sequence[Fraction],
     velocities: Sequence[int],
@@ -193,10 +223,7 @@ def simulate_collisions(
         push(i, _ZERO)
 
     guard = 0
-    # 2 * nC * nA is an upper bound on token crossings in a unit round
-    # (each opposite pair of tokens meets at most twice); add slack for
-    # idle agents which convert crossings into short exchange chains.
-    max_events = 4 * n * n + 16
+    max_events = _event_budget(n, duration)
     while heap:
         t, ver, i = heapq.heappop(heap)
         if ver != version[i]:
@@ -204,7 +231,13 @@ def simulate_collisions(
         j = (i + 1) % n
         guard += 1
         if guard > max_events:
-            raise SimulationError("event budget exceeded; simulator bug")
+            raise SimulationError(
+                f"collision event budget exceeded: processed {guard} events "
+                f"for n={n} agents over duration={duration}, but at most "
+                f"{max_events} are possible (2*nC*nA token crossings per "
+                "unit time plus idle hand-off slack); this indicates a "
+                "simulator bug such as a stale-event loop"
+            )
         world.advance(i, t)
         world.advance(j, t)
         # Record collision for both participants.
@@ -235,3 +268,156 @@ def simulate_collisions(
             )
 
     return world.traces, world.events
+
+
+@dataclass
+class TickTrace:
+    """Per-agent outcome of an integer tick-space round simulation.
+
+    All quantities are integer multiples of the caller's tick (one tick
+    is ``1/ring_ticks`` of the circumference; time ticks equal position
+    ticks because agents move at unit speed).
+
+    Attributes:
+        final_coord: Position at the round's end, wrapped to
+            ``[0, ring_ticks)``.
+        first_collision_tick: Time of the first collision, or ``None``.
+        first_collision_coord: Where it happened (wrapped), or ``None``.
+        coll_ticks: Ticks travelled before the first collision -- 0 for
+            an initially idle agent that is struck, ``None`` if the
+            agent never collided.
+        collisions: Total number of collisions the agent experienced.
+    """
+
+    final_coord: int
+    first_collision_tick: Optional[int] = None
+    first_collision_coord: Optional[int] = None
+    coll_ticks: Optional[int] = None
+    collisions: int = 0
+
+
+def simulate_collisions_ticks(
+    coords: Sequence[int],
+    velocities: Sequence[int],
+    ring_ticks: int,
+    duration_ticks: Optional[int] = None,
+) -> Tuple[List[TickTrace], int]:
+    """Integer-lattice twin of :func:`simulate_collisions`.
+
+    Args:
+        coords: Agent positions in clockwise ring order as integer tick
+            counts in ``[0, ring_ticks)``.  For every realised *and*
+            tentative event time to be integral the caller must put the
+            initial coordinates on a grid four times finer than the
+            positions' own lattice (see the module docstring); the
+            lattice backend passes ``coords = 4 * num`` over
+            ``ring_ticks = 4 * D``.
+        velocities: Objective velocities in {-1, 0, +1}, same order.
+        ring_ticks: Ticks in one full circumference.
+        duration_ticks: Round length in ticks; defaults to one full lap
+            (``ring_ticks``, i.e. the paper's unit round).
+
+    Returns:
+        ``(traces, n_events)`` where ``traces[i]`` describes agent i.
+    """
+    n = len(coords)
+    if n != len(velocities):
+        raise SimulationError("positions/velocities length mismatch")
+    if any(v not in (-1, 0, 1) for v in velocities):
+        raise SimulationError("velocities must be in {-1, 0, +1}")
+    if duration_ticks is None:
+        duration_ticks = ring_ticks
+
+    # Unwrapped integer coordinates, as in _World: agent i+1's coordinate
+    # exceeds agent i's, sidestepping mod-ring_ticks corner cases.
+    coord: List[int] = []
+    prev = None
+    total = 0
+    for i, c in enumerate(coords):
+        c %= ring_ticks
+        if i == 0:
+            coord.append(c)
+            total = c
+        else:
+            step = (c - prev) % ring_ticks
+            if step == 0:
+                raise SimulationError("coincident agent positions")
+            total += step
+            coord.append(total)
+        prev = c
+    vel = list(velocities)
+    last_t = [0] * n
+    traces = [TickTrace(final_coord=0) for _ in range(n)]
+    start_moving = [v != 0 for v in velocities]
+
+    def coord_at(i: int, t: int) -> int:
+        return coord[i] + vel[i] * (t - last_t[i])
+
+    def advance(i: int, t: int) -> None:
+        coord[i] = coord_at(i, t)
+        last_t[i] = t
+
+    def pair_event_time(i: int, now: int) -> Optional[int]:
+        j = (i + 1) % n
+        closing = vel[i] - vel[j]
+        if closing <= 0:
+            return None
+        wrap = ring_ticks if j == 0 else 0
+        gap = (coord_at(j, now) + wrap) - coord_at(i, now)
+        if gap < 0:
+            raise SimulationError("negative gap: ring order violated")
+        ticks, rem = divmod(gap, closing)
+        if rem:
+            raise SimulationError(
+                "pair-event time off the tick grid; coordinates must be "
+                "pre-scaled to a 4x-finer grid than the position lattice"
+            )
+        return now + ticks
+
+    version = [0] * n
+    heap: List[Tuple[int, int, int]] = []
+
+    def push(i: int, now: int) -> None:
+        t = pair_event_time(i, now)
+        if t is not None and t <= duration_ticks:
+            heapq.heappush(heap, (t, version[i], i))
+
+    for i in range(n):
+        push(i, 0)
+
+    guard = 0
+    events = 0
+    max_events = _event_budget(n, duration_ticks / ring_ticks)
+    while heap:
+        t, ver, i = heapq.heappop(heap)
+        if ver != version[i]:
+            continue
+        j = (i + 1) % n
+        guard += 1
+        if guard > max_events:
+            raise SimulationError(
+                f"collision event budget exceeded: processed {guard} events "
+                f"for n={n} agents over {duration_ticks}/{ring_ticks} "
+                f"rounds, but at most {max_events} are possible; this "
+                "indicates a simulator bug such as a stale-event loop"
+            )
+        advance(i, t)
+        advance(j, t)
+        for a in (i, j):
+            tr = traces[a]
+            tr.collisions += 1
+            if tr.first_collision_tick is None:
+                tr.first_collision_tick = t
+                tr.first_collision_coord = coord[a] % ring_ticks
+                tr.coll_ticks = t if start_moving[a] else 0
+        vel[i], vel[j] = vel[j], vel[i]
+        events += 1
+        for p in ((i - 1) % n, i, j):
+            version[p] += 1
+            push(p, t)
+
+    for a in range(n):
+        advance(a, duration_ticks)
+        traces[a].final_coord = coord[a] % ring_ticks
+
+    return traces, events

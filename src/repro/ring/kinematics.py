@@ -12,6 +12,13 @@ This module computes final positions and ``dist()`` observations in
 O(n) without simulating any collisions.  The event-driven simulator in
 :mod:`repro.ring.collisions` computes the same quantities the hard way;
 property tests assert they agree.
+
+The functions here are backend-neutral: they operate on whatever
+number type the caller supplies (``Fraction`` positions in the exact
+backend, plain ``int`` lattice coordinates in the integer backend --
+see :mod:`repro.ring.backends`).  ``first_collisions_basic`` accepts
+precomputed gap/prefix arrays so callers holding a cache (e.g.
+:meth:`repro.ring.state.RingState.gaps`) avoid the O(n) recomputation.
 """
 
 from __future__ import annotations
@@ -51,8 +58,42 @@ def closed_form_round(
     return final, r
 
 
+def hops_to_opposite(velocities: Sequence[int]) -> List[int]:
+    """Ring distance from each agent to the nearest opposite mover ahead.
+
+    ``hops[i]`` is the number of ring places from agent i to the nearest
+    agent moving against it, measured in agent i's direction of travel
+    (clockwise for +1 movers, anticlockwise for -1 movers).  Found with
+    one scan over the doubled ring in each direction.  Velocities must
+    be mixed and idle-free; entries are in [1, n-1].
+
+    The result depends only on the velocity pattern, never on positions,
+    so per-pattern callers (the batched round executor) can cache it.
+    """
+    n = len(velocities)
+    hops = [0] * n
+    last: Optional[int] = None
+    for idx in range(2 * n - 1, -1, -1):
+        i = idx % n
+        if velocities[i] < 0:
+            last = idx
+        elif last is not None and idx < n:
+            hops[i] = last - idx
+    last = None
+    for idx in range(2 * n):
+        i = idx % n
+        if velocities[i] > 0:
+            last = idx
+        elif last is not None and idx >= n:
+            hops[i] = idx - last
+    return hops
+
+
 def first_collisions_basic(
-    positions: Sequence[Fraction], velocities: Sequence[int]
+    positions: Sequence[Fraction],
+    velocities: Sequence[int],
+    gaps: Optional[Sequence[Fraction]] = None,
+    prefix: Optional[Sequence[Fraction]] = None,
 ) -> List[Optional[Fraction]]:
     """Closed-form ``coll()`` for rounds in which every agent moves.
 
@@ -75,6 +116,11 @@ def first_collisions_basic(
         velocities: Objective velocities, all in {-1, +1} (no idles --
             idle agents break the cascade argument; use the event
             simulator for lazy rounds).
+        gaps: Optional precomputed clockwise gap array (as produced by
+            :meth:`repro.ring.state.RingState.gaps`); computed from
+            ``positions`` when omitted.
+        prefix: Optional precomputed prefix sums of ``gaps`` with
+            ``prefix[0] == 0`` and ``prefix[n]`` the full circumference.
 
     Returns:
         Per-agent first-collision arcs, or all None when the round is
@@ -85,38 +131,26 @@ def first_collisions_basic(
         raise ValueError("first_collisions_basic requires a basic round")
     if len(set(velocities)) == 1:
         return [None] * n
-    gap = [
-        cw_arc(positions[i], positions[(i + 1) % n]) for i in range(n)
-    ]
-    # prefix[i] = arc from agent 0 to agent i walking clockwise.
-    prefix = [Fraction(0)] * (n + 1)
-    for i in range(n):
-        prefix[i + 1] = prefix[i] + gap[i]
+    if gaps is None:
+        gaps = [
+            cw_arc(positions[i], positions[(i + 1) % n]) for i in range(n)
+        ]
+    if prefix is None:
+        # prefix[i] = arc from agent 0 to agent i walking clockwise.
+        acc = [Fraction(0)] * (n + 1)
+        for i in range(n):
+            acc[i + 1] = acc[i] + gaps[i]
+        prefix = acc
+
+    full = prefix[n]
 
     def arc_forward(i: int, hops: int) -> Fraction:
         j = i + hops
         if j < n:
             return prefix[j] - prefix[i]
-        return prefix[n] - prefix[i] + prefix[j - n]
+        return full - prefix[i] + prefix[j - n]
 
-    # hops_ahead[i]: ring distance to the nearest opposite mover in agent
-    # i's direction of travel; found with one scan over the doubled ring
-    # in each direction.
-    hops_ahead = [0] * n
-    last = None
-    for idx in range(2 * n - 1, -1, -1):
-        i = idx % n
-        if velocities[i] < 0:
-            last = idx
-        elif last is not None and idx < n:
-            hops_ahead[i] = last - idx
-    last = None
-    for idx in range(2 * n):
-        i = idx % n
-        if velocities[i] > 0:
-            last = idx
-        elif last is not None and idx >= n:
-            hops_ahead[i] = idx - last
+    hops_ahead = hops_to_opposite(velocities)
 
     result: List[Optional[Fraction]] = [None] * n
     for i in range(n):

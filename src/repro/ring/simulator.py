@@ -6,36 +6,33 @@ agents.  Given each agent's *local* direction choice it:
 1. maps choices to objective velocities through each agent's private
    chirality;
 2. enforces the model variant (idling is only legal in the lazy model);
-3. computes the round outcome -- by closed form (Lemma 1) when no
-   collision information is needed, or by exact event simulation when
-   the model is perceptive (or when cross-validation is enabled);
-4. updates the world state and returns per-agent
-   :class:`~repro.types.Observation` values expressed in each agent's
-   own frame.
+3. delegates the round's arithmetic to a pluggable *kinematics backend*
+   (see :mod:`repro.ring.backends`): the closed form (Lemma 1) when no
+   collision information is needed, exact event simulation when the
+   round requires it (or when cross-validation is enabled);
+4. returns per-agent :class:`~repro.types.Observation` values expressed
+   in each agent's own frame (the backend commits the world state).
+
+Backend selection: pass ``backend="lattice"`` (default, integer
+arithmetic over one shared denominator) or ``backend="fraction"``
+(reference exact-rational implementation), or a ready
+:class:`~repro.ring.backends.KinematicsBackend` instance.  The two are
+property-tested to produce bit-identical outcomes.
+
+Batched execution: :meth:`execute_batch` runs ``k`` rounds with a fixed
+direction vector, validating the model rules and mapping chiralities
+once instead of per round; the lattice backend's memoised
+velocity-pattern tables make each subsequent round pure table lookups.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.exceptions import ModelViolationError, SimulationError
-from repro.geometry import cw_arc, ccw_arc
-from repro.ring.collisions import simulate_collisions
-from repro.ring.kinematics import (
-    closed_form_round,
-    first_collisions_basic,
-    rotation_index,
-)
+from repro.ring.backends import BackendSpec, make_backend
 from repro.ring.state import RingState
-from repro.types import (
-    Chirality,
-    LocalDirection,
-    Model,
-    Observation,
-    RoundOutcome,
-    local_to_velocity,
-)
+from repro.types import LocalDirection, Model, RoundOutcome
 
 
 class RingSimulator:
@@ -44,11 +41,14 @@ class RingSimulator:
     Attributes:
         state: The ground-truth world state (mutated by each round).
         model: Which model variant's rules and observations apply.
+        backend: The kinematics backend executing the arithmetic.
         cross_validate: When True, every round is computed both ways and
             the closed-form and event-driven results are asserted equal.
             Slower; intended for tests.
         rounds_executed: Number of rounds run so far (the paper's cost
             measure).
+        collision_events: Total collision events processed by the event
+            engine (0 for rounds resolved in closed form).
     """
 
     def __init__(
@@ -56,12 +56,46 @@ class RingSimulator:
         state: RingState,
         model: Model = Model.BASIC,
         cross_validate: bool = False,
+        backend: BackendSpec = None,
     ) -> None:
         self.state = state
         self.model = model
         self.cross_validate = cross_validate
+        self.backend = make_backend(backend)
+        self.backend.attach(state)
         self.rounds_executed = 0
         self.collision_events = 0
+        # Per-agent objective velocity for each local choice (chirality
+        # never changes); identity checks on the three enum members are
+        # much cheaper than hashing direction vectors.
+        self._vel_right = [int(c) for c in state.chiralities]
+        self._vel_left = [-v for v in self._vel_right]
+
+    def _velocities(
+        self, directions: Sequence[LocalDirection]
+    ) -> Sequence[int]:
+        """Validate a direction vector and map it to objective velocities.
+
+        Equivalent to mapping :func:`repro.types.local_to_velocity` over
+        the agents.
+        """
+        n = self.state.n
+        if len(directions) != n:
+            raise SimulationError("one direction per agent is required")
+        right, left = LocalDirection.RIGHT, LocalDirection.LEFT
+        vel_right, vel_left = self._vel_right, self._vel_left
+        allows_idle = self.model.allows_idle
+        velocities = [0] * n
+        for i, d in enumerate(directions):
+            if d is right:
+                velocities[i] = vel_right[i]
+            elif d is left:
+                velocities[i] = vel_left[i]
+            elif not allows_idle:
+                raise ModelViolationError(
+                    f"idle is not permitted in the {self.model.value} model"
+                )
+        return tuple(velocities)
 
     def execute(self, directions: Sequence[LocalDirection]) -> RoundOutcome:
         """Run one round with the given per-agent local directions.
@@ -77,75 +111,41 @@ class RingSimulator:
         Raises:
             ModelViolationError: If an agent idles outside the lazy model.
         """
-        n = self.state.n
-        if len(directions) != n:
-            raise SimulationError("one direction per agent is required")
-        if not self.model.allows_idle:
-            if any(d is LocalDirection.IDLE for d in directions):
-                raise ModelViolationError(
-                    f"idle is not permitted in the {self.model.value} model"
-                )
-
-        velocities = [
-            local_to_velocity(directions[i], self.state.chiralities[i])
-            for i in range(n)
-        ]
-        start = list(self.state.positions)
-        r = rotation_index(velocities, n)
-
-        has_idle = any(v == 0 for v in velocities)
-        need_events = self.cross_validate or (
-            self.model.reports_collisions and has_idle
+        velocities = self._velocities(directions)
+        outcome = self.backend.execute_round(
+            velocities,
+            need_coll=self.model.reports_collisions,
+            cross_validate=self.cross_validate,
         )
-        coll: List[Optional[Fraction]] = [None] * n
-        events = 0
-        if self.model.reports_collisions and not has_idle:
-            coll = first_collisions_basic(start, velocities)
-        if need_events:
-            traces, events = simulate_collisions(start, velocities)
-            final_event = [tr.final_position for tr in traces]
-            if self.model.reports_collisions:
-                coll_event = [tr.coll_distance for tr in traces]
-                if not has_idle and coll_event != coll:
-                    raise SimulationError(
-                        "closed-form and event-driven first collisions "
-                        f"disagree: closed={coll} event={coll_event}"
-                    )
-                coll = coll_event
-
-        final_closed, _ = closed_form_round(start, velocities)
-        if need_events and final_event != final_closed:
-            raise SimulationError(
-                "closed-form and event-driven final positions disagree "
-                f"(rotation index {r}); closed={final_closed} "
-                f"event={final_event}"
-            )
-
-        observations = tuple(
-            Observation(
-                dist=self._dist_in_frame(start[i], final_closed[i],
-                                         self.state.chiralities[i]),
-                coll=coll[i],
-            )
-            for i in range(n)
-        )
-
-        self.state.positions = final_closed
         self.rounds_executed += 1
-        self.collision_events += events
-        return RoundOutcome(
-            observations=observations, rotation_index=r, collision_events=events
-        )
+        self.collision_events += outcome.collision_events
+        return outcome
 
-    @staticmethod
-    def _dist_in_frame(
-        start: Fraction, end: Fraction, chirality: Chirality
-    ) -> Fraction:
-        """The paper's ``dist()``: start-to-end arc in the agent's own
-        clockwise direction."""
-        if chirality is Chirality.CLOCKWISE:
-            return cw_arc(start, end)
-        return ccw_arc(start, end)
+    def execute_batch(
+        self, directions: Sequence[LocalDirection], k: int
+    ) -> List[RoundOutcome]:
+        """Run ``k`` rounds with the same direction vector each round.
+
+        Model rules are checked and chiralities mapped once for the
+        whole batch; each round then reuses the backend's memoised
+        velocity-pattern derivations.  Returns all ``k`` outcomes in
+        order.
+        """
+        if k < 0:
+            raise SimulationError("cannot execute a negative round count")
+        velocities = self._velocities(directions)
+        need_coll = self.model.reports_collisions
+        cross_validate = self.cross_validate
+        backend = self.backend
+        outcomes: List[RoundOutcome] = []
+        for _ in range(k):
+            outcome = backend.execute_round(
+                velocities, need_coll=need_coll, cross_validate=cross_validate
+            )
+            self.collision_events += outcome.collision_events
+            outcomes.append(outcome)
+        self.rounds_executed += k
+        return outcomes
 
     def execute_objective(self, velocities: Sequence[int]) -> RoundOutcome:
         """Run one round from objective velocities (testing/tooling hook).

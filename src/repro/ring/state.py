@@ -4,20 +4,39 @@
 exact position, its unique ID, and its private chirality.  Agents never
 read this object -- the scheduler mediates all information flow through
 :class:`repro.types.Observation` values.
+
+Performance notes
+-----------------
+
+``RingState`` caches the clockwise gap array (and its prefix sums) so
+that per-round consumers -- the closed-form ``coll()`` cascade and the
+kinematics backends -- do not recompute them from positions every round.
+The caches are invalidated whenever positions are written, and *rotated*
+(O(n) pointer moves, no arithmetic) when a round result is committed:
+by Lemma 1 a round only rotates which agent sits before which gap, so
+the gap sequence itself merely shifts.
+
+A monotonically increasing :attr:`version` counter is bumped on every
+position write.  Kinematics backends (see :mod:`repro.ring.backends`)
+snapshot the version after each round they commit and re-derive their
+internal representation whenever the version moved underneath them
+(e.g. after :meth:`restore` or a manual ``state.positions = ...``).
+
+Positions must be replaced wholesale (``state.positions = [...]``);
+mutating individual elements of the returned list bypasses cache
+invalidation and is unsupported.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.geometry import cw_arc, is_ring_ordered, normalize
 from repro.types import Chirality
 
 
-@dataclass
 class RingState:
     """Positions, IDs and chiralities of the n agents, in ring order.
 
@@ -32,64 +51,126 @@ class RingState:
         ids: The unique identifier of each agent, a value in [1, N].
         chiralities: Each agent's private sense of direction.
         id_bound: The common knowledge bound N with ``N >= n``.
+        initial_positions: Immutable copy of the starting positions.
+        version: Bumped on every position write; lets kinematics
+            backends detect external mutation and resynchronise.
     """
 
-    positions: List[Fraction]
-    ids: List[int]
-    chiralities: List[Chirality]
-    id_bound: int
-    initial_positions: Tuple[Fraction, ...] = field(init=False)
+    __slots__ = (
+        "_positions",
+        "ids",
+        "chiralities",
+        "id_bound",
+        "initial_positions",
+        "version",
+        "_gaps",
+        "_prefix",
+    )
 
-    def __post_init__(self) -> None:
-        n = len(self.positions)
-        if not (len(self.ids) == len(self.chiralities) == n):
+    def __init__(
+        self,
+        positions: List[Fraction],
+        ids: List[int],
+        chiralities: List[Chirality],
+        id_bound: int,
+    ) -> None:
+        n = len(positions)
+        if not (len(ids) == len(chiralities) == n):
             raise ConfigurationError(
                 "positions, ids and chiralities must have equal length; got "
-                f"{n}, {len(self.ids)}, {len(self.chiralities)}"
+                f"{n}, {len(ids)}, {len(chiralities)}"
             )
         if n <= 4:
             raise ConfigurationError(
                 f"the paper assumes n > 4 agents; got n={n}"
             )
-        self.positions = [normalize(p) for p in self.positions]
-        if not is_ring_ordered(self.positions):
+        self._positions = [normalize(p) for p in positions]
+        if not is_ring_ordered(self._positions):
             raise ConfigurationError(
                 "positions must be distinct and listed in clockwise ring order"
             )
-        if len(set(self.ids)) != n:
+        if len(set(ids)) != n:
             raise ConfigurationError("agent IDs must be unique")
-        if any(not (1 <= x <= self.id_bound) for x in self.ids):
+        if any(not (1 <= x <= id_bound) for x in ids):
             raise ConfigurationError(
-                f"agent IDs must lie in [1, N] with N={self.id_bound}"
+                f"agent IDs must lie in [1, N] with N={id_bound}"
             )
-        if self.id_bound < n:
+        if id_bound < n:
             raise ConfigurationError(
-                f"ID bound N={self.id_bound} must be at least n={n}"
+                f"ID bound N={id_bound} must be at least n={n}"
             )
-        self.initial_positions = tuple(self.positions)
+        self.ids = list(ids)
+        self.chiralities = list(chiralities)
+        self.id_bound = id_bound
+        self.initial_positions = tuple(self._positions)
+        self.version = 0
+        self._gaps: Optional[List[Fraction]] = None
+        self._prefix: Optional[List[Fraction]] = None
+
+    @property
+    def positions(self) -> List[Fraction]:
+        """Current positions, in ring order.
+
+        Returns a copy: in-place element writes would bypass cache
+        invalidation (and backend resynchronisation) silently.  Replace
+        wholesale (``state.positions = [...]``) to write.
+        """
+        return list(self._positions)
+
+    @positions.setter
+    def positions(self, value: Sequence[Fraction]) -> None:
+        self._positions = [normalize(p) for p in value]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._gaps = None
+        self._prefix = None
+        self.version += 1
 
     @property
     def n(self) -> int:
         """Number of agents on the ring."""
-        return len(self.positions)
+        return len(self._positions)
 
     @property
     def parity_even(self) -> bool:
         """Whether n is even (the only fact about n agents know a priori)."""
         return self.n % 2 == 0
 
+    def _gaps_cached(self) -> List[Fraction]:
+        """The cached clockwise gap array itself (callers must not mutate)."""
+        if self._gaps is None:
+            n = self.n
+            pos = self._positions
+            self._gaps = [
+                cw_arc(pos[i], pos[(i + 1) % n]) for i in range(n)
+            ]
+        return self._gaps
+
     def gaps(self) -> List[Fraction]:
         """Current clockwise gaps x_i between agent i and agent i+1.
 
         The multiset (indeed the cyclic sequence) of gaps is invariant
         under rounds; rounds merely rotate which agent sits before which
-        gap (Lemma 1).
+        gap (Lemma 1).  The array is cached between rounds.
         """
-        n = self.n
-        return [
-            cw_arc(self.positions[i], self.positions[(i + 1) % n])
-            for i in range(n)
-        ]
+        return list(self._gaps_cached())
+
+    def _prefix_cached(self) -> List[Fraction]:
+        """The cached prefix-sum array itself (callers must not mutate)."""
+        if self._prefix is None:
+            gaps = self._gaps_cached()
+            prefix = [Fraction(0)] * (len(gaps) + 1)
+            for i, g in enumerate(gaps):
+                prefix[i + 1] = prefix[i] + g
+            self._prefix = prefix
+        return self._prefix
+
+    def gap_prefix(self) -> List[Fraction]:
+        """Cached prefix sums of the gap array: ``prefix[i]`` is the
+        clockwise arc from agent 0 to agent i; ``prefix[n] == 1``.
+        Returns a copy (the cache itself must not be mutated)."""
+        return list(self._prefix_cached())
 
     def initial_gaps(self) -> List[Fraction]:
         """Clockwise gaps of the *initial* configuration."""
@@ -114,16 +195,32 @@ class RingState:
         agent shifts by r.
         """
         n = self.n
-        old = list(self.positions)
-        for i in range(n):
-            self.positions[i] = old[(i + r) % n]
+        old = self._positions
+        self.commit_round([old[(i + r) % n] for i in range(n)], r)
+
+    def commit_round(self, final: Sequence[Fraction], r: int) -> None:
+        """Fast-path position write used by kinematics backends.
+
+        ``final`` must be a freshly built list of the post-round
+        positions (already canonical representatives in [0, 1), already
+        ring ordered; ownership transfers to the state) and ``r`` the
+        round's rotation index.  The gap cache is rotated rather than
+        invalidated; the prefix cache cannot be rotated and is dropped.
+        """
+        self._positions = final if isinstance(final, list) else list(final)
+        gaps = self._gaps
+        if gaps is not None and r:
+            n = len(gaps)
+            self._gaps = [gaps[(i + r) % n] for i in range(n)]
+        self._prefix = None
+        self.version += 1
 
     def snapshot(self) -> Tuple[Fraction, ...]:
         """Immutable copy of the current positions."""
-        return tuple(self.positions)
+        return tuple(self._positions)
 
     def restore(self, snapshot: Sequence[Fraction]) -> None:
         """Reset positions to a previously taken snapshot."""
         if len(snapshot) != self.n:
             raise ConfigurationError("snapshot length mismatch")
-        self.positions = [normalize(p) for p in snapshot]
+        self.positions = list(snapshot)

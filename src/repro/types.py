@@ -85,7 +85,7 @@ def local_to_velocity(direction: LocalDirection, chirality: Chirality) -> int:
     return sign * int(chirality)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Observation:
     """What one agent learns at the end of one round.
 
@@ -114,7 +114,7 @@ class Observation:
         return self.coll is not None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundOutcome:
     """The full (omniscient) outcome of simulating one round.
 

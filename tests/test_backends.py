@@ -1,0 +1,287 @@
+"""Backend equivalence: the integer-lattice and Fraction backends must
+produce bit-identical results on every round.
+
+This is the load-bearing guarantee of the backend layer: protocols test
+*equalities* between observed rationals, so the lattice backend cannot
+be merely "close" -- every ``dist()``, every ``coll()``, every rotation
+index, every event count and every position must match the reference
+backend exactly, across all three model variants, including rounds with
+simultaneous multi-agent contacts and external position writes.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import SimulationError
+from repro.ring.backends import (
+    DEFAULT_BACKEND,
+    FractionBackend,
+    LatticeBackend,
+    make_backend,
+)
+from repro.ring.configs import (
+    explicit_configuration,
+    jittered_equidistant_configuration,
+    random_configuration,
+)
+from repro.ring.simulator import RingSimulator
+from repro.types import Chirality, LocalDirection, Model
+
+F = Fraction
+R, L, I = LocalDirection.RIGHT, LocalDirection.LEFT, LocalDirection.IDLE
+
+
+def equidistant_state(n=8, chiralities=None):
+    return explicit_configuration(
+        positions=[F(i, n) for i in range(n)],
+        ids=list(range(1, n + 1)),
+        chiralities=chiralities or [Chirality.CLOCKWISE] * n,
+        id_bound=2 * n,
+    )
+
+
+def paired_simulators(make_state, model, cross_validate=False):
+    """Two identical worlds, one per backend."""
+    sims = []
+    for backend in ("fraction", "lattice"):
+        sims.append(
+            RingSimulator(
+                make_state(), model, cross_validate, backend=backend
+            )
+        )
+    return sims
+
+
+def assert_rounds_identical(sim_f, sim_l, directions_seq):
+    """Drive both simulators through the same rounds; compare everything."""
+    for k, directions in enumerate(directions_seq):
+        out_f = sim_f.execute(directions)
+        out_l = sim_l.execute(directions)
+        assert out_f.rotation_index == out_l.rotation_index, f"round {k}"
+        assert out_f.collision_events == out_l.collision_events, f"round {k}"
+        assert out_f.observations == out_l.observations, f"round {k}"
+        assert sim_f.state.positions == sim_l.state.positions, f"round {k}"
+        assert sim_f.state.gaps() == sim_l.state.gaps(), f"round {k}"
+
+
+class TestMakeBackend:
+    def test_default_is_lattice(self):
+        assert DEFAULT_BACKEND == "lattice"
+        assert isinstance(make_backend(None), LatticeBackend)
+
+    def test_by_name_and_instance(self):
+        assert isinstance(make_backend("fraction"), FractionBackend)
+        assert isinstance(make_backend("lattice"), LatticeBackend)
+        inst = FractionBackend()
+        assert make_backend(inst) is inst
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SimulationError):
+            make_backend("decimal")
+
+
+class TestRandomizedEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=5, max_value=12),
+        seed=st.integers(0, 10_000),
+        model=st.sampled_from([Model.BASIC, Model.LAZY, Model.PERCEPTIVE]),
+    )
+    def test_random_rounds_bit_exact(self, n, seed, model):
+        make_state = lambda: random_configuration(
+            n, seed=seed, common_sense=None
+        )
+        sim_f, sim_l = paired_simulators(make_state, model)
+        rng = random.Random(seed)
+        choices = (R, L, I) if model.allows_idle else (R, L)
+        seq = [
+            [rng.choice(choices) for _ in range(n)] for _ in range(12)
+        ]
+        assert_rounds_identical(sim_f, sim_l, seq)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(min_value=5, max_value=9), seed=st.integers(0, 5000))
+    def test_cross_validated_rounds_agree(self, n, seed):
+        """With cross-validation on, both backends run their own event
+        engine and the engines must agree with each other too."""
+        make_state = lambda: random_configuration(n, seed=seed)
+        sim_f, sim_l = paired_simulators(
+            make_state, Model.PERCEPTIVE, cross_validate=True
+        )
+        rng = random.Random(seed + 1)
+        seq = [[rng.choice((R, L)) for _ in range(n)] for _ in range(6)]
+        assert_rounds_identical(sim_f, sim_l, seq)
+        assert sim_f.collision_events == sim_l.collision_events
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_lazy_cross_validated(self, seed):
+        make_state = lambda: random_configuration(8, seed=seed)
+        sim_f, sim_l = paired_simulators(
+            make_state, Model.LAZY, cross_validate=True
+        )
+        rng = random.Random(seed)
+        seq = [[rng.choice((R, L, I)) for _ in range(8)] for _ in range(6)]
+        assert_rounds_identical(sim_f, sim_l, seq)
+
+
+class TestSimultaneousContacts:
+    """Equidistant rings make every collision simultaneous -- the stress
+    case for event-count and first-collision agreement."""
+
+    def test_alternating_velocities(self):
+        make_state = lambda: equidistant_state(8)
+        sim_f, sim_l = paired_simulators(
+            make_state, Model.PERCEPTIVE, cross_validate=True
+        )
+        seq = [[R, L] * 4, [L, R] * 4, [R, R, L, L] * 2]
+        assert_rounds_identical(sim_f, sim_l, seq)
+        assert sim_f.collision_events > 0
+
+    def test_symmetric_idle_contacts(self):
+        # Movers converge symmetrically on idle agents: simultaneous
+        # triple contacts resolved by pairwise exchange.
+        make_state = lambda: equidistant_state(9)
+        sim_f, sim_l = paired_simulators(
+            make_state, Model.LAZY, cross_validate=True
+        )
+        seq = [[R, I, L] * 3, [I, R, L] * 3, [I, I, I] * 3]
+        assert_rounds_identical(sim_f, sim_l, seq)
+
+    def test_jittered_near_symmetric(self):
+        make_state = lambda: jittered_equidistant_configuration(10, seed=3)
+        sim_f, sim_l = paired_simulators(
+            make_state, Model.PERCEPTIVE, cross_validate=True
+        )
+        rng = random.Random(5)
+        seq = [[rng.choice((R, L)) for _ in range(10)] for _ in range(8)]
+        assert_rounds_identical(sim_f, sim_l, seq)
+
+
+class TestExternalWrites:
+    def test_lattice_resyncs_after_restore(self):
+        state = random_configuration(7, seed=9, common_sense=True)
+        sim = RingSimulator(state, Model.PERCEPTIVE, backend="lattice")
+        snap = state.snapshot()
+        sim.execute([R, L, R, L, R, L, R])
+        state.restore(snap)
+        # The backend must notice the external write and re-derive its
+        # lattice; a stale offset would corrupt every later round.
+        out = sim.execute([R] * 7)
+        assert state.snapshot() == snap  # all-clockwise unit lap: r = 0
+        assert out.rotation_index == 0
+
+    def test_lattice_resyncs_after_manual_assignment(self):
+        state = random_configuration(6, seed=2, common_sense=True)
+        sim = RingSimulator(state, Model.BASIC, backend="lattice")
+        sim.execute([R, L, R, L, R, L])
+        state.positions = [F(i, 6) for i in range(6)]
+        ref = RingSimulator(
+            random_configuration(6, seed=2, common_sense=True),
+            Model.BASIC,
+            backend="fraction",
+        )
+        ref.state.positions = [F(i, 6) for i in range(6)]
+        out_l = sim.execute([R, R, R, L, L, L])
+        out_f = ref.execute([R, R, R, L, L, L])
+        assert out_l.observations == out_f.observations
+        assert sim.state.positions == ref.state.positions
+
+    def test_snapshot_restore_roundtrip_with_gap_cache(self):
+        state = random_configuration(8, seed=4)
+        gaps_before = state.gaps()
+        snap = state.snapshot()
+        sim = RingSimulator(state, Model.BASIC, backend="lattice")
+        rng = random.Random(7)
+        for _ in range(5):
+            dirs = [rng.choice((R, L)) for _ in range(8)]
+            sim.execute(dirs)
+            # Cached gaps must always equal a fresh recomputation.
+            fresh = RingSimulator(
+                explicit_configuration(
+                    positions=state.positions,
+                    ids=state.ids,
+                    chiralities=state.chiralities,
+                    id_bound=state.id_bound,
+                ),
+                Model.BASIC,
+            ).state.gaps()
+            assert state.gaps() == fresh
+        state.restore(snap)
+        assert state.gaps() == gaps_before
+
+
+class TestBatchedExecution:
+    def test_run_fixed_batch_matches_loop(self):
+        make_state = lambda: random_configuration(8, seed=12)
+        sched_batch = Scheduler(make_state(), Model.PERCEPTIVE)
+        sched_loop = Scheduler(make_state(), Model.PERCEPTIVE)
+        last = sched_batch.run_fixed(R, k=5)
+        for _ in range(5):
+            last_loop = sched_loop.run_fixed(R)
+        assert sched_batch.rounds == sched_loop.rounds == 5
+        assert last == last_loop
+        for va, vb in zip(sched_batch.views, sched_loop.views):
+            assert va.log == vb.log
+        assert (
+            sched_batch.state.positions == sched_loop.state.positions
+        )
+
+    def test_run_rounds_matches_single_rounds(self):
+        make_state = lambda: random_configuration(7, seed=3)
+        sched_a = Scheduler(make_state(), Model.BASIC)
+        sched_b = Scheduler(make_state(), Model.BASIC)
+        flip = {True: R, False: L}
+        choose = lambda view: flip[view.agent_id % 2 == 0]
+        outcomes = sched_a.run_rounds(choose, 6)
+        for _ in range(6):
+            sched_b.run_round(choose)
+        assert len(outcomes) == 6
+        assert sched_a.rounds == sched_b.rounds == 6
+        for va, vb in zip(sched_a.views, sched_b.views):
+            assert va.log == vb.log
+
+    def test_run_fixed_rejects_nonpositive(self):
+        sched = Scheduler(random_configuration(6, seed=1), Model.BASIC)
+        with pytest.raises(ValueError):
+            sched.run_fixed(R, k=0)
+
+    def test_batch_across_backends(self):
+        make_state = lambda: random_configuration(9, seed=8)
+        outs = {}
+        for backend in ("fraction", "lattice"):
+            sched = Scheduler(
+                make_state(), Model.PERCEPTIVE, backend=backend
+            )
+            outs[backend] = sched.run_fixed(L, k=7)
+        assert outs["fraction"] == outs["lattice"]
+
+
+class TestUnanimousMemory:
+    def test_agreement_by_equality(self):
+        sched = Scheduler(random_configuration(6, seed=1), Model.BASIC)
+        for view in sched.views:
+            view.memory["x"] = F(1, 2)
+        assert sched.unanimous_memory("x") == F(1, 2)
+
+    def test_equal_values_with_distinct_reprs_agree(self):
+        # repr() comparison would split these: dict printouts differ,
+        # but the values are equal.
+        sched = Scheduler(random_configuration(6, seed=1), Model.BASIC)
+        for i, view in enumerate(sched.views):
+            view.memory["x"] = {"a": 1, "b": 2} if i % 2 else {"b": 2, "a": 1}
+        assert sched.unanimous_memory("x") == {"a": 1, "b": 2}
+
+    def test_disagreement_returns_none(self):
+        sched = Scheduler(random_configuration(6, seed=1), Model.BASIC)
+        for i, view in enumerate(sched.views):
+            view.memory["x"] = i
+        assert sched.unanimous_memory("x") is None
+
+    def test_missing_key_is_unanimous_none(self):
+        sched = Scheduler(random_configuration(6, seed=1), Model.BASIC)
+        assert sched.unanimous_memory("nope") is None
