@@ -24,14 +24,16 @@ pytestmark = pytest.mark.bench_heavy
 
 from repro.experiments import render_table
 from repro.experiments.harness import ExperimentRow
-from repro.protocols.full_stack import solve_location_discovery
+from repro.api.session import RingSession
 from repro.ring.configs import random_configuration
 from repro.types import Model
 
 
 def _measure(n: int, model: Model, seed: int = 4) -> dict:
     state = random_configuration(n, seed=seed, common_sense=False)
-    result = solve_location_discovery(state, model)
+    result = RingSession.from_state(state, model=model).run(
+        "location-discovery"
+    )
     return {
         "total": result.rounds,
         "discovery": result.rounds_by_phase["discovery"],

@@ -1,0 +1,43 @@
+"""Fleet execution benchmark: parallel ring sweeps vs. serial.
+
+The Fleet runner executes independent sessions across a process pool;
+on multicore hosts that is where throughput now comes from (the lattice
+backend already owns the single-ring hot path).  This module runs the
+fleet shootout -- a 16-ring location-discovery sweep, serial vs. a
+4-worker pool, bit-identical results enforced -- and writes the
+machine-readable ``BENCH_fleet.json`` report to the repo root so
+successive PRs can track the scaling trajectory next to
+``BENCH_simulator.json``.
+
+The speedup gate is honest about hardware: process parallelism cannot
+beat serial on a single-CPU host (the report still lands, with
+``cpu_count`` recorded); with 2+ CPUs the pool must win.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.harness import fleet_shootout
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+
+def test_fleet_shootout_16_rings(once):
+    """16 rings x 4 workers: determinism is a hard gate everywhere; the
+    parallel-speedup gate applies where the hardware can express it."""
+    report = once(lambda: fleet_shootout(sessions=16, n=24, workers=4))
+    print("\nfleet shootout:", json.dumps(report["seconds"]),
+          f"speedup={report['parallel_speedup']}x "
+          f"(cpus={report['cpu_count']})")
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    assert report["deterministic_across_executors"] is True
+    cpus = os.cpu_count() or 1
+    if cpus >= 2:
+        # The pool must deliver real parallel speedup on multicore.
+        assert report["parallel_speedup"] >= 1.3
+    else:
+        # Single CPU: only guard against pathological pool overhead.
+        assert report["parallel_speedup"] >= 0.5

@@ -15,7 +15,7 @@ pytestmark = pytest.mark.bench_heavy
 from repro.exceptions import InfeasibleProblemError
 from repro.experiments import render_table
 from repro.experiments.lower_bounds import lemma5_witness, lemma6_floors
-from repro.protocols.full_stack import solve_location_discovery
+from repro.api.session import RingSession
 from repro.ring.configs import random_configuration
 from repro.types import Model
 
@@ -26,7 +26,9 @@ def test_lemma5_unsolvability(once):
     assert row.measured["rotation_parities"] == [0]
     state = random_configuration(8, seed=0, common_sense=False)
     with pytest.raises(InfeasibleProblemError):
-        solve_location_discovery(state, Model.BASIC)
+        RingSession.from_state(state, model=Model.BASIC).run(
+            "location-discovery"
+        )
 
 
 def test_lemma6_discovery_floors(once):
@@ -51,7 +53,9 @@ def test_lemma6_perceptive_halves_the_floor(once):
         out = {}
         for n in (16, 32, 64):
             state = random_configuration(n, seed=2, common_sense=False)
-            result = solve_location_discovery(state, Model.PERCEPTIVE)
+            result = RingSession.from_state(
+                state, model=Model.PERCEPTIVE
+            ).run("location-discovery")
             out[n] = result.rounds_by_phase["discovery"]
         return out
 

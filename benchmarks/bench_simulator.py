@@ -125,12 +125,14 @@ def test_backend_shootout_perceptive_64(once):
 
 def test_full_pipeline_throughput(benchmark):
     """Wall-clock of a complete perceptive LD solve at n = 32."""
-    from repro.protocols.full_stack import solve_location_discovery
+    from repro.api.session import RingSession
     from repro.types import Model
 
     def run():
         state = random_configuration(32, seed=7, common_sense=False)
-        return solve_location_discovery(state, Model.PERCEPTIVE)
+        return RingSession.from_state(state, model=Model.PERCEPTIVE).run(
+            "location-discovery"
+        )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
     assert result.rounds_by_phase["discovery"] == 19

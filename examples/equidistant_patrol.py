@@ -23,10 +23,9 @@ Run:  python examples/equidistant_patrol.py
 
 from fractions import Fraction
 
-from repro import Model, random_configuration
+from repro import Model, RingSession, random_configuration
 from repro.core.scheduler import Scheduler
 from repro.protocols.base import KEY_LD_GAPS, KEY_LEADER, common_dist
-from repro.protocols.full_stack import solve_coordination
 from repro.protocols.location_discovery import sweep_rotation_one
 
 
@@ -35,7 +34,7 @@ def main() -> None:
     state = random_configuration(n=n, seed=7, common_sense=False)
     sched = Scheduler(state, Model.LAZY)
 
-    solve_coordination(state, Model.LAZY, scheduler=sched)
+    RingSession.from_scheduler(sched).run("coordination")
     sweep_rotation_one(sched)
     print(f"location discovery done in {sched.rounds} rounds (n = {n})")
 

@@ -1,36 +1,45 @@
 #!/usr/bin/env python3
 """Quickstart: solve location discovery on a ring of bouncing agents.
 
-Six anonymous-looking agents sit at unknown positions on a circle; some
-of them even disagree about which way is clockwise.  They cannot talk,
-see, or leave marks -- they can only move, bounce, and measure how far
-each round carried them.  This script runs the paper's full pipeline
-(nontrivial move -> direction agreement -> leader election -> discovery
-sweep) in the perceptive model and prints what each agent learned.
+Eight anonymous-looking agents sit at unknown positions on a circle;
+some of them even disagree about which way is clockwise.  They cannot
+talk, see, or leave marks -- they can only move, bounce, and measure how
+far each round carried them.  This script drives the paper's full
+pipeline through :class:`repro.RingSession`, the library's single entry
+point: build a session, ask the registry what it plans to run, then
+execute phase by phase and inspect what each agent learned.
 
 Run:  python examples/quickstart.py
 """
 
 from fractions import Fraction
 
-from repro import Model, random_configuration, solve_location_discovery
+from repro import Model, RingSession
 
 
 def main() -> None:
     n = 8
-    state = random_configuration(n=n, seed=2024, common_sense=False)
-    print(f"ring with n={n} agents, ID space [1, {state.id_bound}]")
+    session = RingSession(n=n, model=Model.PERCEPTIVE, seed=2024,
+                          backend="lattice")
+    state = session.state
+    print(f"ring with n={n} agents, ID space [1, {state.id_bound}], "
+          f"backend={session.backend_name}")
     print("true positions (hidden from agents):")
     for i in range(n):
         chir = "cw " if int(state.chiralities[i]) == 1 else "ccw"
         print(f"  agent id={state.ids[i]:3d}  pos={state.positions[i]}  "
               f"sense={chir}")
 
-    result = solve_location_discovery(state, Model.PERCEPTIVE)
+    # The registry plans the phase pipeline for this setting before a
+    # single round runs; stepping executes one phase at a time.
+    phases = session.start("location-discovery")
+    print(f"\nplanned phases: {[p.name for p in phases]}")
+    for _ in range(len(phases)):
+        name, rounds = session.step()
+        print(f"  ran {name:22s} {rounds:5d} rounds")
+    result = session.resume()  # collects the final result
 
-    print(f"\nsolved in {result.rounds} rounds:")
-    for phase, rounds in result.rounds_by_phase.items():
-        print(f"  {phase:22s} {rounds:5d} rounds")
+    print(f"\nsolved in {result.rounds} rounds")
     print(f"  (discovery itself took n/2 + 3 = {n // 2 + 3} rounds -- half "
           "of what dist()-only agents would need)")
 

@@ -11,9 +11,8 @@ must pay the distinguisher price on an even one.
 Run:  python examples/swarm_coordination.py
 """
 
-from repro import Model, random_configuration
+from repro import Model, RingSession, random_configuration
 from repro.combinatorics import bounds
-from repro.protocols.full_stack import solve_coordination
 
 
 def tour(n: int, seed: int) -> None:
@@ -23,7 +22,7 @@ def tour(n: int, seed: int) -> None:
     print("-" * len(header))
     for model in Model:
         state = random_configuration(n=n, seed=seed, common_sense=False)
-        result = solve_coordination(state, model)
+        result = RingSession.from_state(state, model=model).run("coordination")
         p = result.rounds_by_phase
         print(
             f"{model.value:12s} {p['nontrivial_move']:7d} "

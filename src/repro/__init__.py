@@ -30,11 +30,27 @@ from repro.ring.configs import (
     random_configuration,
 )
 from repro.core.scheduler import Scheduler
+from repro.protocols.base import CoordinationResult, LocationDiscoveryResult
 from repro.protocols.full_stack import (
-    CoordinationResult,
-    LocationDiscoveryResult,
     solve_coordination,
     solve_location_discovery,
+)
+from repro.api import (
+    FixedPolicy,
+    Fleet,
+    FunctionPolicy,
+    PerAgentPolicy,
+    Phase,
+    Policy,
+    ProtocolSpec,
+    RingSession,
+    RunReport,
+    SessionSpec,
+    as_policy,
+    get_protocol,
+    list_protocols,
+    register,
+    sweep,
 )
 from repro.protocols.ring_size import discover_ring_size
 from repro.protocols.randomized import (
@@ -45,6 +61,21 @@ from repro.protocols.randomized import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "RingSession",
+    "Policy",
+    "PerAgentPolicy",
+    "FixedPolicy",
+    "FunctionPolicy",
+    "as_policy",
+    "Phase",
+    "ProtocolSpec",
+    "get_protocol",
+    "list_protocols",
+    "register",
+    "Fleet",
+    "SessionSpec",
+    "RunReport",
+    "sweep",
     "solve_coordination",
     "solve_location_discovery",
     "discover_ring_size",

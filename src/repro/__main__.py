@@ -1,19 +1,35 @@
-"""Command-line interface: regenerate the paper's tables and figures.
+"""Command-line interface: run protocols, sweep fleets, and regenerate
+the paper's tables and figures.
 
 Usage::
 
+    python -m repro run [coordination|location-discovery] [--n 8]
+                        [--model perceptive] [--seed 2024]
+                        [--backend lattice|fraction] [--common-sense]
+                        [--json]
+    python -m repro sweep [--protocol location-discovery]
+                          [--sizes 8,16] [--seeds 0,1,2,3]
+                          [--models perceptive] [--backends lattice]
+                          [--workers 4] [--executor process] [--out X.json]
     python -m repro table1 [--odd 9,17,33] [--even 8,16,32] [--seed 1]
-    python -m repro table2
-    python -m repro figures
-    python -m repro lower-bounds
+                           [--backend lattice|fraction] [--json]
+    python -m repro table2 [--backend ...] [--json]
+    python -m repro figures [--backend ...] [--json]
+    python -m repro lower-bounds [--backend ...] [--json]
     python -m repro demo [--n 8] [--model perceptive] [--seed 2024]
                          [--backend lattice|fraction]
     python -m repro bench [--n 64] [--rounds 256] [--out BENCH.json]
+    python -m repro bench-fleet [--sessions 16] [--n 24] [--workers 4]
+                                [--out BENCH.json]
+
+``run`` with no protocol lists the registry.  All structured output
+(``--json``, ``sweep``) uses exact ``"p/q"`` strings for rationals.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -22,68 +38,203 @@ def _sizes(spec: str) -> List[int]:
     return [int(part) for part in spec.split(",") if part]
 
 
+def _names(spec: str) -> List[str]:
+    return [part.strip() for part in spec.split(",") if part.strip()]
+
+
+def _emit_rows(args: argparse.Namespace, rows, title: str) -> None:
+    """Render experiment rows as a text table or, with --json, as JSON."""
+    if getattr(args, "json", False):
+        print(json.dumps(
+            {"title": title, "rows": [r.to_dict() for r in rows]},
+            indent=2,
+        ))
+    else:
+        from repro.experiments import render_table
+
+        print(render_table(rows, title))
+
+
 def _cmd_table1(args: argparse.Namespace) -> None:
-    from repro.experiments import render_table
     from repro.experiments.table1 import generate
 
     rows = generate(
         odd_sizes=tuple(_sizes(args.odd)),
         even_sizes=tuple(_sizes(args.even)),
         seed=args.seed,
+        backend=args.backend,
     )
-    print(render_table(rows, "TABLE I -- deterministic solutions, general setting"))
+    _emit_rows(args, rows,
+               "TABLE I -- deterministic solutions, general setting")
 
 
 def _cmd_table2(args: argparse.Namespace) -> None:
-    from repro.experiments import render_table
     from repro.experiments.table2 import generate
 
     rows = generate(
         odd_sizes=tuple(_sizes(args.odd)),
         even_sizes=tuple(_sizes(args.even)),
         seed=args.seed,
+        backend=args.backend,
     )
-    print(render_table(rows, "TABLE II -- common sense of direction"))
+    _emit_rows(args, rows, "TABLE II -- common sense of direction")
 
 
 def _cmd_figures(args: argparse.Namespace) -> None:
-    from repro.experiments import render_table
     from repro.experiments.figures import reduction_edges, ringdist_anatomy
 
-    print(render_table(
-        reduction_edges(n=args.n, seed=args.seed),
-        "FIGURES 1-2 -- reduction edges",
-    ))
+    edges = reduction_edges(n=args.n, seed=args.seed, backend=args.backend)
+    anatomy = ringdist_anatomy(n=args.n, seed=args.seed,
+                               backend=args.backend)
+    if args.json:
+        print(json.dumps({
+            "figures_1_2": [r.to_dict() for r in edges],
+            "figure_3": [r.to_dict() for r in anatomy],
+        }, indent=2))
+        return
+    from repro.experiments import render_table
+
+    print(render_table(edges, "FIGURES 1-2 -- reduction edges"))
     print()
-    print(render_table(
-        ringdist_anatomy(n=args.n, seed=args.seed),
-        "FIGURE 3 -- RingDist labelling progress",
-    ))
+    print(render_table(anatomy, "FIGURE 3 -- RingDist labelling progress"))
 
 
 def _cmd_lower_bounds(args: argparse.Namespace) -> None:
-    from repro.experiments import render_table
     from repro.experiments.lower_bounds import (
         distinguisher_sizes,
         lemma5_witness,
         lemma6_floors,
     )
 
-    print(render_table([lemma5_witness(8)], "LEMMA 5 -- parity witness"))
+    lemma5 = [lemma5_witness(8)]
+    lemma6 = lemma6_floors(args.seed, backend=args.backend)
+    cor29 = distinguisher_sizes()
+    if args.json:
+        print(json.dumps({
+            "lemma5": [r.to_dict() for r in lemma5],
+            "lemma6": [r.to_dict() for r in lemma6],
+            "cor29": [r.to_dict() for r in cor29],
+        }, indent=2))
+        return
+    from repro.experiments import render_table
+
+    print(render_table(lemma5, "LEMMA 5 -- parity witness"))
     print()
-    print(render_table(lemma6_floors(args.seed), "LEMMA 6 -- LD floors"))
+    print(render_table(lemma6, "LEMMA 6 -- LD floors"))
     print()
-    print(render_table(distinguisher_sizes(), "COR 29 -- distinguisher sizes"))
+    print(render_table(cor29, "COR 29 -- distinguisher sizes"))
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    from repro.api import RingSession, list_protocols
+
+    if args.protocol is None:
+        if args.json:
+            print(json.dumps({
+                "protocols": [
+                    {"name": spec.name, "description": spec.description}
+                    for spec in list_protocols()
+                ],
+            }, indent=2))
+            return
+        print("registered protocols:")
+        for spec in list_protocols():
+            print(f"  {spec.name:20s} {spec.description}")
+        return
+
+    from repro.exceptions import InfeasibleProblemError, ProtocolError
+
+    session = RingSession(
+        n=args.n,
+        model=args.model,
+        backend=args.backend,
+        seed=args.seed,
+        common_sense=args.common_sense,
+    )
+    try:
+        result = session.run(args.protocol)
+    except (InfeasibleProblemError, ProtocolError) as exc:
+        # Unknown protocol names and paper-proven-infeasible settings
+        # are user errors, not tracebacks.
+        args.parser.error(str(exc))
+    if args.json:
+        print(json.dumps({
+            "protocol": args.protocol,
+            "n": args.n,
+            "model": args.model,
+            "backend": session.backend_name,
+            "seed": args.seed,
+            "common_sense": args.common_sense,
+            "result": result.to_dict(),
+        }, indent=2))
+        return
+    print(f"n={args.n}, model={args.model}, N={session.state.id_bound}, "
+          f"backend={session.backend_name}")
+    print(f"{args.protocol} solved in {result.rounds} rounds:")
+    for phase, rounds in result.rounds_by_phase.items():
+        print(f"  {phase:22s} {rounds:6d}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from repro.api import Fleet, get_protocol, sweep
+    from repro.exceptions import ProtocolError
+
+    try:
+        get_protocol(args.protocol)
+    except ProtocolError as exc:
+        args.parser.error(f"--protocol: {exc}")
+
+    from repro.ring.backends import BACKEND_NAMES
+    from repro.types import Model
+
+    # Validate the comma-separated lists up front: a typo should be an
+    # argparse-style error, not a traceback out of a pool worker.
+    models = _names(args.models)
+    backends = _names(args.backends)
+    valid_models = {m.value for m in Model}
+    valid_backends = set(BACKEND_NAMES)
+    bad = [m for m in models if m not in valid_models]
+    if bad:
+        args.parser.error(
+            f"--models: unknown {', '.join(bad)} "
+            f"(choose from {', '.join(sorted(valid_models))})"
+        )
+    bad = [b for b in backends if b not in valid_backends]
+    if bad:
+        args.parser.error(
+            f"--backends: unknown {', '.join(bad)} "
+            f"(choose from {', '.join(sorted(valid_backends))})"
+        )
+
+    specs = sweep(
+        protocol=args.protocol,
+        sizes=_sizes(args.sizes),
+        seeds=_sizes(args.seeds),
+        models=models,
+        backends=backends,
+        common_sense=args.common_sense,
+    )
+    fleet = Fleet(specs, workers=args.workers, executor=args.executor)
+    report = fleet.run()
+    payload = report.to_json()
+    print(payload)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
 
 
 def _cmd_demo(args: argparse.Namespace) -> None:
-    from repro import Model, random_configuration, solve_location_discovery
+    from repro import Model, RingSession
 
     model = Model(args.model)
-    state = random_configuration(n=args.n, seed=args.seed, common_sense=False)
-    print(f"n={args.n}, model={model.value}, N={state.id_bound}, "
+    session = RingSession(
+        n=args.n, model=model, seed=args.seed, backend=args.backend,
+        common_sense=False,
+    )
+    print(f"n={args.n}, model={model.value}, N={session.state.id_bound}, "
           f"backend={args.backend}")
-    result = solve_location_discovery(state, model, backend=args.backend)
+    result = session.run("location-discovery")
     print(f"location discovery solved in {result.rounds} rounds:")
     for phase, rounds in result.rounds_by_phase.items():
         print(f"  {phase:22s} {rounds:6d}")
@@ -91,8 +242,6 @@ def _cmd_demo(args: argparse.Namespace) -> None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> None:
-    import json
-
     from repro.experiments.harness import backend_shootout
 
     report = backend_shootout(
@@ -106,6 +255,43 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         print(f"wrote {args.out}")
 
 
+def _cmd_bench_fleet(args: argparse.Namespace) -> None:
+    from repro.experiments.harness import fleet_shootout
+
+    report = fleet_shootout(
+        sessions=args.sessions, n=args.n, workers=args.workers,
+        seed=args.seed,
+    )
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    from repro.ring.backends import BACKEND_NAMES, DEFAULT_BACKEND
+
+    parser.add_argument(
+        "--backend", default=DEFAULT_BACKEND, choices=list(BACKEND_NAMES),
+        help="kinematics backend for the simulation",
+    )
+
+
+def _model_choices() -> List[str]:
+    from repro.types import Model
+
+    return [m.value for m in Model]
+
+
+def _add_json(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of a text table",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -114,38 +300,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    run = sub.add_parser(
+        "run", help="run a registered protocol on one ring "
+        "(no protocol: list the registry)"
+    )
+    run.add_argument(
+        "protocol", nargs="?", default=None,
+        help="registry name, e.g. location-discovery or coordination",
+    )
+    run.add_argument("--n", type=int, default=8)
+    run.add_argument(
+        "--model", default="perceptive", choices=_model_choices(),
+    )
+    run.add_argument("--seed", type=int, default=2024)
+    run.add_argument("--common-sense", action="store_true")
+    _add_backend(run)
+    _add_json(run)
+    run.set_defaults(fn=_cmd_run)
+
+    sw = sub.add_parser(
+        "sweep", help="run a seed/size/model/backend sweep across a "
+        "worker pool; emits a JSON RunReport"
+    )
+    sw.add_argument("--protocol", default="location-discovery")
+    sw.add_argument("--sizes", default="8,16")
+    sw.add_argument("--seeds", default="0,1,2,3")
+    sw.add_argument("--models", default="perceptive")
+    sw.add_argument("--backends", default="lattice")
+    sw.add_argument("--workers", type=int, default=None)
+    sw.add_argument(
+        "--executor", default="process",
+        choices=["process", "thread", "serial"],
+    )
+    sw.add_argument("--common-sense", action="store_true")
+    sw.add_argument(
+        "--out", default=None, help="also write the JSON report to this path"
+    )
+    sw.set_defaults(fn=_cmd_sweep)
+
     t1 = sub.add_parser("table1", help="regenerate Table I")
     t1.add_argument("--odd", default="9,17,33")
     t1.add_argument("--even", default="8,16,32")
     t1.add_argument("--seed", type=int, default=1)
+    _add_backend(t1)
+    _add_json(t1)
     t1.set_defaults(fn=_cmd_table1)
 
     t2 = sub.add_parser("table2", help="regenerate Table II")
     t2.add_argument("--odd", default="9,17")
     t2.add_argument("--even", default="8,16")
     t2.add_argument("--seed", type=int, default=1)
+    _add_backend(t2)
+    _add_json(t2)
     t2.set_defaults(fn=_cmd_table2)
 
     figs = sub.add_parser("figures", help="regenerate Figures 1-3 data")
     figs.add_argument("--n", type=int, default=24)
     figs.add_argument("--seed", type=int, default=1)
+    _add_backend(figs)
+    _add_json(figs)
     figs.set_defaults(fn=_cmd_figures)
 
     lb = sub.add_parser("lower-bounds", help="Lemmas 5-6 and Cor 29")
     lb.add_argument("--seed", type=int, default=1)
+    _add_backend(lb)
+    _add_json(lb)
     lb.set_defaults(fn=_cmd_lower_bounds)
 
     demo = sub.add_parser("demo", help="solve one ring end to end")
     demo.add_argument("--n", type=int, default=8)
     demo.add_argument(
-        "--model", default="perceptive",
-        choices=["basic", "lazy", "perceptive"],
+        "--model", default="perceptive", choices=_model_choices(),
     )
     demo.add_argument("--seed", type=int, default=2024)
-    demo.add_argument(
-        "--backend", default="lattice", choices=["lattice", "fraction"],
-        help="kinematics backend for the simulation",
-    )
+    _add_backend(demo)
     demo.set_defaults(fn=_cmd_demo)
 
     bench = sub.add_parser(
@@ -159,12 +387,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write the JSON report to this path"
     )
     bench.set_defaults(fn=_cmd_bench)
+
+    bf = sub.add_parser(
+        "bench-fleet",
+        help="time a fleet sweep serially vs. across a process pool",
+    )
+    bf.add_argument("--sessions", type=int, default=16)
+    bf.add_argument("--n", type=int, default=24)
+    bf.add_argument("--workers", type=int, default=4)
+    bf.add_argument("--seed", type=int, default=0)
+    bf.add_argument(
+        "--out", default=None, help="also write the JSON report to this path"
+    )
+    bf.set_defaults(fn=_cmd_bench_fleet)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    args.parser = parser  # for subcommand-level validation errors
     args.fn(args)
     return 0
 

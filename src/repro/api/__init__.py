@@ -1,0 +1,63 @@
+"""The public API surface: sessions, policies, the protocol registry and
+fleet execution.
+
+This package is the one entry point the CLI, the experiment drivers and
+downstream users build on:
+
+* :class:`~repro.api.policy.Policy` -- whole-population decisions (one
+  vectorised ``decide(views)`` call per round);
+* :class:`~repro.api.session.RingSession` -- builder bundling state,
+  scheduler, backend and protocol execution (plan / step / resume);
+* the protocol registry -- named, declarative phase pipelines
+  (:func:`~repro.api.registry.get_protocol`,
+  :func:`~repro.api.registry.list_protocols`);
+* :class:`~repro.api.fleet.Fleet` -- many sessions across a worker
+  pool, reported as structured JSON.
+
+The legacy ``solve_coordination`` / ``solve_location_discovery``
+functions remain as deprecated shims over this package.
+"""
+
+from repro.api.policy import (
+    ChoiceFn,
+    FixedPolicy,
+    FunctionPolicy,
+    PerAgentPolicy,
+    Policy,
+    as_policy,
+)
+from repro.api.registry import (
+    Phase,
+    ProtocolSpec,
+    get_protocol,
+    list_protocols,
+    register,
+)
+from repro.api.session import RingSession
+from repro.api.fleet import (
+    Fleet,
+    RunReport,
+    SessionSpec,
+    run_session_spec,
+    sweep,
+)
+
+__all__ = [
+    "ChoiceFn",
+    "FixedPolicy",
+    "Fleet",
+    "FunctionPolicy",
+    "PerAgentPolicy",
+    "Phase",
+    "Policy",
+    "ProtocolSpec",
+    "RingSession",
+    "RunReport",
+    "SessionSpec",
+    "as_policy",
+    "get_protocol",
+    "list_protocols",
+    "register",
+    "run_session_spec",
+    "sweep",
+]

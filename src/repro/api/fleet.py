@@ -1,0 +1,215 @@
+"""Fleet execution: many independent ring sessions, one structured report.
+
+A :class:`Fleet` takes a list of :class:`SessionSpec` values (seed /
+size / model / backend / protocol combinations -- see :func:`sweep` for
+the cartesian-product builder), runs each as its own
+:class:`~repro.api.session.RingSession` across a
+:mod:`concurrent.futures` worker pool, and emits a :class:`RunReport`
+whose payload is plain JSON.  Sessions share nothing, so results are
+bit-identical regardless of executor kind or worker count (tested);
+ordering always follows the spec list.
+
+Executors: ``"process"`` (default; real parallelism for this CPU-bound
+workload on multicore hosts), ``"thread"`` (GIL-bound, but no spawn
+cost) and ``"serial"`` (in-process baseline, also the timing reference
+for the fleet benchmark).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.exceptions import ConfigurationError
+from repro.types import Model
+
+#: Schema version of the RunReport JSON payload.
+REPORT_SCHEMA = 1
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One session of a fleet, as plain (picklable, JSON-able) data.
+
+    Mirrors the :class:`~repro.api.session.RingSession` builder
+    arguments; ``protocol`` names a registry entry.
+    """
+
+    n: int
+    protocol: str = "location-discovery"
+    model: str = "basic"
+    backend: str = "lattice"
+    seed: int = 0
+    common_sense: bool = False
+    id_bound: Optional[int] = None
+    config: str = "random"
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SessionSpec":
+        return cls(**data)
+
+
+def run_session_spec(spec: SessionSpec) -> Dict[str, object]:
+    """Execute one spec in the current process; returns its JSON row.
+
+    Module-level (not a method) so process-pool workers can pickle it.
+    """
+    from repro.api.session import RingSession
+
+    session = RingSession(
+        n=spec.n,
+        model=Model(spec.model),
+        backend=spec.backend,
+        seed=spec.seed,
+        common_sense=spec.common_sense,
+        id_bound=spec.id_bound,
+        config=spec.config,
+    )
+    start = time.perf_counter()
+    result = session.run(spec.protocol)
+    elapsed = time.perf_counter() - start
+    return {
+        "spec": spec.to_dict(),
+        "result": result.to_dict(),
+        "seconds": round(elapsed, 6),
+    }
+
+
+@dataclass
+class RunReport:
+    """Structured outcome of one fleet run (JSON-ready).
+
+    Attributes:
+        results: One row per spec, in spec order: ``{"spec": ...,
+            "result": ..., "seconds": ...}``.
+        executor: Which executor kind ran the fleet.
+        workers: Worker count used (1 for serial).
+        seconds_total: Wall-clock of the whole fleet run.
+        cpu_count: Host CPU count (parallel speedup context).
+    """
+
+    results: List[Dict[str, object]] = field(default_factory=list)
+    executor: str = "serial"
+    workers: int = 1
+    seconds_total: float = 0.0
+    cpu_count: int = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "executor": self.executor,
+            "workers": self.workers,
+            "seconds_total": round(self.seconds_total, 6),
+            "cpu_count": self.cpu_count,
+            "python": platform.python_version(),
+            "results": self.results,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def payloads(self) -> List[Dict[str, object]]:
+        """The timing-free rows (what determinism tests compare)."""
+        return [
+            {"spec": row["spec"], "result": row["result"]}
+            for row in self.results
+        ]
+
+
+class Fleet:
+    """Runs many sessions across a worker pool.
+
+    Args:
+        specs: Session specs, executed in order (results keep the
+            order regardless of completion order).
+        workers: Pool size; defaults to ``min(len(specs), cpu_count)``.
+        executor: ``"process"``, ``"thread"`` or ``"serial"``.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SessionSpec],
+        workers: Optional[int] = None,
+        executor: str = "process",
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{', '.join(_EXECUTORS)}"
+            )
+        self.specs = list(specs)
+        cpu = os.cpu_count() or 1
+        if workers is None:
+            workers = max(1, min(len(self.specs), cpu))
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.workers = 1 if executor == "serial" else workers
+        self.executor = executor
+
+    def run(self) -> RunReport:
+        """Execute every spec; returns the structured report."""
+        start = time.perf_counter()
+        if self.executor == "serial":
+            rows = [run_session_spec(spec) for spec in self.specs]
+        else:
+            pool_cls = (
+                ProcessPoolExecutor
+                if self.executor == "process"
+                else ThreadPoolExecutor
+            )
+            with pool_cls(max_workers=self.workers) as pool:
+                rows = list(pool.map(run_session_spec, self.specs))
+        elapsed = time.perf_counter() - start
+        return RunReport(
+            results=rows,
+            executor=self.executor,
+            workers=self.workers,
+            seconds_total=elapsed,
+            cpu_count=os.cpu_count() or 1,
+        )
+
+
+def sweep(
+    protocol: str = "location-discovery",
+    sizes: Iterable[int] = (8,),
+    seeds: Iterable[int] = (0,),
+    models: Iterable[Union[Model, str]] = (Model.PERCEPTIVE,),
+    backends: Iterable[str] = ("lattice",),
+    common_sense: bool = False,
+    id_bound: Optional[int] = None,
+    config: str = "random",
+) -> List[SessionSpec]:
+    """Cartesian-product spec builder: sizes x seeds x models x backends.
+
+    The iteration order is sizes-major (then seeds, models, backends),
+    so reports stay diffable across runs.
+    """
+    specs: List[SessionSpec] = []
+    for n in sizes:
+        for seed in seeds:
+            for model in models:
+                model_name = (
+                    model.value if isinstance(model, Model) else str(model)
+                )
+                for backend in backends:
+                    specs.append(SessionSpec(
+                        n=n,
+                        protocol=protocol,
+                        model=model_name,
+                        backend=backend,
+                        seed=seed,
+                        common_sense=common_sense,
+                        id_bound=id_bound,
+                        config=config,
+                    ))
+    return specs

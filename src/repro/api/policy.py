@@ -1,0 +1,91 @@
+"""Population-level decision policies.
+
+The scheduler originally consulted a per-agent *choice function*
+(``ChoiceFn``: one Python call per agent per round).  A :class:`Policy`
+decides for the whole population at once: :meth:`Policy.decide` receives
+the full list of views and returns one :class:`~repro.types.LocalDirection`
+per agent.  The scheduler makes exactly one ``decide`` call per round, so
+a vectorised policy (e.g. one backed by precomputed direction arrays)
+pays no per-agent Python dispatch on the hot path, and the direction
+vector it returns is handed to the kinematics backend unchanged.
+
+Anonymity contract: a policy must treat ``views`` as an anonymous
+collection, exactly like the per-agent callbacks before it -- entry
+``i`` of the returned list is the choice of the agent whose view sits at
+index ``i``, and a policy must derive nothing from an agent's position
+in the list.  :class:`PerAgentPolicy` adapts any existing choice
+function; :func:`as_policy` coerces either form.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List, Sequence, Union
+
+from repro.core.agent import AgentView
+from repro.core.scheduler import ChoiceFn
+from repro.exceptions import ProtocolError
+from repro.types import LocalDirection
+
+PolicyLike = Union["Policy", ChoiceFn]
+
+
+class Policy(ABC):
+    """Decides one round's directions for the entire population."""
+
+    @abstractmethod
+    def decide(self, views: Sequence[AgentView]) -> List[LocalDirection]:
+        """Return one local direction per agent, aligned with ``views``."""
+
+
+class PerAgentPolicy(Policy):
+    """Adapter: lift a per-agent choice function to a whole-population
+    policy.  Semantically identical to the scheduler's legacy per-agent
+    loop (the equivalence is property-tested)."""
+
+    __slots__ = ("choose",)
+
+    def __init__(self, choose: ChoiceFn) -> None:
+        self.choose = choose
+
+    def decide(self, views: Sequence[AgentView]) -> List[LocalDirection]:
+        choose = self.choose
+        return [choose(view) for view in views]
+
+
+class FixedPolicy(Policy):
+    """Every agent plays the same local direction every round."""
+
+    __slots__ = ("direction",)
+
+    def __init__(self, direction: LocalDirection) -> None:
+        self.direction = direction
+
+    def decide(self, views: Sequence[AgentView]) -> List[LocalDirection]:
+        return [self.direction] * len(views)
+
+
+class FunctionPolicy(Policy):
+    """Wrap a whole-population function ``views -> [direction, ...]``."""
+
+    __slots__ = ("fn",)
+
+    def __init__(
+        self, fn: Callable[[Sequence[AgentView]], Sequence[LocalDirection]]
+    ) -> None:
+        self.fn = fn
+
+    def decide(self, views: Sequence[AgentView]) -> List[LocalDirection]:
+        return list(self.fn(views))
+
+
+def as_policy(choose: PolicyLike) -> Policy:
+    """Coerce a policy-like value: a :class:`Policy` passes through, a
+    bare callable is wrapped in :class:`PerAgentPolicy`."""
+    if isinstance(choose, Policy):
+        return choose
+    if callable(choose):
+        return PerAgentPolicy(choose)
+    raise ProtocolError(
+        f"expected a Policy or a per-agent choice callable, got {choose!r}"
+    )

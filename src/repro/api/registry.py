@@ -1,0 +1,224 @@
+"""Protocol registry: named end-to-end pipelines as declarative phases.
+
+The hand-rolled phase chains that used to live in
+:mod:`repro.protocols.full_stack` are expressed here as data: a
+registered :class:`ProtocolSpec` plans a list of named :class:`Phase`
+steps for a concrete setting (model, parity, common sense) and collects
+the final result from the scheduler.  Planning is separated from
+execution, so per-phase round counts, phase listing and stepwise
+execution/resume (see :class:`~repro.api.session.RingSession`) need no
+protocol-specific code.
+
+Routing follows Table I / Table II of the paper exactly as before; see
+the :mod:`repro.protocols.full_stack` table for the per-cell pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import InfeasibleProblemError, ProtocolError
+from repro.protocols.base import (
+    CoordinationResult,
+    KEY_LD_GAPS,
+    LocationDiscoveryResult,
+)
+from repro.types import Model
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One named step of a protocol pipeline.
+
+    Attributes:
+        name: Phase label, the key under which its round count is
+            reported (``rounds_by_phase``).
+        run: Executes the phase against a scheduler; any return value is
+            ignored (phases communicate through agent memory).
+    """
+
+    name: str
+    run: Callable[[Scheduler], object]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A registered end-to-end protocol.
+
+    Attributes:
+        name: Registry key (e.g. ``"location-discovery"``).
+        description: One-line human description for listings.
+        plan: Maps ``(scheduler, common_sense)`` to the concrete phase
+            list for that setting.  Raises
+            :class:`~repro.exceptions.InfeasibleProblemError` for
+            settings the paper proves unsolvable, before any round runs.
+        collect: Builds the result object from the scheduler and the
+            recorded per-phase round counts once every phase has run.
+    """
+
+    name: str
+    description: str
+    plan: Callable[[Scheduler, bool], List[Phase]]
+    collect: Callable[[Scheduler, Dict[str, int]], object]
+
+
+_REGISTRY: Dict[str, ProtocolSpec] = {}
+
+
+def register(spec: ProtocolSpec) -> ProtocolSpec:
+    """Add a protocol to the registry (last registration wins)."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_protocol(name: str) -> ProtocolSpec:
+    """Look up a registered protocol by name."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ProtocolError(f"unknown protocol {name!r}; registered: {known}")
+    return spec
+
+
+def list_protocols() -> List[ProtocolSpec]:
+    """All registered protocols, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def _coordination_plan(sched: Scheduler, common_sense: bool) -> List[Phase]:
+    """Table I / Table II routing for the coordination problems."""
+    from repro.protocols.direction_agreement import (
+        agree_direction_from_nontrivial_move,
+        agree_direction_odd,
+        assume_common_frame,
+    )
+    from repro.protocols.leader_election import (
+        elect_leader_common_sense,
+        elect_leader_with_nontrivial_move,
+    )
+    from repro.protocols.nontrivial_move import (
+        nmove_from_leader,
+        nmove_seeded_family,
+    )
+    from repro.protocols.nmove_perceptive import nmove_perceptive
+
+    if common_sense:
+        return [
+            Phase("direction_agreement", assume_common_frame),
+            Phase("leader_election", elect_leader_common_sense),
+            Phase("nontrivial_move", nmove_from_leader),
+        ]
+    if not sched.state.parity_even:
+        return [
+            Phase("direction_agreement", agree_direction_odd),
+            Phase("leader_election", elect_leader_common_sense),
+            Phase("nontrivial_move", nmove_from_leader),
+        ]
+    nmove = (
+        nmove_perceptive
+        if sched.model is Model.PERCEPTIVE
+        else nmove_seeded_family
+    )
+    return [
+        Phase("nontrivial_move", nmove),
+        Phase("direction_agreement", agree_direction_from_nontrivial_move),
+        Phase("leader_election", elect_leader_with_nontrivial_move),
+    ]
+
+
+def _collect_coordination(
+    sched: Scheduler, rounds_by_phase: Dict[str, int]
+) -> CoordinationResult:
+    from repro.protocols.leader_election import leader_id
+
+    return CoordinationResult(
+        rounds=sched.rounds,
+        leader_id=leader_id(sched),
+        rounds_by_phase=rounds_by_phase,
+    )
+
+
+def _discovery_plan(sched: Scheduler) -> List[Phase]:
+    """The best discovery phase sequence for the scheduler's setting."""
+    from repro.protocols.distances import discover_distances
+    from repro.protocols.location_discovery import (
+        sweep_rotation_one,
+        sweep_rotation_two,
+    )
+    from repro.protocols.neighbor_discovery import discover_neighbors
+    from repro.protocols.ring_distance import (
+        publish_ring_size,
+        ring_distances,
+    )
+
+    model = sched.model
+    if model is Model.LAZY:
+        return [Phase("discovery", sweep_rotation_one)]
+    if model is Model.BASIC:
+        return [Phase("discovery", sweep_rotation_two)]
+    if not sched.state.parity_even:
+        # Odd n: the rotation-2 sweep is already optimal up to O(log N)
+        # (Table I's odd row); Algorithm 6's alternating pairing needs
+        # even n.
+        return [Phase("discovery", sweep_rotation_two)]
+
+    def ensure_neighbors(sched: Scheduler) -> None:
+        from repro.protocols.neighbor_discovery import KEY_GAP_RIGHT
+
+        # NMoveS may already have run neighbor discovery (it skips it
+        # only when its first probe succeeds).
+        if any(KEY_GAP_RIGHT not in v.memory for v in sched.views):
+            discover_neighbors(sched)
+
+    return [
+        Phase("neighbor_discovery", ensure_neighbors),
+        Phase("ring_distances", ring_distances),
+        Phase("ring_size_broadcast", publish_ring_size),
+        Phase("discovery", discover_distances),
+    ]
+
+
+def _location_discovery_plan(
+    sched: Scheduler, common_sense: bool
+) -> List[Phase]:
+    if sched.model is Model.BASIC and sched.state.parity_even:
+        raise InfeasibleProblemError(
+            "location discovery in the basic model with even n is "
+            "impossible (Lemma 5): every rotation index is even, so an "
+            "agent can never visit odd-ring-distance positions"
+        )
+    return _coordination_plan(sched, common_sense) + _discovery_plan(sched)
+
+
+def _collect_location_discovery(
+    sched: Scheduler, rounds_by_phase: Dict[str, int]
+) -> LocationDiscoveryResult:
+    gaps = []
+    for view in sched.views:
+        if KEY_LD_GAPS not in view.memory:
+            raise ProtocolError("an agent ended without a gap vector: bug")
+        gaps.append(list(view.memory[KEY_LD_GAPS]))
+    return LocationDiscoveryResult(
+        rounds=sched.rounds,
+        rounds_by_phase=rounds_by_phase,
+        gaps_by_agent=gaps,
+    )
+
+
+COORDINATION = register(ProtocolSpec(
+    name="coordination",
+    description="direction agreement + leader election + nontrivial "
+    "move, routed per Table I/II",
+    plan=_coordination_plan,
+    collect=_collect_coordination,
+))
+
+LOCATION_DISCOVERY = register(ProtocolSpec(
+    name="location-discovery",
+    description="full location discovery from a cold start "
+    "(coordination phases + the optimal discovery sweep)",
+    plan=_location_discovery_plan,
+    collect=_collect_location_discovery,
+))

@@ -1,0 +1,281 @@
+"""RingSession: the one-stop entry point for driving a ring.
+
+A session bundles a world state, a scheduler (with its kinematics
+backend) and the protocol registry behind a single builder::
+
+    session = RingSession(n=16, model="perceptive", backend="lattice",
+                          seed=7)
+    result = session.run("location-discovery")
+
+Sessions can also wrap existing objects (:meth:`RingSession.from_state`,
+:meth:`RingSession.from_scheduler`), plan a protocol without running it
+(:meth:`plan`), execute it phase by phase (:meth:`step` /
+:meth:`resume`), and drive ad-hoc rounds with a
+:class:`~repro.api.policy.Policy` (:meth:`run_round`,
+:meth:`run_rounds`, :meth:`run_fixed`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api.policy import PolicyLike
+from repro.api.registry import Phase, ProtocolSpec, get_protocol
+from repro.core.agent import AgentView
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.ring.backends import BackendSpec
+from repro.ring.state import RingState
+from repro.types import LocalDirection, Model, RoundOutcome
+
+#: Named initial-configuration generators accepted by the builder.
+_CONFIGS = {
+    "random": "random_configuration",
+    "jittered": "jittered_equidistant_configuration",
+    "clustered": "clustered_configuration",
+}
+
+
+def _resolve_model(model: Union[Model, str]) -> Model:
+    return model if isinstance(model, Model) else Model(model)
+
+
+class RingSession:
+    """One ring, one scheduler, one protocol run (or many ad-hoc rounds).
+
+    Attributes:
+        scheduler: The underlying :class:`~repro.core.scheduler.Scheduler`.
+        common_sense: Whether the agents share a sense of direction (the
+            Table II setting); threads into protocol planning, and into
+            configuration generation when the session builds its own
+            state.
+    """
+
+    def __init__(
+        self,
+        n: Optional[int] = None,
+        *,
+        model: Union[Model, str, None] = None,
+        backend: BackendSpec = None,
+        seed: Optional[int] = None,
+        common_sense: bool = False,
+        id_bound: Optional[int] = None,
+        config: Optional[str] = None,
+        state: Optional[RingState] = None,
+        scheduler: Optional[Scheduler] = None,
+        cross_validate: bool = False,
+    ) -> None:
+        self.common_sense = common_sense
+        if scheduler is not None:
+            # A scheduler already fixes every one of these; accepting an
+            # override here would silently run with the scheduler's own
+            # values (e.g. a cross-backend comparison comparing one
+            # backend against itself).
+            ignored = [
+                name
+                for name, given in (
+                    ("n", n is not None),
+                    ("state", state is not None),
+                    ("model", model is not None),
+                    ("backend", backend is not None),
+                    ("seed", seed is not None),
+                    ("id_bound", id_bound is not None),
+                    ("config", config is not None),
+                    ("cross_validate", cross_validate),
+                )
+                if given
+            ]
+            if ignored:
+                raise ConfigurationError(
+                    "pass scheduler= alone: it already fixes "
+                    + ", ".join(ignored)
+                )
+            self.scheduler = scheduler
+        else:
+            model = _resolve_model(model) if model is not None else Model.BASIC
+            if state is None:
+                if n is None:
+                    raise ConfigurationError(
+                        "RingSession needs n=, state= or scheduler="
+                    )
+                state = self._build_state(
+                    config if config is not None else "random",
+                    n=n,
+                    seed=seed if seed is not None else 0,
+                    id_bound=id_bound,
+                    common_sense=common_sense,
+                )
+            else:
+                # These only parameterise configuration *generation*;
+                # accepting them alongside an explicit state would
+                # silently hand back the state unchanged.
+                ignored = [
+                    name
+                    for name, given in (
+                        ("seed", seed is not None),
+                        ("id_bound", id_bound is not None),
+                        ("config", config is not None),
+                    )
+                    if given
+                ]
+                if ignored:
+                    raise ConfigurationError(
+                        "pass either state= or the generator arguments "
+                        + ", ".join(ignored)
+                        + ", not both"
+                    )
+                if n is not None and n != state.n:
+                    raise ConfigurationError(
+                        f"n={n} contradicts the given state (n={state.n})"
+                    )
+            self.scheduler = Scheduler(
+                state, model, cross_validate, backend=backend
+            )
+        self._spec: Optional[ProtocolSpec] = None
+        self._pending: List[Phase] = []
+        self.phase_rounds: Dict[str, int] = {}
+
+    @staticmethod
+    def _build_state(
+        config: str,
+        *,
+        n: int,
+        seed: int,
+        id_bound: Optional[int],
+        common_sense: bool,
+    ) -> RingState:
+        from repro.ring import configs
+
+        fn_name = _CONFIGS.get(config)
+        if fn_name is None:
+            known = ", ".join(sorted(_CONFIGS))
+            raise ConfigurationError(
+                f"unknown configuration generator {config!r}; known: {known}"
+            )
+        fn = getattr(configs, fn_name)
+        return fn(n, seed=seed, id_bound=id_bound, common_sense=common_sense)
+
+    @classmethod
+    def from_state(
+        cls,
+        state: RingState,
+        *,
+        model: Union[Model, str] = Model.BASIC,
+        backend: BackendSpec = None,
+        common_sense: bool = False,
+        cross_validate: bool = False,
+    ) -> "RingSession":
+        """Wrap an existing world state (the caller keeps ownership)."""
+        return cls(
+            state=state, model=model, backend=backend,
+            common_sense=common_sense, cross_validate=cross_validate,
+        )
+
+    @classmethod
+    def from_scheduler(
+        cls, scheduler: Scheduler, *, common_sense: bool = False
+    ) -> "RingSession":
+        """Wrap an existing scheduler (continuing its round count)."""
+        return cls(scheduler=scheduler, common_sense=common_sense)
+
+    # -- passthroughs ---------------------------------------------------
+
+    @property
+    def state(self) -> RingState:
+        """The ground-truth world state (tests/benchmarks only)."""
+        return self.scheduler.state
+
+    @property
+    def model(self) -> Model:
+        return self.scheduler.model
+
+    @property
+    def views(self) -> List[AgentView]:
+        return self.scheduler.views
+
+    @property
+    def rounds(self) -> int:
+        """Rounds executed so far (the paper's cost measure)."""
+        return self.scheduler.rounds
+
+    @property
+    def backend_name(self) -> str:
+        return self.scheduler.simulator.backend.name
+
+    def run_round(self, policy: PolicyLike) -> RoundOutcome:
+        """Execute one ad-hoc round with a policy or choice function."""
+        return self.scheduler.run_round(policy)
+
+    def run_rounds(self, policy: PolicyLike, k: int) -> List[RoundOutcome]:
+        """Execute ``k`` ad-hoc rounds with a policy or choice function."""
+        return self.scheduler.run_rounds(policy, k)
+
+    def run_fixed(self, direction: LocalDirection, k: int = 1) -> RoundOutcome:
+        """Every agent plays ``direction`` for ``k`` rounds (batched)."""
+        return self.scheduler.run_fixed(direction, k)
+
+    # -- protocol execution ---------------------------------------------
+
+    def plan(self, protocol: Union[str, ProtocolSpec]) -> List[Phase]:
+        """The phase list ``protocol`` would run in this session's
+        setting, without executing anything.
+
+        Raises:
+            InfeasibleProblemError: for settings the paper proves
+                unsolvable (e.g. location discovery, basic model, even n).
+        """
+        spec = (
+            protocol
+            if isinstance(protocol, ProtocolSpec)
+            else get_protocol(protocol)
+        )
+        return spec.plan(self.scheduler, self.common_sense)
+
+    def start(self, protocol: Union[str, ProtocolSpec]) -> List[Phase]:
+        """Plan ``protocol`` and stage its phases for :meth:`step` /
+        :meth:`resume`; returns the planned phases."""
+        spec = (
+            protocol
+            if isinstance(protocol, ProtocolSpec)
+            else get_protocol(protocol)
+        )
+        phases = spec.plan(self.scheduler, self.common_sense)
+        self._spec = spec
+        self._pending = list(phases)
+        self.phase_rounds = {}
+        return phases
+
+    @property
+    def pending_phases(self) -> List[Phase]:
+        """Phases staged but not yet executed."""
+        return list(self._pending)
+
+    def step(self) -> Tuple[str, int]:
+        """Execute the next staged phase; returns ``(name, rounds)``."""
+        if not self._pending:
+            raise ProtocolError(
+                "no staged phase to step; call start(protocol) first"
+            )
+        phase = self._pending.pop(0)
+        before = self.scheduler.rounds
+        phase.run(self.scheduler)
+        used = self.scheduler.rounds - before
+        self.phase_rounds[phase.name] = used
+        return phase.name, used
+
+    def resume(self) -> object:
+        """Run all remaining staged phases and collect the result."""
+        if self._spec is None:
+            raise ProtocolError(
+                "no protocol in progress; call start(protocol) or "
+                "run(protocol)"
+            )
+        while self._pending:
+            self.step()
+        return self._spec.collect(self.scheduler, dict(self.phase_rounds))
+
+    def run(self, protocol: Union[str, ProtocolSpec]) -> object:
+        """Plan and execute ``protocol`` end to end; returns its result
+        (e.g. :class:`~repro.protocols.base.LocationDiscoveryResult`)."""
+        self.start(protocol)
+        return self.resume()

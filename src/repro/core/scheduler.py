@@ -1,10 +1,18 @@
 """The synchronous round scheduler.
 
 The scheduler owns the boundary between world state and agent knowledge.
-Each round it asks a protocol-supplied *choice function* for every
-agent's local direction -- passing only that agent's
-:class:`~repro.core.agent.AgentView` -- executes the round on the
-simulator, and appends each agent's observation to its private log.
+Each round it asks the protocol for every agent's local direction and
+executes the round on the simulator, appending each agent's observation
+to its private log.  Two protocol shapes are accepted everywhere a
+decision is needed:
+
+* a per-agent *choice function* (``ChoiceFn``), called once per agent
+  with only that agent's :class:`~repro.core.agent.AgentView`;
+* a whole-population :class:`~repro.api.policy.Policy`, whose
+  ``decide(views)`` is called exactly once per round and returns the
+  full direction vector -- the vectorised path: no per-agent Python
+  dispatch, and the returned vector flows to the kinematics backend
+  unchanged.
 
 Round counting happens here, so every protocol's cost is measured
 uniformly, matching the paper's complexity metric.
@@ -22,14 +30,20 @@ Backend selection (``backend="lattice"|"fraction"``) threads through to
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core.agent import AgentView
+from repro.exceptions import SimulationError
 from repro.ring.backends import BackendSpec
 from repro.ring.simulator import RingSimulator
 from repro.ring.state import RingState
 from repro.types import LocalDirection, Model, RoundOutcome
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime cycle)
+    from repro.api.policy import PolicyLike
+
+#: The canonical per-agent choice-function alias (re-exported by
+#: :mod:`repro.api.policy`, which also defines the PolicyLike union).
 ChoiceFn = Callable[[AgentView], LocalDirection]
 
 
@@ -76,28 +90,50 @@ class Scheduler:
         """Rounds executed so far (the paper's cost measure)."""
         return self.simulator.rounds_executed
 
-    def run_round(self, choose: ChoiceFn) -> RoundOutcome:
+    def _decide(self, choose: PolicyLike) -> List[LocalDirection]:
+        """One round's direction vector from a policy or a choice fn.
+
+        A :class:`~repro.api.policy.Policy` (recognised structurally via
+        its ``decide`` attribute, so this module never imports the api
+        package) is consulted once for the whole population; a bare
+        callable is consulted once per agent.
+        """
+        decide = getattr(choose, "decide", None)
+        if decide is None:
+            return [choose(view) for view in self.views]
+        directions = list(decide(self.views))
+        if len(directions) != len(self.views):
+            raise SimulationError(
+                f"policy returned {len(directions)} directions for "
+                f"{len(self.views)} agents"
+            )
+        return directions
+
+    def run_round(self, choose: PolicyLike) -> RoundOutcome:
         """Execute one round.
 
         Args:
-            choose: Maps an agent's view to its local direction for this
-                round.  Called once per agent with only that agent's view.
+            choose: Either a per-agent choice function (called once per
+                agent with only that agent's view) or a whole-population
+                :class:`~repro.api.policy.Policy` (its ``decide`` is
+                called exactly once with all views).
 
         Returns:
             The omniscient outcome (for tests); each agent's observation
             has already been appended to its own log.
         """
-        directions = [choose(view) for view in self.views]
+        directions = self._decide(choose)
         outcome = self.simulator.execute(directions)
         for view, obs in zip(self.views, outcome.observations):
             view.log.append(obs)
         return outcome
 
-    def run_rounds(self, choose: ChoiceFn, k: int) -> List[RoundOutcome]:
-        """Execute ``k`` choice-driven rounds; returns all outcomes.
+    def run_rounds(self, choose: PolicyLike, k: int) -> List[RoundOutcome]:
+        """Execute ``k`` policy- or choice-driven rounds; returns all
+        outcomes.
 
-        The choice function is re-consulted every round (protocol state
-        may change), but repeated direction patterns hit the backend's
+        The policy is re-consulted every round (protocol state may
+        change), but repeated direction patterns hit the backend's
         memoised tables, so homogeneous stretches run at batched speed.
         """
         return [self.run_round(choose) for _ in range(k)]

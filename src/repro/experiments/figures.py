@@ -34,9 +34,9 @@ from repro.ring.configs import random_configuration
 from repro.types import LocalDirection, Model, local_to_velocity
 
 
-def _fresh(n, seed, model=Model.BASIC, common_sense=False):
+def _fresh(n, seed, model=Model.BASIC, common_sense=False, backend=None):
     state = random_configuration(n, seed=seed, common_sense=common_sense)
-    return Scheduler(state, model), state
+    return Scheduler(state, model, backend=backend), state
 
 
 def _seed_nmove_omnisciently(sched, state) -> None:
@@ -50,13 +50,15 @@ def _seed_nmove_omnisciently(sched, state) -> None:
         )
 
 
-def reduction_edges(n: int = 12, seed: int = 0) -> List[ExperimentRow]:
+def reduction_edges(
+    n: int = 12, seed: int = 0, backend: str | None = None
+) -> List[ExperimentRow]:
     """Measured cost of each reduction edge in Figures 1-2."""
     rows: List[ExperimentRow] = []
     big_n = 4 * n
 
     # Leader -> NMove (Lemma 10, O(1)).
-    sched, state = _fresh(n, seed)
+    sched, state = _fresh(n, seed, backend=backend)
     for i, view in enumerate(sched.views):
         view.memory[KEY_LEADER] = i == 0
     nmove_from_leader(sched)
@@ -68,7 +70,7 @@ def reduction_edges(n: int = 12, seed: int = 0) -> List[ExperimentRow]:
     ))
 
     # NMove -> Direction agreement (Lemma 8 / Alg 1, O(1)).
-    sched, state = _fresh(n, seed)
+    sched, state = _fresh(n, seed, backend=backend)
     _seed_nmove_omnisciently(sched, state)
     agree_direction_from_nontrivial_move(sched)
     rows.append(ExperimentRow(
@@ -79,7 +81,7 @@ def reduction_edges(n: int = 12, seed: int = 0) -> List[ExperimentRow]:
     ))
 
     # NMove -> Leader (Lemma 9 / Alg 2, O(log N)).
-    sched, state = _fresh(n, seed)
+    sched, state = _fresh(n, seed, backend=backend)
     _seed_nmove_omnisciently(sched, state)
     agree_direction_from_nontrivial_move(sched)
     pre = sched.rounds
@@ -97,7 +99,9 @@ def reduction_edges(n: int = 12, seed: int = 0) -> List[ExperimentRow]:
         (Model.LAZY, bounds.log_n_bound(big_n)),
         (Model.BASIC, bounds.log_squared_bound(big_n)),
     ):
-        sched, state = _fresh(n, seed, model=model, common_sense=True)
+        sched, state = _fresh(
+            n, seed, model=model, common_sense=True, backend=backend
+        )
         assume_common_frame(sched)
         elect_leader_common_sense(sched)
         rows.append(ExperimentRow(
@@ -108,7 +112,7 @@ def reduction_edges(n: int = 12, seed: int = 0) -> List[ExperimentRow]:
         ))
 
     # Leader -> Direction agreement (Cor 11, O(1)).
-    sched, state = _fresh(n, seed)
+    sched, state = _fresh(n, seed, backend=backend)
     for i, view in enumerate(sched.views):
         view.memory[KEY_LEADER] = i == 0
     nmove_from_leader(sched)
@@ -122,13 +126,15 @@ def reduction_edges(n: int = 12, seed: int = 0) -> List[ExperimentRow]:
     return rows
 
 
-def ringdist_anatomy(n: int = 24, seed: int = 0) -> List[ExperimentRow]:
+def ringdist_anatomy(
+    n: int = 24, seed: int = 0, backend: str | None = None
+) -> List[ExperimentRow]:
     """Figure 3 data: labelled-agent counts per RingDist iteration."""
     from repro.protocols.neighbor_discovery import discover_neighbors
     from repro.protocols.ring_distance import ring_distances
 
     state = random_configuration(n, seed=seed, common_sense=False)
-    sched = Scheduler(state, Model.PERCEPTIVE)
+    sched = Scheduler(state, Model.PERCEPTIVE, backend=backend)
     nmove_seeded_family(sched)
     agree_direction_from_nontrivial_move(sched)
     elect_leader_with_nontrivial_move(sched)

@@ -27,6 +27,35 @@ class ExperimentRow:
     measured: Dict[str, object] = field(default_factory=dict)
     reference: Dict[str, object] = field(default_factory=dict)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload (the CLI ``--json`` row format).
+
+        Exact rationals become ``"p/q"`` strings; everything else JSON
+        already understands is passed through.
+        """
+        return {
+            "label": self.label,
+            "params": {k: _jsonable(v) for k, v in self.params.items()},
+            "measured": {k: _jsonable(v) for k, v in self.measured.items()},
+            "reference": {
+                k: _jsonable(v) for k, v in self.reference.items()
+            },
+        }
+
+
+def _jsonable(value: object) -> object:
+    from fractions import Fraction
+
+    if isinstance(value, Fraction):
+        return str(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
 
 def render_table(rows: Sequence[ExperimentRow], title: str = "") -> str:
     """Render rows as an aligned text table (the bench output format)."""
@@ -182,6 +211,81 @@ def backend_shootout(
             k: round(rounds / v, 1) for k, v in timings.items()
         },
         "speedup_lattice_over_fraction": round(speedup, 2),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def fleet_shootout(
+    sessions: int = 16,
+    n: int = 24,
+    workers: int = 4,
+    seed: int = 0,
+    model: str = "perceptive",
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time a fleet sweep serially vs. across a process pool.
+
+    The same ``sessions``-ring sweep (one seed per ring, identical
+    specs) runs on the serial executor and on a process pool with
+    ``workers`` workers; every run must produce bit-identical result
+    payloads (a mismatch raises ``SimulationError``).  Timings are the
+    best of ``repeats`` runs per executor.  The reported
+    ``parallel_speedup`` is serial wall-clock over pool wall-clock --
+    on a single-CPU host it hovers around 1.0 (pool overhead included),
+    on multicore it approaches ``min(workers, cpus)``; ``cpu_count`` is
+    recorded so the number can be read in context.
+
+    Returns a JSON-ready report (the ``BENCH_fleet.json`` payload).
+    """
+    import os
+
+    from repro.api.fleet import Fleet, sweep
+    from repro.exceptions import SimulationError
+
+    specs = sweep(
+        protocol="location-discovery",
+        sizes=(n,),
+        seeds=range(seed, seed + sessions),
+        models=(model,),
+        backends=("lattice",),
+    )
+    repeats = max(1, repeats)
+    timings: Dict[str, float] = {}
+    reference = None
+    for label, fleet in (
+        ("serial", Fleet(specs, executor="serial")),
+        ("process_pool", Fleet(specs, workers=workers, executor="process")),
+    ):
+        best = None
+        for _ in range(repeats):
+            report = fleet.run()
+            if reference is None:
+                reference = report.payloads()
+            elif report.payloads() != reference:
+                raise SimulationError(
+                    "fleet results differ across executors/runs "
+                    f"({label})"
+                )
+            if best is None or report.seconds_total < best:
+                best = report.seconds_total
+        timings[label] = best
+    speedup = timings["serial"] / timings["process_pool"]
+    return {
+        "benchmark": "fleet_shootout",
+        "workload": {
+            "sessions": sessions,
+            "n": n,
+            "model": model,
+            "protocol": "location-discovery",
+            "seed": seed,
+            "workers": workers,
+            "repeats": repeats,
+        },
+        "deterministic_across_executors": True,
+        "seconds": {k: round(v, 6) for k, v in timings.items()},
+        "parallel_speedup": round(speedup, 2),
+        "cpu_count": os.cpu_count() or 1,
         "python": platform.python_version(),
         "platform": platform.platform(),
     }

@@ -21,7 +21,7 @@ from repro.combinatorics.distinguishers import (
     minimal_distinguisher_size,
 )
 from repro.experiments.harness import ExperimentRow
-from repro.protocols.full_stack import solve_location_discovery
+from repro.api.session import RingSession
 from repro.ring.configs import random_configuration
 from repro.ring.kinematics import rotation_index
 from repro.types import Model
@@ -42,13 +42,17 @@ def lemma5_witness(n: int = 6) -> ExperimentRow:
     )
 
 
-def lemma6_floors(seed: int = 0) -> List[ExperimentRow]:
+def lemma6_floors(
+    seed: int = 0, backend: str | None = None
+) -> List[ExperimentRow]:
     """Measured discovery-phase rounds vs the Lemma 6 floors."""
     rows = []
     for n, model in ((9, Model.BASIC), (10, Model.LAZY),
                      (10, Model.PERCEPTIVE), (16, Model.PERCEPTIVE)):
         state = random_configuration(n, seed=seed, common_sense=False)
-        result = solve_location_discovery(state, model)
+        result = RingSession.from_state(
+            state, model=model, backend=backend
+        ).run("location-discovery")
         floor = bounds.ld_lower_bound(
             n, perceptive=model is Model.PERCEPTIVE and n % 2 == 0
         )

@@ -27,21 +27,23 @@ from repro.protocols.nontrivial_move import (
     nmove_seeded_family,
 )
 from repro.protocols.nmove_perceptive import nmove_perceptive
-from repro.protocols.full_stack import (
-    solve_coordination,
-    solve_location_discovery,
-)
+from repro.api.session import RingSession
 from repro.ring.configs import random_configuration
 from repro.types import Model
 
 
-def row_odd_n(n: int, seed: int = 0, id_bound: int | None = None) -> ExperimentRow:
+def row_odd_n(
+    n: int,
+    seed: int = 0,
+    id_bound: int | None = None,
+    backend: str | None = None,
+) -> ExperimentRow:
     """Table I row 'odd n': leader O(log N), nontrivial move
     Θ(log(N/n)), direction agreement O(1), LD n + O(log N)."""
     assert n % 2 == 1
     state = random_configuration(n, seed=seed, id_bound=id_bound,
                                  common_sense=False)
-    sched = Scheduler(state, Model.BASIC)
+    sched = Scheduler(state, Model.BASIC, backend=backend)
     agree_direction_odd(sched)
     dir_rounds = sched.rounds
     elect_leader_common_sense(sched)
@@ -52,7 +54,9 @@ def row_odd_n(n: int, seed: int = 0, id_bound: int | None = None) -> ExperimentR
 
     ld_state = random_configuration(n, seed=seed, id_bound=id_bound,
                                     common_sense=False)
-    ld = solve_location_discovery(ld_state, Model.BASIC)
+    ld = RingSession.from_state(
+        ld_state, model=Model.BASIC, backend=backend
+    ).run("location-discovery")
 
     big_n = state.id_bound
     return ExperimentRow(
@@ -73,16 +77,22 @@ def row_odd_n(n: int, seed: int = 0, id_bound: int | None = None) -> ExperimentR
     )
 
 
-def row_basic_even(n: int, seed: int = 0) -> ExperimentRow:
+def row_basic_even(
+    n: int, seed: int = 0, backend: str | None = None
+) -> ExperimentRow:
     """Table I row 'basic model, even n': coordination
     Θ(n log(N/n)/log n) worst case (measured: the published-sequence
     protocol on a random instance) and LD unsolvable."""
     assert n % 2 == 0
     state = random_configuration(n, seed=seed, common_sense=False)
-    result = solve_coordination(state, Model.BASIC)
+    result = RingSession.from_state(
+        state, model=Model.BASIC, backend=backend
+    ).run("coordination")
     ld_state = random_configuration(n, seed=seed, common_sense=False)
     try:
-        solve_location_discovery(ld_state, Model.BASIC)
+        RingSession.from_state(
+            ld_state, model=Model.BASIC, backend=backend
+        ).run("location-discovery")
         ld_outcome = "SOLVED (bug!)"
     except InfeasibleProblemError:
         ld_outcome = "not solvable"
@@ -105,13 +115,19 @@ def row_basic_even(n: int, seed: int = 0) -> ExperimentRow:
     )
 
 
-def row_lazy_even(n: int, seed: int = 0) -> ExperimentRow:
+def row_lazy_even(
+    n: int, seed: int = 0, backend: str | None = None
+) -> ExperimentRow:
     """Table I row 'lazy model, even n'."""
     assert n % 2 == 0
     state = random_configuration(n, seed=seed, common_sense=False)
-    result = solve_coordination(state, Model.LAZY)
+    result = RingSession.from_state(
+        state, model=Model.LAZY, backend=backend
+    ).run("coordination")
     ld_state = random_configuration(n, seed=seed, common_sense=False)
-    ld = solve_location_discovery(ld_state, Model.LAZY)
+    ld = RingSession.from_state(
+        ld_state, model=Model.LAZY, backend=backend
+    ).run("location-discovery")
     big_n = state.id_bound
     return ExperimentRow(
         label="lazy, even n",
@@ -131,18 +147,22 @@ def row_lazy_even(n: int, seed: int = 0) -> ExperimentRow:
     )
 
 
-def row_perceptive_even(n: int, seed: int = 0) -> ExperimentRow:
+def row_perceptive_even(
+    n: int, seed: int = 0, backend: str | None = None
+) -> ExperimentRow:
     """Table I row 'perceptive model, even n': NMoveS O(√n log N) and
     LD in n/2 + O(√n log² N)."""
     assert n % 2 == 0
     state = random_configuration(n, seed=seed, common_sense=False)
-    sched = Scheduler(state, Model.PERCEPTIVE)
+    sched = Scheduler(state, Model.PERCEPTIVE, backend=backend)
     stats = nmove_perceptive(sched)
     nmove_rounds = stats["rounds"]
     agree_direction_from_nontrivial_move(sched)
 
     ld_state = random_configuration(n, seed=seed, common_sense=False)
-    ld = solve_location_discovery(ld_state, Model.PERCEPTIVE)
+    ld = RingSession.from_state(
+        ld_state, model=Model.PERCEPTIVE, backend=backend
+    ).run("location-discovery")
     big_n = state.id_bound
     return ExperimentRow(
         label="perceptive, even n",
@@ -164,15 +184,16 @@ def generate(
     odd_sizes: Sequence[int] = (9, 17, 33),
     even_sizes: Sequence[int] = (8, 16, 32),
     seed: int = 0,
+    backend: str | None = None,
 ) -> List[ExperimentRow]:
     """All Table I rows across the given sweeps."""
     rows: List[ExperimentRow] = []
     for n in odd_sizes:
-        rows.append(row_odd_n(n, seed=seed))
+        rows.append(row_odd_n(n, seed=seed, backend=backend))
     for n in even_sizes:
-        rows.append(row_basic_even(n, seed=seed))
+        rows.append(row_basic_even(n, seed=seed, backend=backend))
     for n in even_sizes:
-        rows.append(row_lazy_even(n, seed=seed))
+        rows.append(row_lazy_even(n, seed=seed, backend=backend))
     for n in even_sizes:
-        rows.append(row_perceptive_even(n, seed=seed))
+        rows.append(row_perceptive_even(n, seed=seed, backend=backend))
     return rows

@@ -15,14 +15,16 @@ from repro.experiments.harness import ExperimentRow
 from repro.protocols.direction_agreement import assume_common_frame
 from repro.protocols.leader_election import elect_leader_common_sense
 from repro.protocols.nontrivial_move import nmove_from_leader
-from repro.protocols.full_stack import solve_location_discovery
+from repro.api.session import RingSession
 from repro.ring.configs import random_configuration
 from repro.types import Model
 
 
-def _coordination_rounds(n: int, model: Model, seed: int) -> tuple:
+def _coordination_rounds(
+    n: int, model: Model, seed: int, backend: str | None = None
+) -> tuple:
     state = random_configuration(n, seed=seed, common_sense=True)
-    sched = Scheduler(state, model)
+    sched = Scheduler(state, model, backend=backend)
     assume_common_frame(sched)
     elect_leader_common_sense(sched)
     leader_rounds = sched.rounds
@@ -32,21 +34,28 @@ def _coordination_rounds(n: int, model: Model, seed: int) -> tuple:
     return leader_rounds, nmove_rounds, state.id_bound
 
 
-def row(n: int, model: Model, seed: int = 0) -> ExperimentRow:
+def row(
+    n: int, model: Model, seed: int = 0, backend: str | None = None
+) -> ExperimentRow:
     """One Table II row for the given model and parity of n."""
-    leader_rounds, nmove_rounds, big_n = _coordination_rounds(n, model, seed)
+    leader_rounds, nmove_rounds, big_n = _coordination_rounds(
+        n, model, seed, backend=backend
+    )
 
     ld_state = random_configuration(n, seed=seed, common_sense=True)
+    ld_session = RingSession.from_state(
+        ld_state, model=model, backend=backend, common_sense=True
+    )
     ld_measure: object
     if model is Model.BASIC and n % 2 == 0:
         try:
-            solve_location_discovery(ld_state, model, common_sense=True)
+            ld_session.run("location-discovery")
             ld_measure = "SOLVED (bug!)"
         except InfeasibleProblemError:
             ld_measure = "not solvable"
         ld_reference: object = "not solvable (Lemma 5)"
     else:
-        ld = solve_location_discovery(ld_state, model, common_sense=True)
+        ld = ld_session.run("location-discovery")
         ld_measure = ld.rounds
         if model is Model.PERCEPTIVE and n % 2 == 0:
             ld_reference = n / 2 + bounds.nmove_perceptive_bound(big_n, n)
@@ -79,12 +88,13 @@ def generate(
     odd_sizes: Sequence[int] = (9, 17),
     even_sizes: Sequence[int] = (8, 16),
     seed: int = 0,
+    backend: str | None = None,
 ) -> List[ExperimentRow]:
     """All Table II rows."""
     rows: List[ExperimentRow] = []
     for n in odd_sizes:
-        rows.append(row(n, Model.BASIC, seed=seed))
+        rows.append(row(n, Model.BASIC, seed=seed, backend=backend))
     for model in (Model.BASIC, Model.LAZY, Model.PERCEPTIVE):
         for n in even_sizes:
-            rows.append(row(n, model, seed=seed))
+            rows.append(row(n, model, seed=seed, backend=backend))
     return rows

@@ -53,6 +53,15 @@ class CoordinationResult:
     leader_id: Optional[int] = None
     rounds_by_phase: Dict[str, int] = field(default_factory=dict)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload (consumed by RunReport and ``--json``)."""
+        return {
+            "kind": "coordination",
+            "rounds": self.rounds,
+            "leader_id": self.leader_id,
+            "rounds_by_phase": dict(self.rounds_by_phase),
+        }
+
 
 @dataclass
 class LocationDiscoveryResult:
@@ -71,3 +80,18 @@ class LocationDiscoveryResult:
     rounds: int
     rounds_by_phase: Dict[str, int] = field(default_factory=dict)
     gaps_by_agent: List[List[Fraction]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload (consumed by RunReport and ``--json``).
+
+        Gaps are exact ``"p/q"`` strings -- floats would destroy the
+        bit-exactness the cross-backend tests rely on.
+        """
+        return {
+            "kind": "location_discovery",
+            "rounds": self.rounds,
+            "rounds_by_phase": dict(self.rounds_by_phase),
+            "gaps_by_agent": [
+                [str(g) for g in gaps] for gaps in self.gaps_by_agent
+            ],
+        }

@@ -1,9 +1,12 @@
-"""End-to-end pipelines: solve coordination and location discovery from
-scratch, routing to the optimal protocol per Table I / Table II.
+"""Deprecated end-to-end entry points (use :class:`repro.api.RingSession`).
 
-These are the library's top-level entry points.  Given a fresh
-:class:`~repro.ring.state.RingState` and a model variant they run the
-complete phase sequence the paper prescribes for that cell:
+``solve_coordination`` and ``solve_location_discovery`` predate the
+protocol registry; they are kept as thin shims that plan and run the
+registered pipeline and emit a :class:`DeprecationWarning`.  Results are
+identical to the registry path by construction (the shims *are* the
+registry path) and tested to stay that way.
+
+The routing table the registry implements, for reference:
 
 ===========================  =========================================
 Setting                      Pipeline
@@ -28,44 +31,24 @@ broadcast + Distances (perceptive, even n, n/2 + o(n)).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import warnings
+from typing import Optional
 
 from repro.core.scheduler import Scheduler
-from repro.exceptions import InfeasibleProblemError, ProtocolError
 from repro.protocols.base import (
     CoordinationResult,
-    KEY_LD_GAPS,
     LocationDiscoveryResult,
 )
-from repro.protocols.direction_agreement import (
-    agree_direction_from_nontrivial_move,
-    agree_direction_odd,
-    assume_common_frame,
-)
-from repro.protocols.distances import discover_distances
-from repro.protocols.leader_election import (
-    elect_leader_common_sense,
-    elect_leader_with_nontrivial_move,
-)
-from repro.protocols.location_discovery import (
-    sweep_rotation_one,
-    sweep_rotation_two,
-)
-from repro.protocols.neighbor_discovery import discover_neighbors
-from repro.protocols.nontrivial_move import (
-    nmove_from_leader,
-    nmove_seeded_family,
-)
-from repro.protocols.nmove_perceptive import nmove_perceptive
-from repro.protocols.ring_distance import publish_ring_size, ring_distances
 from repro.ring.state import RingState
 from repro.types import Model
 
 
-def _phase(phases: Dict[str, int], sched: Scheduler, name: str, fn) -> None:
-    before = sched.rounds
-    fn()
-    phases[name] = sched.rounds - before
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def solve_coordination(
@@ -75,7 +58,9 @@ def solve_coordination(
     scheduler: Optional[Scheduler] = None,
     backend: Optional[str] = None,
 ) -> CoordinationResult:
-    """Solve direction agreement, leader election and nontrivial move.
+    """Deprecated: use ``RingSession(...).run("coordination")``.
+
+    Solve direction agreement, leader election and nontrivial move.
 
     Args:
         state: A fresh ring configuration.
@@ -92,43 +77,14 @@ def solve_coordination(
         round counts.  Positions are restored to the initial
         configuration on exit.
     """
-    sched = scheduler or Scheduler(state, model, backend=backend)
-    phases: Dict[str, int] = {}
-    parity_even = state.parity_even
+    from repro.api.session import RingSession
 
-    if common_sense:
-        _phase(phases, sched, "direction_agreement",
-               lambda: assume_common_frame(sched))
-        _phase(phases, sched, "leader_election",
-               lambda: elect_leader_common_sense(sched))
-        _phase(phases, sched, "nontrivial_move",
-               lambda: nmove_from_leader(sched))
-    elif not parity_even:
-        _phase(phases, sched, "direction_agreement",
-               lambda: agree_direction_odd(sched))
-        _phase(phases, sched, "leader_election",
-               lambda: elect_leader_common_sense(sched))
-        _phase(phases, sched, "nontrivial_move",
-               lambda: nmove_from_leader(sched))
-    else:
-        if model is Model.PERCEPTIVE:
-            _phase(phases, sched, "nontrivial_move",
-                   lambda: nmove_perceptive(sched))
-        else:
-            _phase(phases, sched, "nontrivial_move",
-                   lambda: nmove_seeded_family(sched))
-        _phase(phases, sched, "direction_agreement",
-               lambda: agree_direction_from_nontrivial_move(sched))
-        _phase(phases, sched, "leader_election",
-               lambda: elect_leader_with_nontrivial_move(sched))
-
-    from repro.protocols.leader_election import leader_id
-
-    return CoordinationResult(
-        rounds=sched.rounds,
-        leader_id=leader_id(sched),
-        rounds_by_phase=phases,
+    _warn_deprecated(
+        "solve_coordination", 'repro.api.RingSession(...).run("coordination")'
     )
+    sched = scheduler or Scheduler(state, model, backend=backend)
+    session = RingSession.from_scheduler(sched, common_sense=common_sense)
+    return session.run("coordination")
 
 
 def solve_location_discovery(
@@ -137,7 +93,9 @@ def solve_location_discovery(
     common_sense: bool = False,
     backend: Optional[str] = None,
 ) -> LocationDiscoveryResult:
-    """Full location discovery from a cold start.
+    """Deprecated: use ``RingSession(...).run("location-discovery")``.
+
+    Full location discovery from a cold start.
 
     Args:
         backend: Kinematics backend name ("lattice"/"fraction"); the
@@ -150,57 +108,13 @@ def solve_location_discovery(
         Per-agent reconstructed gap vectors (see
         :class:`LocationDiscoveryResult`) and per-phase round counts.
     """
-    if model is Model.BASIC and state.parity_even:
-        raise InfeasibleProblemError(
-            "location discovery in the basic model with even n is "
-            "impossible (Lemma 5): every rotation index is even, so an "
-            "agent can never visit odd-ring-distance positions"
-        )
-    sched = Scheduler(state, model, backend=backend)
-    coordination = solve_coordination(
-        state, model, common_sense=common_sense, scheduler=sched
+    from repro.api.session import RingSession
+
+    _warn_deprecated(
+        "solve_location_discovery",
+        'repro.api.RingSession(...).run("location-discovery")',
     )
-    phases = dict(coordination.rounds_by_phase)
-
-    if model is Model.LAZY:
-        _phase(phases, sched, "discovery",
-               lambda: sweep_rotation_one(sched))
-    elif model is Model.BASIC:
-        _phase(phases, sched, "discovery",
-               lambda: sweep_rotation_two(sched))
-    else:
-        if state.parity_even:
-
-            def ensure_neighbors() -> None:
-                from repro.protocols.neighbor_discovery import KEY_GAP_RIGHT
-
-                # NMoveS may already have run neighbor discovery (it
-                # skips it only when its first probe succeeds).
-                if any(KEY_GAP_RIGHT not in v.memory for v in sched.views):
-                    discover_neighbors(sched)
-
-            _phase(phases, sched, "neighbor_discovery", ensure_neighbors)
-            _phase(phases, sched, "ring_distances",
-                   lambda: ring_distances(sched))
-            _phase(phases, sched, "ring_size_broadcast",
-                   lambda: publish_ring_size(sched))
-            _phase(phases, sched, "discovery",
-                   lambda: discover_distances(sched))
-        else:
-            # Odd n: the rotation-2 sweep is already optimal up to
-            # O(log N) (Table I's odd row); Algorithm 6's alternating
-            # pairing needs even n.
-            _phase(phases, sched, "discovery",
-                   lambda: sweep_rotation_two(sched))
-
-    gaps = []
-    for view in sched.views:
-        if KEY_LD_GAPS not in view.memory:
-            raise ProtocolError("an agent ended without a gap vector: bug")
-        gaps.append(list(view.memory[KEY_LD_GAPS]))
-
-    return LocationDiscoveryResult(
-        rounds=sched.rounds,
-        rounds_by_phase=phases,
-        gaps_by_agent=gaps,
+    session = RingSession.from_state(
+        state, model=model, backend=backend, common_sense=common_sense
     )
+    return session.run("location-discovery")

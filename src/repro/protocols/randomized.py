@@ -22,10 +22,7 @@ from fractions import Fraction
 from typing import List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
-from repro.protocols.full_stack import (
-    LocationDiscoveryResult,
-    solve_location_discovery,
-)
+from repro.protocols.base import LocationDiscoveryResult
 from repro.ring.state import RingState
 from repro.types import Chirality, Model
 
@@ -103,7 +100,9 @@ def randomized_location_discovery(
     would run on and possibly mis-coordinate -- the standard Monte
     Carlo trade.
     """
+    from repro.api.session import RingSession
+
     state = anonymous_configuration(
         positions, chiralities, seed=seed, id_space=id_space
     )
-    return solve_location_discovery(state, model)
+    return RingSession.from_state(state, model=model).run("location-discovery")

@@ -70,6 +70,10 @@ from repro.types import Chirality, Observation, RoundOutcome
 #: Backend used when none is requested explicitly.
 DEFAULT_BACKEND = "lattice"
 
+#: Names :func:`make_backend` recognises (the CLI choices derive from
+#: this -- extend it when registering a new backend).
+BACKEND_NAMES = ("lattice", "fraction")
+
 BackendSpec = Union[None, str, "KinematicsBackend"]
 
 
@@ -130,8 +134,9 @@ def make_backend(spec: BackendSpec) -> "KinematicsBackend":
     if spec == "fraction":
         return FractionBackend()
     raise SimulationError(
-        f"unknown kinematics backend {spec!r}; "
-        "expected 'lattice', 'fraction', or a KinematicsBackend instance"
+        f"unknown kinematics backend {spec!r}; expected one of "
+        f"{', '.join(repr(n) for n in BACKEND_NAMES)}, or a "
+        "KinematicsBackend instance"
     )
 
 

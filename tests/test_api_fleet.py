@@ -1,0 +1,108 @@
+"""Fleet tests: determinism across executors and worker counts, report
+schema, and the sweep spec builder."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.fleet import (
+    Fleet,
+    RunReport,
+    SessionSpec,
+    run_session_spec,
+    sweep,
+)
+from repro.exceptions import ConfigurationError
+from repro.types import Model
+
+SPECS = sweep(
+    protocol="location-discovery",
+    sizes=(7, 8),
+    seeds=(0, 1),
+    models=("perceptive",),
+    backends=("lattice",),
+)
+
+
+class TestSessionSpec:
+    def test_round_trip(self):
+        spec = SessionSpec(n=8, seed=3, model="lazy", backend="fraction")
+        assert SessionSpec.from_dict(spec.to_dict()) == spec
+        json.dumps(spec.to_dict())
+
+    def test_run_session_spec_row_shape(self):
+        row = run_session_spec(SessionSpec(n=7, model="basic", seed=0))
+        assert set(row) == {"spec", "result", "seconds"}
+        assert row["spec"]["n"] == 7
+        assert row["result"]["kind"] == "location_discovery"
+        json.dumps(row)
+
+
+class TestSweepBuilder:
+    def test_cartesian_product(self):
+        specs = sweep(
+            sizes=(8, 16), seeds=(0, 1, 2),
+            models=(Model.LAZY, "perceptive"), backends=("lattice",),
+        )
+        assert len(specs) == 2 * 3 * 2
+        # sizes-major ordering keeps reports diffable
+        assert [s.n for s in specs[:6]] == [8] * 6
+        assert {s.model for s in specs} == {"lazy", "perceptive"}
+
+    def test_model_enum_coerced_to_value(self):
+        (spec,) = sweep(sizes=(8,), models=(Model.PERCEPTIVE,))
+        assert spec.model == "perceptive"
+
+
+class TestFleetDeterminism:
+    def test_identical_across_executors_and_workers(self):
+        serial = Fleet(SPECS, executor="serial").run()
+        threads = Fleet(SPECS, workers=3, executor="thread").run()
+        procs = Fleet(SPECS, workers=2, executor="process").run()
+        assert serial.payloads() == threads.payloads() == procs.payloads()
+        # order always follows the spec list
+        assert [row["spec"] for row in serial.results] == [
+            s.to_dict() for s in SPECS
+        ]
+
+    def test_single_worker_pool_equals_serial(self):
+        specs = SPECS[:2]
+        serial = Fleet(specs, executor="serial").run()
+        one = Fleet(specs, workers=1, executor="process").run()
+        assert serial.payloads() == one.payloads()
+
+
+class TestRunReport:
+    def test_schema(self):
+        report = Fleet(SPECS[:2], executor="serial").run()
+        payload = report.to_dict()
+        assert set(payload) == {
+            "schema", "executor", "workers", "seconds_total", "cpu_count",
+            "python", "results",
+        }
+        assert payload["schema"] == 1
+        assert payload["executor"] == "serial"
+        assert payload["workers"] == 1
+        assert len(payload["results"]) == 2
+        reread = json.loads(report.to_json())
+        assert reread == payload
+
+    def test_payloads_strip_timings(self):
+        report = RunReport(results=[
+            {"spec": {"n": 7}, "result": {"rounds": 3}, "seconds": 0.5},
+        ])
+        assert report.payloads() == [
+            {"spec": {"n": 7}, "result": {"rounds": 3}},
+        ]
+
+
+class TestFleetValidation:
+    def test_unknown_executor(self):
+        with pytest.raises(ConfigurationError):
+            Fleet(SPECS, executor="quantum")
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            Fleet(SPECS, workers=0)

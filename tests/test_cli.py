@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -11,6 +13,86 @@ class TestCli:
         out = capsys.readouterr().out
         assert "location discovery solved" in out
         assert "discovery" in out
+
+    def test_run_lists_registry_without_protocol(self, capsys):
+        assert main(["run"]) == 0
+        out = capsys.readouterr().out
+        assert "coordination" in out
+        assert "location-discovery" in out
+
+    def test_run_human_output(self, capsys):
+        assert main([
+            "run", "coordination", "--n", "7", "--model", "basic",
+            "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coordination solved in" in out
+        assert "leader_election" in out
+
+    def test_run_json_schema(self, capsys):
+        assert main([
+            "run", "location-discovery", "--n", "7", "--model", "basic",
+            "--seed", "3", "--json", "--backend", "fraction",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["protocol"] == "location-discovery"
+        assert payload["backend"] == "fraction"
+        result = payload["result"]
+        assert result["kind"] == "location_discovery"
+        assert result["rounds"] > 0
+        assert set(result["rounds_by_phase"]) >= {
+            "direction_agreement", "leader_election", "nontrivial_move",
+            "discovery",
+        }
+        assert len(result["gaps_by_agent"]) == 7
+
+    def test_run_backends_agree(self, capsys):
+        args = ["run", "location-discovery", "--n", "7", "--model", "basic",
+                "--seed", "3", "--json"]
+        assert main(args + ["--backend", "lattice"]) == 0
+        lattice = json.loads(capsys.readouterr().out)
+        assert main(args + ["--backend", "fraction"]) == 0
+        fraction = json.loads(capsys.readouterr().out)
+        assert lattice["result"] == fraction["result"]
+
+    def test_sweep_json_schema(self, capsys):
+        assert main([
+            "sweep", "--sizes", "7", "--seeds", "0,1", "--models", "basic",
+            "--workers", "2", "--executor", "thread",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == 1
+        assert report["executor"] == "thread"
+        assert report["workers"] == 2
+        assert len(report["results"]) == 2
+        for row in report["results"]:
+            assert set(row) == {"spec", "result", "seconds"}
+            assert row["spec"]["model"] == "basic"
+            assert row["result"]["rounds"] > 0
+
+    def test_run_json_listing(self, capsys):
+        assert main(["run", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [p["name"] for p in payload["protocols"]]
+        assert "coordination" in names and "location-discovery" in names
+
+    def test_sweep_rejects_typos_before_running(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--models", "perceptiv"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "--backends", "latice"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "--protocol", "frisbee"])
+
+    def test_sweep_out_file(self, capsys, tmp_path):
+        out = tmp_path / "report.json"
+        assert main([
+            "sweep", "--sizes", "7", "--seeds", "0", "--models", "basic",
+            "--executor", "serial", "--out", str(out),
+        ]) == 0
+        written = json.loads(out.read_text())
+        printed = json.loads(capsys.readouterr().out)
+        assert written == printed
 
     def test_table1_small(self, capsys):
         assert main(["table1", "--odd", "9", "--even", "8"]) == 0
@@ -32,6 +114,32 @@ class TestCli:
         assert main(["lower-bounds"]) == 0
         out = capsys.readouterr().out
         assert "LEMMA 5" in out and "LEMMA 6" in out and "COR 29" in out
+
+    def test_backend_threads_through_table_commands(self, capsys):
+        # Identical seeds must give identical tables on both backends.
+        assert main(["table1", "--odd", "9", "--even", "8",
+                     "--backend", "lattice", "--json"]) == 0
+        lattice = json.loads(capsys.readouterr().out)
+        assert main(["table1", "--odd", "9", "--even", "8",
+                     "--backend", "fraction", "--json"]) == 0
+        fraction = json.loads(capsys.readouterr().out)
+        assert lattice == fraction
+        assert len(lattice["rows"]) == 4
+
+    def test_backend_accepted_everywhere(self, capsys):
+        assert main(["table2", "--odd", "9", "--even", "8",
+                     "--backend", "fraction"]) == 0
+        assert "TABLE II" in capsys.readouterr().out
+        assert main(["figures", "--n", "12", "--backend", "fraction"]) == 0
+        assert "FIGURE 3" in capsys.readouterr().out
+        assert main(["lower-bounds", "--backend", "fraction"]) == 0
+        assert "LEMMA 6" in capsys.readouterr().out
+
+    def test_lower_bounds_json(self, capsys):
+        assert main(["lower-bounds", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"lemma5", "lemma6", "cor29"}
+        assert payload["lemma5"][0]["measured"]["rotation_parities"] == [0]
 
     def test_rejects_unknown_command(self):
         with pytest.raises(SystemExit):
