@@ -6,11 +6,12 @@ Usage::
     python -m repro run [coordination|location-discovery] [--n 8]
                         [--model perceptive] [--seed 2024]
                         [--backend lattice|fraction] [--common-sense]
-                        [--json]
+                        [--driver native|callback] [--json]
     python -m repro sweep [--protocol location-discovery]
                           [--sizes 8,16] [--seeds 0,1,2,3]
                           [--models perceptive] [--backends lattice]
-                          [--workers 4] [--executor process] [--out X.json]
+                          [--driver native|callback] [--workers 4]
+                          [--executor process] [--out X.json]
     python -m repro table1 [--odd 9,17,33] [--even 8,16,32] [--seed 1]
                            [--backend lattice|fraction] [--json]
     python -m repro table2 [--backend ...] [--json]
@@ -19,6 +20,8 @@ Usage::
     python -m repro demo [--n 8] [--model perceptive] [--seed 2024]
                          [--backend lattice|fraction]
     python -m repro bench [--n 64] [--rounds 256] [--out BENCH.json]
+    python -m repro bench-policies [--sizes 64,256,1024]
+                                   [--out BENCH.json]
     python -m repro bench-fleet [--sessions 16] [--n 24] [--workers 4]
                                 [--out BENCH.json]
 
@@ -150,6 +153,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         backend=args.backend,
         seed=args.seed,
         common_sense=args.common_sense,
+        driver=args.driver,
     )
     try:
         result = session.run(args.protocol)
@@ -157,6 +161,14 @@ def _cmd_run(args: argparse.Namespace) -> None:
         # Unknown protocol names and paper-proven-infeasible settings
         # are user errors, not tracebacks.
         args.parser.error(str(exc))
+    phases = [
+        {
+            "name": name,
+            "rounds": rounds,
+            "driver": session.phase_drivers.get(name, session.driver),
+        }
+        for name, rounds in session.phase_rounds.items()
+    ]
     if args.json:
         print(json.dumps({
             "protocol": args.protocol,
@@ -165,14 +177,17 @@ def _cmd_run(args: argparse.Namespace) -> None:
             "backend": session.backend_name,
             "seed": args.seed,
             "common_sense": args.common_sense,
+            "driver": session.driver,
+            "phases": phases,
             "result": result.to_dict(),
         }, indent=2))
         return
     print(f"n={args.n}, model={args.model}, N={session.state.id_bound}, "
-          f"backend={session.backend_name}")
+          f"backend={session.backend_name}, driver={session.driver}")
     print(f"{args.protocol} solved in {result.rounds} rounds:")
-    for phase, rounds in result.rounds_by_phase.items():
-        print(f"  {phase:22s} {rounds:6d}")
+    for phase in phases:
+        print(f"  {phase['name']:22s} {phase['rounds']:6d}  "
+              f"[{phase['driver']}]")
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
@@ -213,6 +228,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         models=models,
         backends=backends,
         common_sense=args.common_sense,
+        driver=args.driver,
     )
     fleet = Fleet(specs, workers=args.workers, executor=args.executor)
     report = fleet.run()
@@ -255,6 +271,21 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         print(f"wrote {args.out}")
 
 
+def _cmd_bench_policies(args: argparse.Namespace) -> None:
+    from repro.experiments.harness import policy_shootout
+
+    report = policy_shootout(
+        sizes=tuple(_sizes(args.sizes)), seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+
 def _cmd_bench_fleet(args: argparse.Namespace) -> None:
     from repro.experiments.harness import fleet_shootout
 
@@ -276,6 +307,16 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", default=DEFAULT_BACKEND, choices=list(BACKEND_NAMES),
         help="kinematics backend for the simulation",
+    )
+
+
+def _add_driver(parser: argparse.ArgumentParser) -> None:
+    from repro.api import DEFAULT_DRIVER, DRIVER_NAMES
+
+    parser.add_argument(
+        "--driver", default=DEFAULT_DRIVER, choices=list(DRIVER_NAMES),
+        help="phase implementation: native whole-population policies "
+        "or the legacy per-agent callback drivers (bit-exact)",
     )
 
 
@@ -315,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=2024)
     run.add_argument("--common-sense", action="store_true")
     _add_backend(run)
+    _add_driver(run)
     _add_json(run)
     run.set_defaults(fn=_cmd_run)
 
@@ -333,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["process", "thread", "serial"],
     )
     sw.add_argument("--common-sense", action="store_true")
+    _add_driver(sw)
     sw.add_argument(
         "--out", default=None, help="also write the JSON report to this path"
     )
@@ -387,6 +430,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write the JSON report to this path"
     )
     bench.set_defaults(fn=_cmd_bench)
+
+    bp = sub.add_parser(
+        "bench-policies",
+        help="time the native phase drivers against the per-agent "
+        "callback drivers",
+    )
+    bp.add_argument("--sizes", default="64,256,1024")
+    bp.add_argument("--seed", type=int, default=11)
+    bp.add_argument("--repeats", type=int, default=3)
+    bp.add_argument(
+        "--out", default=None, help="also write the JSON report to this path"
+    )
+    bp.set_defaults(fn=_cmd_bench_policies)
 
     bf = sub.add_parser(
         "bench-fleet",

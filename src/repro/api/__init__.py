@@ -24,9 +24,12 @@ from repro.api.policy import (
     FunctionPolicy,
     PerAgentPolicy,
     Policy,
+    VectorPolicy,
     as_policy,
 )
 from repro.api.registry import (
+    DEFAULT_DRIVER,
+    DRIVER_NAMES,
     Phase,
     ProtocolSpec,
     get_protocol,
@@ -44,6 +47,8 @@ from repro.api.fleet import (
 
 __all__ = [
     "ChoiceFn",
+    "DEFAULT_DRIVER",
+    "DRIVER_NAMES",
     "FixedPolicy",
     "Fleet",
     "FunctionPolicy",
@@ -54,6 +59,7 @@ __all__ = [
     "RingSession",
     "RunReport",
     "SessionSpec",
+    "VectorPolicy",
     "as_policy",
     "get_protocol",
     "list_protocols",

@@ -25,6 +25,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.api.registry import DEFAULT_DRIVER
 from repro.exceptions import ConfigurationError
 from repro.types import Model
 
@@ -50,6 +51,7 @@ class SessionSpec:
     common_sense: bool = False
     id_bound: Optional[int] = None
     config: str = "random"
+    driver: str = DEFAULT_DRIVER
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -74,6 +76,7 @@ def run_session_spec(spec: SessionSpec) -> Dict[str, object]:
         common_sense=spec.common_sense,
         id_bound=spec.id_bound,
         config=spec.config,
+        driver=spec.driver,
     )
     start = time.perf_counter()
     result = session.run(spec.protocol)
@@ -188,6 +191,7 @@ def sweep(
     common_sense: bool = False,
     id_bound: Optional[int] = None,
     config: str = "random",
+    driver: str = DEFAULT_DRIVER,
 ) -> List[SessionSpec]:
     """Cartesian-product spec builder: sizes x seeds x models x backends.
 
@@ -211,5 +215,6 @@ def sweep(
                         common_sense=common_sense,
                         id_bound=id_bound,
                         config=config,
+                        driver=driver,
                     ))
     return specs

@@ -25,7 +25,7 @@ from typing import Callable, List, Sequence, Union
 from repro.core.agent import AgentView
 from repro.core.scheduler import ChoiceFn
 from repro.exceptions import ProtocolError
-from repro.types import LocalDirection
+from repro.types import LocalDirection, RoundOutcome
 
 PolicyLike = Union["Policy", ChoiceFn]
 
@@ -36,6 +36,20 @@ class Policy(ABC):
     @abstractmethod
     def decide(self, views: Sequence[AgentView]) -> List[LocalDirection]:
         """Return one local direction per agent, aligned with ``views``."""
+
+    def observe(
+        self, views: Sequence[AgentView], outcome: RoundOutcome
+    ) -> None:
+        """Population-level result hook, called by the scheduler exactly
+        once after each round this policy decided.
+
+        The default is a no-op.  Stateful policies (the native phase
+        drivers in :mod:`repro.protocols.policies`) override it to post
+        the round's observations back to the population's columns in
+        one pass -- no per-agent dispatch.  ``outcome.observations`` is
+        in view/slot order; the same list is available afterwards as
+        ``scheduler.population.last_obs``.
+        """
 
 
 class PerAgentPolicy(Policy):
@@ -63,6 +77,24 @@ class FixedPolicy(Policy):
 
     def decide(self, views: Sequence[AgentView]) -> List[LocalDirection]:
         return [self.direction] * len(views)
+
+
+class VectorPolicy(Policy):
+    """Play one precomputed direction vector (entry i for slot i).
+
+    The building block of the native phase drivers: a driver computes a
+    whole round's directions once, from columnar state, and hands the
+    list to the scheduler unchanged.  The vector is *not* copied; the
+    caller must not mutate it while the round is pending.
+    """
+
+    __slots__ = ("vector",)
+
+    def __init__(self, vector: Sequence[LocalDirection]) -> None:
+        self.vector = vector
+
+    def decide(self, views: Sequence[AgentView]) -> List[LocalDirection]:
+        return list(self.vector)
 
 
 class FunctionPolicy(Policy):

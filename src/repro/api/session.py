@@ -20,7 +20,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.api.policy import PolicyLike
-from repro.api.registry import Phase, ProtocolSpec, get_protocol
+from repro.api.registry import (
+    Phase,
+    ProtocolSpec,
+    get_protocol,
+    resolve_driver,
+)
 from repro.core.agent import AgentView
 from repro.core.scheduler import Scheduler
 from repro.exceptions import ConfigurationError, ProtocolError
@@ -49,6 +54,10 @@ class RingSession:
             Table II setting); threads into protocol planning, and into
             configuration generation when the session builds its own
             state.
+        driver: Which phase implementation protocol plans use:
+            ``"native"`` (whole-population policies over columnar state,
+            the default) or ``"callback"`` (the legacy per-agent
+            reference drivers).  The two are bit-exact.
     """
 
     def __init__(
@@ -59,6 +68,7 @@ class RingSession:
         backend: BackendSpec = None,
         seed: Optional[int] = None,
         common_sense: bool = False,
+        driver: Optional[str] = None,
         id_bound: Optional[int] = None,
         config: Optional[str] = None,
         state: Optional[RingState] = None,
@@ -66,6 +76,7 @@ class RingSession:
         cross_validate: bool = False,
     ) -> None:
         self.common_sense = common_sense
+        self.driver = resolve_driver(driver)
         if scheduler is not None:
             # A scheduler already fixes every one of these; accepting an
             # override here would silently run with the scheduler's own
@@ -134,6 +145,7 @@ class RingSession:
         self._spec: Optional[ProtocolSpec] = None
         self._pending: List[Phase] = []
         self.phase_rounds: Dict[str, int] = {}
+        self.phase_drivers: Dict[str, str] = {}
 
     @staticmethod
     def _build_state(
@@ -163,20 +175,28 @@ class RingSession:
         model: Union[Model, str] = Model.BASIC,
         backend: BackendSpec = None,
         common_sense: bool = False,
+        driver: Optional[str] = None,
         cross_validate: bool = False,
     ) -> "RingSession":
         """Wrap an existing world state (the caller keeps ownership)."""
         return cls(
             state=state, model=model, backend=backend,
-            common_sense=common_sense, cross_validate=cross_validate,
+            common_sense=common_sense, driver=driver,
+            cross_validate=cross_validate,
         )
 
     @classmethod
     def from_scheduler(
-        cls, scheduler: Scheduler, *, common_sense: bool = False
+        cls,
+        scheduler: Scheduler,
+        *,
+        common_sense: bool = False,
+        driver: Optional[str] = None,
     ) -> "RingSession":
         """Wrap an existing scheduler (continuing its round count)."""
-        return cls(scheduler=scheduler, common_sense=common_sense)
+        return cls(
+            scheduler=scheduler, common_sense=common_sense, driver=driver
+        )
 
     # -- passthroughs ---------------------------------------------------
 
@@ -229,7 +249,7 @@ class RingSession:
             if isinstance(protocol, ProtocolSpec)
             else get_protocol(protocol)
         )
-        return spec.plan(self.scheduler, self.common_sense)
+        return spec.plan(self.scheduler, self.common_sense, self.driver)
 
     def start(self, protocol: Union[str, ProtocolSpec]) -> List[Phase]:
         """Plan ``protocol`` and stage its phases for :meth:`step` /
@@ -239,10 +259,11 @@ class RingSession:
             if isinstance(protocol, ProtocolSpec)
             else get_protocol(protocol)
         )
-        phases = spec.plan(self.scheduler, self.common_sense)
+        phases = spec.plan(self.scheduler, self.common_sense, self.driver)
         self._spec = spec
         self._pending = list(phases)
         self.phase_rounds = {}
+        self.phase_drivers = {}
         return phases
 
     @property
@@ -261,6 +282,7 @@ class RingSession:
         phase.run(self.scheduler)
         used = self.scheduler.rounds - before
         self.phase_rounds[phase.name] = used
+        self.phase_drivers[phase.name] = phase.driver
         return phase.name, used
 
     def resume(self) -> object:

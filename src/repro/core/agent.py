@@ -18,7 +18,7 @@ ever handing protocol callbacks the view object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, List, MutableMapping
 
 from repro.exceptions import ProtocolError
 from repro.types import Model, Observation
@@ -35,7 +35,10 @@ class AgentView:
             information about n available a priori.
         model: The model variant in force (public knowledge).
         memory: Scratch space for protocol state; protocols namespace
-            their keys (e.g. ``"leader.status"``).
+            their keys (e.g. ``"leader.status"``).  Under a scheduler
+            this is a :class:`~repro.core.population.MemorySlot` over
+            the shared columnar store (dict-compatible); a standalone
+            view gets a plain dict.
         log: All observations this agent has received, in round order.
     """
 
@@ -43,7 +46,7 @@ class AgentView:
     id_bound: int
     parity_even: bool
     model: Model
-    memory: Dict[str, Any] = field(default_factory=dict)
+    memory: MutableMapping[str, Any] = field(default_factory=dict)
     log: List[Observation] = field(default_factory=list)
 
     @property

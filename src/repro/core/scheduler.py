@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core.agent import AgentView
+from repro.core.population import Population
 from repro.exceptions import SimulationError
 from repro.ring.backends import BackendSpec
 from repro.ring.simulator import RingSimulator
@@ -52,6 +53,12 @@ class Scheduler:
 
     Attributes:
         simulator: The underlying round simulator (owns the world state).
+        population: The columnar store of all agents' protocol memory
+            (:class:`~repro.core.population.Population`); each view's
+            ``memory`` is a per-slot adapter over it, and native
+            whole-population policies read/write its columns directly.
+            After every executed round ``population.last_obs`` holds the
+            round's observations in slot order.
         views: One :class:`AgentView` per agent, in ring order.  The
             ordering is a harness artifact: protocol code must treat the
             list as an anonymous collection and derive nothing from an
@@ -69,12 +76,19 @@ class Scheduler:
             state, model, cross_validate, backend=backend
         )
         self.model = model
+        self.population = Population(
+            n=state.n,
+            ids=state.ids,
+            id_bound=state.id_bound,
+            parity_even=state.parity_even,
+        )
         self.views: List[AgentView] = [
             AgentView(
                 agent_id=state.ids[i],
                 id_bound=state.id_bound,
                 parity_even=state.parity_even,
                 model=model,
+                memory=self.population.slot(i),
             )
             for i in range(state.n)
         ]
@@ -120,12 +134,20 @@ class Scheduler:
 
         Returns:
             The omniscient outcome (for tests); each agent's observation
-            has already been appended to its own log.
+            has already been appended to its own log.  If the policy
+            defines an ``observe`` hook it is called once with
+            ``(views, outcome)`` after the logs are updated, so native
+            policies can post population-level results back to columns
+            without per-agent dispatch.
         """
         directions = self._decide(choose)
         outcome = self.simulator.execute(directions)
         for view, obs in zip(self.views, outcome.observations):
             view.log.append(obs)
+        self.population.observe(outcome.observations)
+        observe = getattr(choose, "observe", None)
+        if observe is not None:
+            observe(self.views, outcome)
         return outcome
 
     def run_rounds(self, choose: PolicyLike, k: int) -> List[RoundOutcome]:
@@ -155,6 +177,7 @@ class Scheduler:
         for outcome in outcomes:
             for view, obs in zip(views, outcome.observations):
                 view.log.append(obs)
+        self.population.observe(outcomes[-1].observations)
         return outcomes[-1]
 
     def for_each_agent(self, fn: Callable[[AgentView], None]) -> None:

@@ -216,6 +216,119 @@ def backend_shootout(
     }
 
 
+def _policy_workload(n: int, seed: int, driver: str):
+    """One phase-driver workload run: neighbor discovery plus a sparse
+    relay flood -- the paper's hot communication drivers -- at size
+    ``n`` on the lattice backend.  Returns a comparable fingerprint."""
+    from repro.core.agent import id_bits
+    from repro.core.scheduler import Scheduler
+    from repro.ring.configs import random_configuration
+    from repro.types import Model
+
+    state = random_configuration(n, seed=seed, common_sense=False)
+    sched = Scheduler(state, Model.PERCEPTIVE, backend="lattice")
+    width = id_bits(sched.population.id_bound)
+    start = time.perf_counter()
+    if driver == "native":
+        from repro.protocols.policies.bitcomm import relay_flood
+        from repro.protocols.policies.neighbor_discovery import (
+            discover_neighbors,
+        )
+
+        discover_neighbors(sched)
+        relay_flood(
+            sched,
+            [
+                agent_id if agent_id % 16 == 1 else None
+                for agent_id in sched.population.ids
+            ],
+            distance=4,
+            width=width,
+        )
+    else:
+        from repro.protocols.bitcomm import relay_flood
+        from repro.protocols.neighbor_discovery import discover_neighbors
+
+        discover_neighbors(sched)
+        relay_flood(
+            sched,
+            lambda view: (
+                view.agent_id if view.agent_id % 16 == 1 else None
+            ),
+            distance=4,
+            width=width,
+        )
+    elapsed = time.perf_counter() - start
+    fingerprint = (
+        sched.rounds,
+        state.snapshot(),
+        [list(v.log) for v in sched.views],
+        [dict(v.memory) for v in sched.views],
+    )
+    return elapsed, fingerprint
+
+
+def policy_shootout(
+    sizes: Sequence[int] = (64, 256, 1024),
+    seed: int = 11,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time the native whole-population phase drivers against the legacy
+    per-agent callback drivers.
+
+    Both drivers execute the identical workload (neighbor discovery +
+    sparse relay flood, perceptive model, lattice backend) from
+    identical initial configurations at each size.  One collecting run
+    per driver first verifies bit-exact agreement of round counts,
+    final positions, every observation and the final protocol memory; a
+    mismatch raises ``SimulationError``.  Timings are the best of
+    ``repeats`` runs.
+
+    Returns a JSON-ready report (the ``BENCH_policies.json`` payload).
+    """
+    import os
+
+    from repro.exceptions import SimulationError
+
+    rows = []
+    for n in sizes:
+        _, native_fp = _policy_workload(n, seed, "native")
+        _, callback_fp = _policy_workload(n, seed, "callback")
+        if native_fp != callback_fp:
+            raise SimulationError(
+                f"native and callback drivers disagree at n={n}"
+            )
+        timings: Dict[str, float] = {}
+        for driver in ("native", "callback"):
+            timings[driver] = min(
+                _policy_workload(n, seed, driver)[0]
+                for _ in range(max(1, repeats))
+            )
+        rows.append({
+            "n": n,
+            "rounds": native_fp[0],
+            "seconds": {k: round(v, 6) for k, v in timings.items()},
+            "speedup_native_over_callback": round(
+                timings["callback"] / timings["native"], 2
+            ),
+        })
+    return {
+        "benchmark": "policy_shootout",
+        "workload": {
+            "phases": ["neighbor_discovery", "relay_flood(d=4)"],
+            "model": "perceptive",
+            "backend": "lattice",
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "bit_exact": True,
+        "sweep": rows,
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
 def fleet_shootout(
     sessions: int = 16,
     n: int = 24,

@@ -1,0 +1,37 @@
+"""Native whole-population phase drivers.
+
+Each module here is the vectorised twin of a legacy per-agent driver in
+:mod:`repro.protocols`: the same algorithm, the same round sequence, the
+same memory keys -- but every round's direction vector is computed in
+one :meth:`~repro.api.policy.Policy.decide` call from the scheduler's
+columnar :class:`~repro.core.population.Population`, and round results
+are posted back to columns in one ``observe`` pass.  The legacy
+callback drivers remain the executable reference specification; the
+property tests in ``tests/test_native_policies.py`` hold the two
+bit-exact across models and kinematics backends.
+
+The protocol registry plans these drivers by default
+(``driver="native"``); pass ``driver="callback"`` to a
+:class:`~repro.api.session.RingSession` or ``--driver callback`` on the
+CLI to run the per-agent reference path instead.
+"""
+
+from repro.protocols.policies.base import PhasePolicy
+from repro.protocols.policies.bitcomm import RelayFloodPolicy
+from repro.protocols.policies.leader_election import LeaderElectionPolicy
+from repro.protocols.policies.neighbor_discovery import (
+    NeighborDiscoveryPolicy,
+)
+from repro.protocols.policies.nmove_perceptive import (
+    SelectiveFamilyProbePolicy,
+)
+from repro.protocols.policies.rotation_probe import RotationProbePolicy
+
+__all__ = [
+    "PhasePolicy",
+    "NeighborDiscoveryPolicy",
+    "RelayFloodPolicy",
+    "LeaderElectionPolicy",
+    "SelectiveFamilyProbePolicy",
+    "RotationProbePolicy",
+]

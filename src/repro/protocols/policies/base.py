@@ -1,0 +1,213 @@
+"""Shared machinery for the native phase drivers.
+
+A native driver is a :class:`PhasePolicy`: a queue of *steps*, one per
+round.  Each step carries the round's direction vector (a precomputed
+list, a callable evaluated at decide time for data-dependent rounds, or
+one of the :data:`REPEAT` / :data:`RESTORE` markers for the paper's
+ubiquitous probe/REVERSEDROUND pairs) and an optional *harvest* hook run
+after the round with the whole population's observations.  The
+scheduler calls :meth:`PhasePolicy.decide` exactly once per round, so a
+whole phase executes with zero per-agent Python dispatch on the
+decision path; harvests write round results straight into the
+population's columns.
+
+Data-dependent drivers (rotation classification, bisection, selective
+family search) extend their own queue from inside a harvest -- the
+queue is empty beyond the current step at that point, so continuation
+steps land in order.
+
+Vector helpers mirror the legacy per-agent vocabulary:
+:func:`aligned_vector` is the column form of
+:func:`repro.protocols.base.aligned_direction`, :func:`common_dists` of
+:func:`repro.protocols.base.common_dist`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from repro.api.policy import Policy
+from repro.core.agent import AgentView
+from repro.core.population import MISSING, Population
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.types import LocalDirection, Observation, RoundOutcome
+
+RIGHT = LocalDirection.RIGHT
+LEFT = LocalDirection.LEFT
+IDLE = LocalDirection.IDLE
+
+#: Step marker: play the previous round's vector again.
+REPEAT = type("_Repeat", (), {"__repr__": lambda self: "<repeat>"})()
+#: Step marker: play the opposite of the previous round's vector (the
+#: paper's REVERSEDROUND).
+RESTORE = type("_Restore", (), {"__repr__": lambda self: "<restore>"})()
+
+Vector = List[LocalDirection]
+VectorSpec = Union[Vector, Callable[[], Vector], Any]
+Harvest = Callable[[Sequence[Observation]], None]
+
+
+def opposite_vector(vector: Sequence[LocalDirection]) -> Vector:
+    """The whole-population REVERSEDROUND of ``vector``."""
+    return [d.opposite() for d in vector]
+
+
+def aligned_vector(
+    flips: Sequence[bool], commons: Sequence[LocalDirection]
+) -> Vector:
+    """Translate per-slot common-frame directions into local frames."""
+    return [
+        c if c is IDLE or not f else c.opposite()
+        for f, c in zip(flips, commons)
+    ]
+
+
+def common_dists(
+    flips: Sequence[bool], observations: Sequence[Observation]
+) -> List[Fraction]:
+    """Each slot's ``dist()`` converted into the common frame."""
+    return [
+        (Fraction(1) - o.dist if o.dist != 0 else Fraction(0))
+        if f
+        else o.dist
+        for f, o in zip(flips, observations)
+    ]
+
+
+def require_column(
+    population: Population, key: str, message: str
+) -> List[Any]:
+    """The fully-set column for ``key``; :class:`ProtocolError` with
+    ``message`` if any slot is missing it."""
+    column = population.get_column(key)
+    if column is None or any(cell is MISSING for cell in column):
+        raise ProtocolError(message)
+    return column
+
+
+class PhasePolicy(Policy):
+    """A native phase driver: a self-scheduling queue of round steps.
+
+    Subclasses (or callers, via :meth:`push`) enqueue steps; :meth:`run`
+    drives the scheduler until the queue drains, then calls
+    :meth:`finalize`.  ``decide`` resolves the head step's vector;
+    ``observe`` pops the step and runs its harvest with the round's
+    observations.
+    """
+
+    def __init__(self, sched: Scheduler) -> None:
+        self.sched = sched
+        self.population: Population = sched.population
+        self.n: int = sched.population.n
+        self._queue: "deque" = deque()
+        #: The most recent vector actually played (REPEAT/RESTORE base).
+        self.last_vector: Optional[Vector] = None
+
+    # -- plan construction ----------------------------------------------
+
+    def push(
+        self, vector: VectorSpec, harvest: Optional[Harvest] = None
+    ) -> None:
+        """Enqueue one round: its direction vector (or marker/callable)
+        and an optional post-round harvest."""
+        self._queue.append((vector, harvest))
+
+    def push_probe(
+        self, vector: VectorSpec, harvest: Optional[Harvest] = None
+    ) -> None:
+        """Enqueue an information round followed by its REVERSEDROUND."""
+        self.push(vector, harvest)
+        self.push(RESTORE)
+
+    def push_classify(
+        self,
+        vector: VectorSpec,
+        weak: bool,
+        on_verdict: Callable[[bool], None],
+    ) -> None:
+        """Enqueue the Lemma 2 (weak) nontrivial-move classification of
+        ``vector``, mirroring the legacy ``nontrivial_move._classify``
+        round for round: 1 probe + 1 restore when the rotation index is
+        zero (or the weak test passes), else 2 probes + 2 restores with
+        the half-turn verdict posted to the ``nmove._half`` column.
+        ``on_verdict(nontrivial)`` fires once the verdict is known (the
+        trailing restore rounds still execute)."""
+
+        def first_harvest(obs: Sequence[Observation]) -> None:
+            if obs[0].dist == 0:
+                self.push(RESTORE)
+                on_verdict(False)
+                return
+            if weak:
+                self.push(RESTORE)
+                on_verdict(True)
+                return
+            d1s = [o.dist for o in obs]
+
+            def second_harvest(obs2: Sequence[Observation]) -> None:
+                halfs = [
+                    d1 + o.dist == 1 for d1, o in zip(d1s, obs2)
+                ]
+                self.population.set_column("nmove._half", halfs)
+                self.push(RESTORE)
+                self.push(REPEAT)
+                on_verdict(not halfs[0])
+
+            self.push(REPEAT, second_harvest)
+
+        self.push(vector, first_harvest)
+
+    # -- Policy interface ------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Rounds still queued."""
+        return len(self._queue)
+
+    def decide(self, views: Sequence[AgentView]) -> Vector:
+        if not self._queue:
+            raise ProtocolError(
+                f"{type(self).__name__} has no round queued"
+            )
+        vector = self._queue[0][0]
+        if vector is REPEAT:
+            vector = self.last_vector
+        elif vector is RESTORE:
+            vector = opposite_vector(self.last_vector)
+        elif callable(vector):
+            vector = vector()
+        self.last_vector = vector
+        return vector
+
+    def observe(
+        self, views: Sequence[AgentView], outcome: RoundOutcome
+    ) -> None:
+        _vector, harvest = self._queue.popleft()
+        if harvest is not None:
+            harvest(outcome.observations)
+
+    # -- driving ---------------------------------------------------------
+
+    def run(self) -> "PhasePolicy":
+        """Execute every queued round (including any the harvests add),
+        then :meth:`finalize`; returns self for chaining."""
+        sched = self.sched
+        while self._queue:
+            sched.run_round(self)
+        self.finalize()
+        return self
+
+    def finalize(self) -> None:
+        """Post-run conclusion (column writes); default no-op."""
+
+
+def run_vector(sched: Scheduler, vector: Vector) -> Sequence[Observation]:
+    """Run one ad-hoc round from a precomputed vector; returns the
+    population's observations for that round."""
+    from repro.api.policy import VectorPolicy
+
+    outcome = sched.run_round(VectorPolicy(vector))
+    return outcome.observations

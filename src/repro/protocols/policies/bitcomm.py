@@ -1,0 +1,313 @@
+"""Native collision-channel communication (vectorised twin of
+:mod:`repro.protocols.bitcomm`).
+
+The 1-bit neighbor channel (Prop 31) is four rounds -- probe, restore,
+inverse probe, restore -- whose vectors derive from the transmitted bit
+column; frames (Cor 32) stack ``width + 1`` bit exchanges; the sparsed
+relay flood (Cor 34) stacks two frames per hop with the
+chirality-corrected register shuffle between them.
+:class:`RelayFloodPolicy` plans the *entire* flood as one policy --
+``8 * (width + 1) * distance`` rounds -- whose vectors are evaluated
+lazily from the relay registers, so the whole dissemination runs with
+one ``decide`` per round and zero per-agent dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.bitcomm import (
+    KEY_FROM_LEFT,
+    KEY_FROM_RIGHT,
+    KEY_RECEIVED,
+)
+from repro.protocols.neighbor_discovery import (
+    KEY_GAP_LEFT,
+    KEY_GAP_RIGHT,
+    KEY_SAME_LEFT,
+    KEY_SAME_RIGHT,
+)
+from repro.protocols.policies.base import (
+    LEFT,
+    PhasePolicy,
+    REPEAT,
+    RESTORE,
+    RIGHT,
+)
+from repro.types import Model, Observation
+
+KEY_FRAME_FROM_RIGHT = "comm.frame_from_right"
+KEY_FRAME_FROM_LEFT = "comm.frame_from_left"
+
+
+def _bit_slice(value: Optional[int], slot: int) -> int:
+    """(present, value) frame encoding: slot 0 is the present flag."""
+    if slot == 0:
+        return 1 if value is not None else 0
+    if value is None:
+        return 0
+    return (value >> (slot - 1)) & 1
+
+
+class BitExchangePolicy(PhasePolicy):
+    """Plumbing shared by all collision-channel policies: plans bit
+    exchanges and (present, value) frames over the neighbor channel."""
+
+    def __init__(self, sched: Scheduler) -> None:
+        if sched.model is not Model.PERCEPTIVE:
+            raise ProtocolError("bit exchange requires the perceptive model")
+        super().__init__(sched)
+        population = self.population
+        if not population.all_set(KEY_GAP_RIGHT):
+            raise ProtocolError(
+                "bit communication requires neighbor discovery results"
+            )
+        self._gap_right = population.column(KEY_GAP_RIGHT)
+        self._gap_left = population.column(KEY_GAP_LEFT)
+        self._same_right = population.column(KEY_SAME_RIGHT)
+        self._same_left = population.column(KEY_SAME_LEFT)
+
+    # -- one bit, both neighbors, 4 rounds ------------------------------
+
+    def push_bit_exchange(
+        self,
+        bits_provider: Callable[[], Sequence[int]],
+        on_decoded: Optional[Callable[[List[int], List[int]], None]] = None,
+    ) -> None:
+        """Plan one bit exchange: every slot transmits
+        ``bits_provider()[slot]`` to both neighbors.  Decoded bits land
+        in the ``comm.bit_from_right`` / ``comm.bit_from_left`` columns
+        and are passed to ``on_decoded(from_right, from_left)``."""
+        ctx: dict = {}
+
+        def probe_vector():
+            bits = list(bits_provider())
+            for b in bits:
+                if b not in (0, 1):
+                    raise ProtocolError(f"bit_of returned non-bit {b!r}")
+            ctx["bits"] = bits
+            return [RIGHT if b == 1 else LEFT for b in bits]
+
+        def harvest_probe0(obs: Sequence[Observation]) -> None:
+            ctx["coll0"] = [o.coll for o in obs]
+
+        def harvest_probe1(obs: Sequence[Observation]) -> None:
+            ctx["coll1"] = [o.coll for o in obs]
+
+        def decode(_obs: Sequence[Observation]) -> None:
+            bits = ctx.pop("bits")
+            colls = (ctx.pop("coll0"), ctx.pop("coll1"))
+            from_right: List[int] = []
+            from_left: List[int] = []
+            for i in range(self.n):
+                # Index of the probe in which slot i moved own-RIGHT.
+                right_probe = 0 if bits[i] == 1 else 1
+                left_probe = 1 - right_probe
+                approached_r = (
+                    colls[right_probe][i] == self._gap_right[i] / 2
+                )
+                approached_l = (
+                    colls[left_probe][i] == self._gap_left[i] / 2
+                )
+                r_toward_in_probe0 = (
+                    approached_r if right_probe == 0 else not approached_r
+                )
+                l_toward_in_probe0 = (
+                    approached_l if left_probe == 0 else not approached_l
+                )
+                from_right.append(
+                    int(r_toward_in_probe0 == (not self._same_right[i]))
+                )
+                from_left.append(
+                    int(l_toward_in_probe0 == self._same_left[i])
+                )
+            population = self.population
+            population.set_column(KEY_FROM_RIGHT, from_right)
+            population.set_column(KEY_FROM_LEFT, from_left)
+            if on_decoded is not None:
+                on_decoded(from_right, from_left)
+
+        self.push(probe_vector, harvest_probe0)
+        self.push(RESTORE)
+        # After the restore, last_vector is already the inverse probe.
+        self.push(REPEAT, harvest_probe1)
+        self.push(RESTORE, decode)
+
+    # -- one (present, value) frame, 4 * (width + 1) rounds -------------
+
+    def push_frame(
+        self,
+        frames_provider: Callable[[], Sequence[Optional[int]]],
+        width: int,
+        on_frame: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Plan one frame exchange.  ``frames_provider`` is evaluated at
+        the first round's decide time (relay registers may have been
+        rewritten by an earlier step of the same plan); decoded frames
+        land in the ``comm.frame_from_right`` / ``comm.frame_from_left``
+        columns, then ``on_frame()`` fires."""
+        ctx: dict = {}
+
+        def frame_bits(slot: int) -> Callable[[], List[int]]:
+            def bits() -> List[int]:
+                if slot == 0:
+                    frames = list(frames_provider())
+                    for v in frames:
+                        if v is not None and not 0 <= v < (1 << width):
+                            raise ProtocolError(
+                                f"value {v} does not fit in {width} bits"
+                            )
+                    ctx["frames"] = frames
+                return [
+                    _bit_slice(v, slot) for v in ctx["frames"]
+                ]
+
+            return bits
+
+        def fold(slot: int):
+            def on_decoded(
+                from_right: List[int], from_left: List[int]
+            ) -> None:
+                if slot == 0:
+                    ctx["present"] = (
+                        [bool(b) for b in from_right],
+                        [bool(b) for b in from_left],
+                    )
+                    ctx["collected"] = ([0] * self.n, [0] * self.n)
+                else:
+                    for side, decoded in enumerate(
+                        (from_right, from_left)
+                    ):
+                        collected = ctx["collected"][side]
+                        for i, b in enumerate(decoded):
+                            if b:
+                                collected[i] |= 1 << (slot - 1)
+                if slot == width:
+                    population = self.population
+                    for side, key in (
+                        (0, KEY_FRAME_FROM_RIGHT),
+                        (1, KEY_FRAME_FROM_LEFT),
+                    ):
+                        present = ctx["present"][side]
+                        collected = ctx["collected"][side]
+                        population.set_column(
+                            key,
+                            [
+                                collected[i] if present[i] else None
+                                for i in range(self.n)
+                            ],
+                        )
+                    if on_frame is not None:
+                        on_frame()
+
+            return on_decoded
+
+        for slot in range(width + 1):
+            self.push_bit_exchange(frame_bits(slot), fold(slot))
+
+
+class RelayFloodPolicy(BitExchangePolicy):
+    """Cor 34: flood source values up to ``distance`` hops both ways.
+
+    ``initial_values[slot]`` is the slot's announced value or ``None``;
+    after :meth:`run`, each slot's ``comm.received`` column cell lists
+    ``(side, hop, value)`` exactly as the legacy driver records them.
+    """
+
+    def __init__(
+        self,
+        sched: Scheduler,
+        initial_values: Sequence[Optional[int]],
+        distance: int,
+        width: int,
+    ) -> None:
+        super().__init__(sched)
+        n = self.n
+        values = list(initial_values)
+        if len(values) != n:
+            raise ProtocolError(
+                f"{len(values)} initial values for {n} agents"
+            )
+        self.width = width
+        self.out_right: List[Optional[int]] = list(values)
+        self.out_left: List[Optional[int]] = list(values)
+        self._incoming_right: List[Optional[int]] = [None] * n
+        self._incoming_left: List[Optional[int]] = [None] * n
+        self.population.fill_with(KEY_RECEIVED, list)
+        for hop in range(1, distance + 1):
+            # Slot A: everyone relays its rightward stream register.
+            self.push_frame(
+                lambda: self.out_right, width, self._receive_a
+            )
+            # Slot B: the leftward stream, then the register shuffle.
+            self.push_frame(
+                lambda: self.out_left,
+                width,
+                lambda hop=hop: self._receive_b_and_settle(hop),
+            )
+
+    def _receive_a(self) -> None:
+        population = self.population
+        from_left = population.column(KEY_FRAME_FROM_LEFT)
+        from_right = population.column(KEY_FRAME_FROM_RIGHT)
+        for i in range(self.n):
+            # My left neighbor's rightward stream is destined to me iff
+            # our chiralities agree; a flipped right neighbor's
+            # "rightward" stream also comes to me.
+            if self._same_left[i]:
+                self._incoming_right[i] = from_left[i]
+            if not self._same_right[i]:
+                self._incoming_left[i] = from_right[i]
+
+    def _receive_b_and_settle(self, hop: int) -> None:
+        population = self.population
+        from_left = population.column(KEY_FRAME_FROM_LEFT)
+        from_right = population.column(KEY_FRAME_FROM_RIGHT)
+        received = population.column(KEY_RECEIVED)
+        for i in range(self.n):
+            if not self._same_left[i]:
+                self._incoming_right[i] = from_left[i]
+            if self._same_right[i]:
+                self._incoming_left[i] = from_right[i]
+        for i in range(self.n):
+            inc_from_left = self._incoming_right[i]
+            inc_from_right = self._incoming_left[i]
+            if inc_from_left is not None:
+                received[i].append(("left", hop, inc_from_left))
+            if inc_from_right is not None:
+                received[i].append(("right", hop, inc_from_right))
+            self.out_right[i] = inc_from_left
+            self.out_left[i] = inc_from_right
+            self._incoming_right[i] = None
+            self._incoming_left[i] = None
+
+
+def exchange_bits(sched: Scheduler, bits: Sequence[int]) -> None:
+    """Native twin of :func:`repro.protocols.bitcomm.exchange_bits`:
+    every slot transmits ``bits[slot]`` to both neighbors (4 rounds)."""
+    policy = BitExchangePolicy(sched)
+    bits = list(bits)
+    policy.push_bit_exchange(lambda: bits)
+    policy.run()
+
+
+def exchange_frame(
+    sched: Scheduler, values: Sequence[Optional[int]], width: int
+) -> None:
+    """Native twin of :func:`repro.protocols.bitcomm.exchange_frame`."""
+    policy = BitExchangePolicy(sched)
+    values = list(values)
+    policy.push_frame(lambda: values, width)
+    policy.run()
+
+
+def relay_flood(
+    sched: Scheduler,
+    initial_values: Sequence[Optional[int]],
+    distance: int,
+    width: int,
+) -> None:
+    """Native twin of :func:`repro.protocols.bitcomm.relay_flood`."""
+    RelayFloodPolicy(sched, initial_values, distance, width).run()

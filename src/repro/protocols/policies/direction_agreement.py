@@ -1,0 +1,78 @@
+"""Native direction agreement (vectorised twin of
+:mod:`repro.protocols.direction_agreement`).
+
+Same round sequences (Lemma 2 classification of the nontrivial round or
+the all-RIGHT round), same ``frame.flip`` / ``probe.class`` memory
+state; the flip decision is one pass over the verdict column.
+"""
+
+from __future__ import annotations
+
+from repro.core.population import MISSING
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_FRAME_FLIP, KEY_NMOVE_DIR
+from repro.protocols.policies.base import RIGHT
+from repro.protocols.policies.rotation_probe import RotationProbePolicy
+from repro.protocols.rotation_probe import KEY_PROBE_CLASS, RotationClass
+
+
+def _nmove_vector(sched: Scheduler):
+    population = sched.population
+    column = population.get_column(KEY_NMOVE_DIR)
+    missing = (
+        0
+        if column is None
+        else next(
+            (i for i, cell in enumerate(column) if cell is MISSING), None
+        )
+    )
+    if missing is not None:
+        raise ProtocolError(
+            "direction agreement requires a solved nontrivial move "
+            f"(agent {population.ids[missing]} has no stored direction)"
+        )
+    return list(column)
+
+
+def agree_direction_from_nontrivial_move(sched: Scheduler) -> None:
+    """Native twin of Algorithm 1: classify the stored nontrivial round,
+    flip the frames of agents that saw more than half a turn."""
+    vector = _nmove_vector(sched)
+    RotationProbePolicy(sched, vector, classify=True, restore=True).run()
+
+    population = sched.population
+    verdicts = population.column(KEY_PROBE_CLASS)
+    if verdicts[0].trivial:
+        raise ProtocolError(
+            "DirAgr was run on a trivial move; the nontrivial move "
+            "precondition is violated"
+        )
+    population.set_column(
+        KEY_FRAME_FLIP,
+        [v is RotationClass.ABOVE_HALF for v in verdicts],
+    )
+
+
+def agree_direction_odd(sched: Scheduler) -> None:
+    """Native twin of Proposition 17 (odd n, O(1))."""
+    population = sched.population
+    if population.n and population.parity_even:
+        raise ProtocolError("agree_direction_odd requires odd n")
+
+    RotationProbePolicy(
+        sched, [RIGHT] * population.n, classify=True, restore=True
+    ).run()
+
+    verdicts = population.column(KEY_PROBE_CLASS)
+    flips = []
+    for verdict in verdicts:
+        if verdict is RotationClass.HALF:
+            raise ProtocolError("half-turn observed with odd n: impossible")
+        flips.append(verdict is RotationClass.ABOVE_HALF)
+    population.set_column(KEY_FRAME_FLIP, flips)
+
+
+def assume_common_frame(sched: Scheduler) -> None:
+    """Native twin of the Table II declaration: no rounds, one column."""
+    sched.population.fill(KEY_FRAME_FLIP, False)

@@ -1,0 +1,127 @@
+"""Native Distances / Algorithm 6 (vectorised twin of
+:mod:`repro.protocols.distances`).
+
+The Convolution/Pivot schedule is public, so every round's direction
+vector is one pass over the label column; the per-agent equation
+systems (private computation, not communication) accumulate in plain
+slot-indexed lists and solve in :func:`discover_distances`'s final
+pass.  Reuses the legacy module's pure schedule helpers
+(:func:`~repro.protocols.distances.convolution_direction`,
+:func:`~repro.protocols.distances.pivot_direction`,
+:func:`~repro.protocols.distances.coll_window`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.analysis.equations import Equation, EquationSystem
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import (
+    KEY_FRAME_FLIP,
+    KEY_LABEL,
+    KEY_LD_GAPS,
+    KEY_RING_SIZE,
+)
+from repro.protocols.distances import (
+    DirectionMap,
+    coll_window,
+    convolution_direction,
+    pivot_direction,
+)
+from repro.protocols.policies.base import (
+    LEFT,
+    RIGHT,
+    aligned_vector,
+    common_dists,
+    run_vector,
+)
+from repro.types import Model
+
+
+def _run_structured_round(
+    sched: Scheduler,
+    moves_right: DirectionMap,
+    rho: int,
+    rotation: int,
+    systems: List[EquationSystem],
+) -> None:
+    """Execute one scheduled round and harvest each slot's equations."""
+    population = sched.population
+    labels = population.column(KEY_LABEL)
+    flips = population.column(KEY_FRAME_FLIP)
+    n_ring = population.column(KEY_RING_SIZE)[0]
+
+    commons = [
+        RIGHT if moves_right(label - 1) else LEFT for label in labels
+    ]
+    obs = run_vector(sched, aligned_vector(flips, commons))
+
+    dists = common_dists(flips, obs)
+    for slot in range(population.n):
+        label0 = labels[slot] - 1
+        system = systems[slot]
+        if rotation % n_ring != 0:
+            system.add(
+                Equation.window(
+                    n_ring,
+                    (label0 + rho) % n_ring,
+                    rotation,
+                    Fraction(1),
+                    dists[slot],
+                )
+            )
+        window = coll_window(n_ring, moves_right, label0, rho)
+        if window is not None and obs[slot].coll is not None:
+            start, hops = window
+            system.add(
+                Equation.window(
+                    n_ring, start, hops, Fraction(1), 2 * obs[slot].coll
+                )
+            )
+
+
+def discover_distances(sched: Scheduler) -> int:
+    """Native twin of Algorithm 6.  Returns the rounds used (n/2 + 3);
+    postcondition: every agent's gap vector under ``ld.gaps``."""
+    if sched.model is not Model.PERCEPTIVE:
+        raise ProtocolError("Distances requires the perceptive model")
+    population = sched.population
+    for key in (KEY_LABEL, KEY_RING_SIZE, KEY_FRAME_FLIP):
+        if not population.all_set(key):
+            raise ProtocolError(f"Distances requires {key} to be set")
+    n = population.column(KEY_RING_SIZE)[0]
+    if n % 2 != 0:
+        raise ProtocolError(
+            "Distances requires even n; use the rotation sweeps for odd n"
+        )
+
+    systems = [EquationSystem(n) for _ in range(population.n)]
+
+    before = sched.rounds
+    for i in range(1, n // 2 + 1):
+        exception = n - 2 * (i - 1)
+        rho = (2 * (i - 1)) % n
+        _run_structured_round(
+            sched, convolution_direction(n, exception), rho, 2, systems
+        )
+    # Cumulative rotation is now n = 0 (mod n): initial configuration.
+    for j in (n, n - 1, n - 2):
+        _run_structured_round(sched, pivot_direction(n, j), 0, 0, systems)
+
+    labels = population.column(KEY_LABEL)
+    gaps_column: List[List[Fraction]] = []
+    for slot, system in enumerate(systems):
+        if not system.full_rank:
+            raise ProtocolError(
+                f"agent {population.ids[slot]} ended with rank "
+                f"{system.rank} < {n}; the Convolution/Pivot schedule "
+                "should reach full rank"
+            )
+        x = system.solve()
+        label0 = labels[slot] - 1
+        gaps_column.append([x[(label0 + k) % n] for k in range(n)])
+    population.set_column(KEY_LD_GAPS, gaps_column)
+    return sched.rounds - before

@@ -1,0 +1,111 @@
+"""Native walk-based location-discovery sweeps (vectorised twin of
+:mod:`repro.protocols.location_discovery`)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.analysis.linear_system import solve_cyclic_pair_sums
+from repro.core.population import MISSING
+from repro.core.scheduler import Scheduler
+from repro.exceptions import InfeasibleProblemError, ProtocolError
+from repro.protocols.base import KEY_FRAME_FLIP, KEY_LD_GAPS, KEY_LEADER
+from repro.protocols.policies.base import (
+    IDLE,
+    LEFT,
+    RIGHT,
+    aligned_vector,
+    common_dists,
+    require_column,
+    run_vector,
+)
+from repro.types import Model
+
+
+def _leader_and_flips(sched: Scheduler):
+    population = sched.population
+    leaders = population.get_column(KEY_LEADER)
+    is_leader = (
+        [False] * population.n
+        if leaders is None
+        else [cell is not MISSING and bool(cell) for cell in leaders]
+    )
+    if not any(is_leader):
+        raise ProtocolError("location discovery sweep requires a leader")
+    flips = require_column(
+        population,
+        KEY_FRAME_FLIP,
+        "location discovery sweep requires a common frame",
+    )
+    return is_leader, flips
+
+
+def sweep_rotation_one(sched: Scheduler) -> int:
+    """Native twin of the lazy-model rotation-1 sweep (Lemma 16)."""
+    if sched.model is not Model.LAZY:
+        raise ProtocolError("rotation-1 sweep requires the lazy model")
+    is_leader, flips = _leader_and_flips(sched)
+    population = sched.population
+    n = population.n
+    vector = aligned_vector(
+        flips, [RIGHT if lead else IDLE for lead in is_leader]
+    )
+    collected: List[List[Fraction]] = [[] for _ in range(n)]
+
+    rounds = 0
+    while True:
+        obs = run_vector(sched, vector)
+        rounds += 1
+        for slot, d in enumerate(common_dists(flips, obs)):
+            collected[slot].append(d)
+        # Completion is a local test: a full turn of gaps has been seen.
+        if sum(collected[0], Fraction(0)) == 1:
+            break
+        if rounds > 4 * sched.state.n + 8:
+            raise ProtocolError("rotation-1 sweep failed to close: bug")
+
+    for gaps in collected:
+        if sum(gaps, Fraction(0)) != 1:
+            raise ProtocolError("agent's sweep did not cover a full turn")
+    population.set_column(KEY_LD_GAPS, collected)
+    return rounds
+
+
+def sweep_rotation_two(sched: Scheduler) -> int:
+    """Native twin of the basic-model rotation-2 sweep (odd n)."""
+    population = sched.population
+    if population.parity_even:
+        raise InfeasibleProblemError(
+            "location discovery in the basic model is unsolvable for even n"
+        )
+    is_leader, flips = _leader_and_flips(sched)
+    n = population.n
+    vector = aligned_vector(
+        flips, [RIGHT if lead else LEFT for lead in is_leader]
+    )
+    collected: List[List[Fraction]] = [[] for _ in range(n)]
+
+    rounds = 0
+    while True:
+        obs = run_vector(sched, vector)
+        rounds += 1
+        for slot, d in enumerate(common_dists(flips, obs)):
+            collected[slot].append(d)
+        # n pair sums cover every gap exactly twice (odd n): total 2.
+        if sum(collected[0], Fraction(0)) == 2:
+            break
+        if rounds > 4 * sched.state.n + 8:
+            raise ProtocolError("rotation-2 sweep failed to close: bug")
+
+    gaps_column: List[List[Fraction]] = []
+    for pair_sums in collected:
+        count = len(pair_sums)
+        # Round t was observed from slot (own + 2t): reorder the pair
+        # sums into consecutive-j form before inverting the circulant.
+        ordered: List[Fraction] = [Fraction(0)] * count
+        for t, value in enumerate(pair_sums):
+            ordered[(2 * t) % count] = value
+        gaps_column.append(solve_cyclic_pair_sums(ordered))
+    population.set_column(KEY_LD_GAPS, gaps_column)
+    return rounds

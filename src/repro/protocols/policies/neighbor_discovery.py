@@ -1,0 +1,114 @@
+"""Native neighbor discovery (vectorised twin of
+:mod:`repro.protocols.neighbor_discovery`).
+
+Algorithm 3's whole round plan is static -- 4 rounds per ID bit plus 4
+uniform rounds -- so :class:`NeighborDiscoveryPolicy` precomputes every
+probe vector from the ID column at construction time; harvests file
+collision observations per side, and :meth:`finalize` posts the gap and
+relative-chirality columns.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro.core.agent import id_bits
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.neighbor_discovery import (
+    KEY_GAP_LEFT,
+    KEY_GAP_RIGHT,
+    KEY_SAME_LEFT,
+    KEY_SAME_RIGHT,
+)
+from repro.protocols.policies.base import (
+    LEFT,
+    PhasePolicy,
+    RIGHT,
+    Vector,
+    opposite_vector,
+)
+from repro.types import Model, Observation
+
+
+class NeighborDiscoveryPolicy(PhasePolicy):
+    """Algorithm 3 as one native policy: learn both gaps and both
+    neighbors' relative chirality in ``4 * id_bits(N) + 4`` rounds."""
+
+    def __init__(self, sched: Scheduler) -> None:
+        if sched.model is not Model.PERCEPTIVE:
+            raise ProtocolError(
+                "neighbor discovery requires the perceptive model"
+            )
+        super().__init__(sched)
+        population = self.population
+        n = self.n
+        ids = population.ids
+        self._right_obs: List[List[Fraction]] = [[] for _ in range(n)]
+        self._left_obs: List[List[Fraction]] = [[] for _ in range(n)]
+        self._uniform_r: Optional[List[Optional[Fraction]]] = None
+        self._uniform_l: Optional[List[Optional[Fraction]]] = None
+
+        for bit in range(id_bits(population.id_bound)):
+            vector = [
+                RIGHT if (agent_id >> bit) & 1 else LEFT
+                for agent_id in ids
+            ]
+            self._push_probe(vector)
+            self._push_probe(opposite_vector(vector))
+        self._push_probe([RIGHT] * n, uniform="r")
+        self._push_probe([LEFT] * n, uniform="l")
+
+    def _push_probe(
+        self, vector: Vector, uniform: Optional[str] = None
+    ) -> None:
+        """Information round + REVERSEDROUND; the harvest files each
+        slot's coll() by the direction that slot moved."""
+
+        def harvest(obs: Sequence[Observation]) -> None:
+            right_obs = self._right_obs
+            left_obs = self._left_obs
+            for i, o in enumerate(obs):
+                if o.coll is not None:
+                    (right_obs if vector[i] is RIGHT else left_obs)[
+                        i
+                    ].append(o.coll)
+            if uniform == "r":
+                self._uniform_r = [o.coll for o in obs]
+            elif uniform == "l":
+                self._uniform_l = [o.coll for o in obs]
+
+        self.push_probe(vector, harvest)
+
+    def finalize(self) -> None:
+        population = self.population
+        gap_right: List[Fraction] = []
+        gap_left: List[Fraction] = []
+        same_right: List[bool] = []
+        same_left: List[bool] = []
+        for i in range(self.n):
+            right_obs = self._right_obs[i]
+            left_obs = self._left_obs[i]
+            if not right_obs or not left_obs:
+                raise ProtocolError(
+                    f"agent {population.ids[i]} saw no collision on one "
+                    "side; impossible for n > 4 with unique IDs"
+                )
+            gr = 2 * min(right_obs)
+            gl = 2 * min(left_obs)
+            gap_right.append(gr)
+            gap_left.append(gl)
+            # Chirality: in the all-RIGHT round my right neighbor
+            # approached me iff it is flipped relative to me.
+            same_right.append(self._uniform_r[i] != gr / 2)
+            same_left.append(self._uniform_l[i] != gl / 2)
+        population.set_column(KEY_GAP_RIGHT, gap_right)
+        population.set_column(KEY_GAP_LEFT, gap_left)
+        population.set_column(KEY_SAME_RIGHT, same_right)
+        population.set_column(KEY_SAME_LEFT, same_left)
+
+
+def discover_neighbors(sched: Scheduler) -> None:
+    """Native twin of Algorithm 3 (see :class:`NeighborDiscoveryPolicy`)."""
+    NeighborDiscoveryPolicy(sched).run()

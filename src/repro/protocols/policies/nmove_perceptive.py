@@ -1,0 +1,131 @@
+"""Native NMoveS (vectorised twin of
+:mod:`repro.protocols.nmove_perceptive`).
+
+Same Algorithm 4 skeleton: probe all-own-RIGHT, fall back to neighbor
+discovery + doubling local-leader sparsification (native relay floods)
++ seeded selective-family probes.  :class:`SelectiveFamilyProbePolicy`
+is one family-set probe as a whole-population policy: the vector comes
+from the local-leader column and the published member set, and the
+Lemma 2 classification extends the plan round by round.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.combinatorics.selective_families import scale_family
+from repro.core.agent import id_bits
+from repro.core.population import MISSING
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.bitcomm import KEY_RECEIVED
+from repro.protocols.nmove_perceptive import (
+    KEY_LOCAL_LEADER,
+    SELECTIVE_SEED,
+)
+from repro.protocols.policies.base import (
+    LEFT,
+    PhasePolicy,
+    RIGHT,
+)
+from repro.protocols.policies.bitcomm import RelayFloodPolicy
+from repro.protocols.policies.neighbor_discovery import discover_neighbors
+from repro.protocols.policies.nontrivial_move import (
+    classify_nontrivial,
+    store_direction,
+)
+from repro.types import Model
+
+
+class SelectiveFamilyProbePolicy(PhasePolicy):
+    """Probe one selective-family set: local leaders with ID in the set
+    play own-LEFT, everyone else own-RIGHT; classify via Lemma 2 and,
+    if the round is nontrivial, publish it under ``nmove.dir``.
+
+    After :meth:`run`, :attr:`nontrivial` holds the verdict.  4 rounds
+    when the probed round is nontrivial or a half-turn, 2 when trivial
+    -- exactly the legacy ``_family_probe`` cost.
+    """
+
+    def __init__(self, sched: Scheduler, member_ids: Iterable[int]) -> None:
+        super().__init__(sched)
+        population = self.population
+        members = set(member_ids)
+        leaders = population.get_column(KEY_LOCAL_LEADER)
+        self._vector = [
+            LEFT
+            if (
+                leaders is not None
+                and leaders[i] is not MISSING
+                and leaders[i]
+                and agent_id in members
+            )
+            else RIGHT
+            for i, agent_id in enumerate(population.ids)
+        ]
+        self.nontrivial: Optional[bool] = None
+        self.push_classify(self._vector, weak=False, on_verdict=self._set)
+
+    def _set(self, nontrivial: bool) -> None:
+        self.nontrivial = nontrivial
+
+    def finalize(self) -> None:
+        if self.nontrivial:
+            store_direction(self.sched, self._vector)
+
+
+def nmove_perceptive(sched: Scheduler) -> dict:
+    """Native twin of Algorithm 4.  Postcondition: ``nmove.dir`` set for
+    every agent; returns the same stats dict as the legacy driver."""
+    if sched.model is not Model.PERCEPTIVE:
+        raise ProtocolError("NMoveS requires the perceptive model")
+
+    population = sched.population
+    stats = {"levels": 0, "family_probes": 0, "rounds_start": sched.rounds}
+
+    all_right = [RIGHT] * population.n
+    if classify_nontrivial(sched, all_right, weak=False):
+        store_direction(sched, all_right)
+        stats["rounds"] = sched.rounds - stats.pop("rounds_start")
+        return stats
+
+    discover_neighbors(sched)
+    leaders = population.fill(KEY_LOCAL_LEADER, True)
+
+    n_bound = population.id_bound
+    width = id_bits(n_bound)
+    max_level = width + 1
+    for level in range(max_level + 1):
+        distance = 1 << level
+        stats["levels"] = level + 1
+
+        RelayFloodPolicy(
+            sched,
+            [
+                agent_id if leaders[i] else None
+                for i, agent_id in enumerate(population.ids)
+            ],
+            distance=distance,
+            width=width,
+        ).run()
+
+        received = population.column(KEY_RECEIVED)
+        for i, agent_id in enumerate(population.ids):
+            if leaders[i] and any(
+                value > agent_id for _s, _h, value in received[i]
+            ):
+                leaders[i] = False
+
+        family = scale_family(n_bound, distance, seed=SELECTIVE_SEED + level)
+        for f in family:
+            stats["family_probes"] += 1
+            probe = SelectiveFamilyProbePolicy(sched, f)
+            probe.run()
+            if probe.nontrivial:
+                stats["rounds"] = sched.rounds - stats.pop("rounds_start")
+                return stats
+
+    raise ProtocolError(
+        "NMoveS exhausted all levels without a nontrivial move; the "
+        "selective family seed failed (bug or astronomically unlucky seed)"
+    )

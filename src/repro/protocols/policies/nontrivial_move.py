@@ -1,0 +1,95 @@
+"""Native nontrivial-move search (vectorised twin of
+:mod:`repro.protocols.nontrivial_move`).
+
+The Lemma 2 classification core lives in
+:meth:`~repro.protocols.policies.base.PhasePolicy.push_classify`; this
+module wires it to the Lemma 10 leader rounds and the Theorem 27
+published distinguisher sequence, mirroring the legacy probes round for
+round (including the data-dependent 2-vs-4 round cost per probe).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.population import MISSING
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ProtocolError
+from repro.protocols.base import KEY_LEADER, KEY_NMOVE_DIR
+from repro.protocols.nontrivial_move import FAMILY_SEED, MAX_FAMILY_PROBES
+from repro.protocols.policies.base import (
+    LEFT,
+    PhasePolicy,
+    RIGHT,
+    Vector,
+)
+from repro.types import LocalDirection
+
+
+def classify_nontrivial(
+    sched: Scheduler, vector: Sequence[LocalDirection], weak: bool
+) -> bool:
+    """Probe one vector's round; True iff it is a (weak) nontrivial
+    move.  Native twin of ``nontrivial_move._classify`` (1 + 1 rounds
+    when the rotation is zero, else 2 + 2)."""
+    policy = PhasePolicy(sched)
+    result: List[bool] = []
+    policy.push_classify(list(vector), weak, result.append)
+    policy.run()
+    return result[0]
+
+
+def store_direction(sched: Scheduler, vector: Sequence[LocalDirection]) -> None:
+    """Publish the winning round under ``nmove.dir`` (one column write)."""
+    sched.population.set_column(KEY_NMOVE_DIR, list(vector))
+
+
+def nmove_from_leader(sched: Scheduler) -> None:
+    """Native twin of Lemma 10: try all-RIGHT, then
+    all-RIGHT-except-leader."""
+    population = sched.population
+    leaders = population.get_column(KEY_LEADER)
+    all_right: Vector = [RIGHT] * population.n
+    if leaders is None:
+        all_right_but_leader = list(all_right)
+    else:
+        all_right_but_leader = [
+            LEFT if cell is not MISSING and cell else RIGHT
+            for cell in leaders
+        ]
+    for vector in (all_right, all_right_but_leader):
+        if classify_nontrivial(sched, vector, weak=False):
+            store_direction(sched, vector)
+            return
+    raise ProtocolError(
+        "neither candidate round was nontrivial; impossible for n > 4 "
+        "with a unique leader (Lemma 10)"
+    )
+
+
+def nmove_seeded_family(
+    sched: Scheduler,
+    weak: bool = False,
+    seed: int = FAMILY_SEED,
+    max_probes: Optional[int] = None,
+) -> int:
+    """Native twin of Theorem 27: probe the published pseudo-random set
+    sequence until a (weak) nontrivial move appears."""
+    rng = random.Random(seed)
+    limit = max_probes if max_probes is not None else MAX_FAMILY_PROBES
+    population = sched.population
+    ids = population.ids
+    n_bound = population.id_bound
+    for probe in range(1, limit + 1):
+        draw = rng.getrandbits(n_bound + 1)
+        vector = [
+            RIGHT if (draw >> agent_id) & 1 else LEFT for agent_id in ids
+        ]
+        if classify_nontrivial(sched, vector, weak=weak):
+            store_direction(sched, vector)
+            return probe
+    raise ProtocolError(
+        f"no nontrivial move within {limit} probes; the published "
+        "sequence guarantee failed (bug or adversarial seed collision)"
+    )

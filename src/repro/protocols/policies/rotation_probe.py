@@ -1,0 +1,126 @@
+"""Native rotation-index probes (vectorised twin of
+:mod:`repro.protocols.rotation_probe`).
+
+:class:`RotationProbePolicy` runs the probe-zero test (1 round + 1
+restore) or the Lemma 2 classification (2 + 2) over one precomputed
+direction vector, writing the same ``probe.zero`` / ``probe.class``
+memory columns as the legacy per-agent driver.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.core.scheduler import Scheduler
+from repro.protocols.policies.base import (
+    PhasePolicy,
+    REPEAT,
+    RESTORE,
+    RIGHT,
+    Vector,
+)
+from repro.protocols.rotation_probe import (
+    KEY_PROBE_CLASS,
+    KEY_PROBE_ZERO,
+    RotationClass,
+)
+from repro.types import LocalDirection, Observation
+
+
+class RotationProbePolicy(PhasePolicy):
+    """Probe one fixed round's rotation index, restoring positions.
+
+    With ``classify=False`` (the RI-zero test): run the round once and
+    post ``probe.zero`` -- 2 rounds with ``restore``.  With
+    ``classify=True`` (Lemma 2): run it twice and post the per-slot
+    :class:`~repro.protocols.rotation_probe.RotationClass` under
+    ``probe.class`` -- 4 rounds with ``restore``.
+
+    After :meth:`run`, :attr:`zero` / :attr:`verdict` hold the slot-0
+    answer (triviality is consensus).
+    """
+
+    def __init__(
+        self,
+        sched: Scheduler,
+        vector: Sequence[LocalDirection],
+        classify: bool = False,
+        restore: bool = True,
+    ) -> None:
+        super().__init__(sched)
+        vector = list(vector)
+        self.zero: Optional[bool] = None
+        self.verdict: Optional[RotationClass] = None
+        self._d1: Optional[List] = None
+        if classify:
+            self.push(vector, self._harvest_first)
+            self.push(REPEAT, self._harvest_second)
+            if restore:
+                self.push(RESTORE)
+                self.push(REPEAT)
+        else:
+            self.push(vector, self._harvest_zero)
+            if restore:
+                self.push(RESTORE)
+
+    def _harvest_zero(self, obs: Sequence[Observation]) -> None:
+        self.population.set_column(
+            KEY_PROBE_ZERO, [o.dist == 0 for o in obs]
+        )
+        self.zero = obs[0].dist == 0
+
+    def _harvest_first(self, obs: Sequence[Observation]) -> None:
+        self._d1 = [o.dist for o in obs]
+
+    def _harvest_second(self, obs: Sequence[Observation]) -> None:
+        verdicts = []
+        for d1, o in zip(self._d1, obs):
+            total = d1 + o.dist
+            if d1 == 0:
+                verdicts.append(RotationClass.ZERO)
+            elif total == 1:
+                verdicts.append(RotationClass.HALF)
+            elif total < 1:
+                verdicts.append(RotationClass.BELOW_HALF)
+            else:
+                verdicts.append(RotationClass.ABOVE_HALF)
+        self.population.set_column(KEY_PROBE_CLASS, verdicts)
+        self.verdict = verdicts[0]
+        self._d1 = None
+
+
+def probe_zero(
+    sched: Scheduler, vector: Sequence[LocalDirection], restore: bool = True
+) -> bool:
+    """Native twin of :func:`repro.protocols.rotation_probe.probe_zero`."""
+    return RotationProbePolicy(sched, vector, restore=restore).run().zero
+
+
+def classify_rotation(
+    sched: Scheduler, vector: Sequence[LocalDirection], restore: bool = True
+) -> RotationClass:
+    """Native twin of
+    :func:`repro.protocols.rotation_probe.classify_rotation`; returns
+    the slot-0 verdict (triviality is consensus)."""
+    policy = RotationProbePolicy(sched, vector, classify=True,
+                                 restore=restore)
+    return policy.run().verdict
+
+
+def membership_vector(
+    ids: Sequence[int],
+    members: Set[int],
+    member_dir: LocalDirection = RIGHT,
+) -> Vector:
+    """Column form of
+    :func:`repro.protocols.rotation_probe.membership_choice`."""
+    other = member_dir.opposite()
+    return [member_dir if i in members else other for i in ids]
+
+
+def ri_is_zero(
+    sched: Scheduler, members: Set[int], restore: bool = True
+) -> bool:
+    """Native twin of :func:`repro.protocols.rotation_probe.ri_is_zero`."""
+    vector = membership_vector(sched.population.ids, members)
+    return probe_zero(sched, vector, restore=restore)
