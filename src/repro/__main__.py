@@ -22,6 +22,8 @@ Usage::
     python -m repro bench [--n 64] [--rounds 256] [--out BENCH.json]
     python -m repro bench-policies [--sizes 64,256,1024]
                                    [--out BENCH.json]
+    python -m repro bench-array [--sizes 1024,4096,16384]
+                                [--out BENCH.json]
     python -m repro bench-fleet [--sessions 16] [--n 24] [--workers 4]
                                 [--out BENCH.json]
 
@@ -286,6 +288,21 @@ def _cmd_bench_policies(args: argparse.Namespace) -> None:
         print(f"wrote {args.out}")
 
 
+def _cmd_bench_array(args: argparse.Namespace) -> None:
+    from repro.experiments.harness import array_shootout
+
+    report = array_shootout(
+        sizes=tuple(_sizes(args.sizes)), seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+
 def _cmd_bench_fleet(args: argparse.Namespace) -> None:
     from repro.experiments.harness import fleet_shootout
 
@@ -443,6 +460,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write the JSON report to this path"
     )
     bp.set_defaults(fn=_cmd_bench_policies)
+
+    ba = sub.add_parser(
+        "bench-array",
+        help="time the array backend's fused stretches against the "
+        "lattice backend on large rings",
+    )
+    ba.add_argument("--sizes", default="1024,4096,16384")
+    ba.add_argument("--seed", type=int, default=11)
+    ba.add_argument("--repeats", type=int, default=2)
+    ba.add_argument(
+        "--out", default=None, help="also write the JSON report to this path"
+    )
+    ba.set_defaults(fn=_cmd_bench_array)
 
     bf = sub.add_parser(
         "bench-fleet",

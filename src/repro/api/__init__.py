@@ -24,6 +24,7 @@ from repro.api.policy import (
     FunctionPolicy,
     PerAgentPolicy,
     Policy,
+    Stretch,
     VectorPolicy,
     as_policy,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "RingSession",
     "RunReport",
     "SessionSpec",
+    "Stretch",
     "VectorPolicy",
     "as_policy",
     "get_protocol",

@@ -40,7 +40,9 @@ class SessionSpec:
     """One session of a fleet, as plain (picklable, JSON-able) data.
 
     Mirrors the :class:`~repro.api.session.RingSession` builder
-    arguments; ``protocol`` names a registry entry.
+    arguments; ``protocol`` names a registry entry and ``backend`` any
+    registered kinematics backend (``lattice``, ``fraction`` or
+    ``array``).
     """
 
     n: int

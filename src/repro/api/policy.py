@@ -25,13 +25,34 @@ from typing import Callable, List, Sequence, Union
 from repro.core.agent import AgentView
 from repro.core.scheduler import ChoiceFn
 from repro.exceptions import ProtocolError
+from repro.ring.stretch import Stretch
 from repro.types import LocalDirection, RoundOutcome
 
 PolicyLike = Union["Policy", ChoiceFn]
 
+__all__ = [
+    "ChoiceFn",
+    "FixedPolicy",
+    "FunctionPolicy",
+    "PerAgentPolicy",
+    "Policy",
+    "PolicyLike",
+    "Stretch",
+    "VectorPolicy",
+    "as_policy",
+]
+
 
 class Policy(ABC):
-    """Decides one round's directions for the entire population."""
+    """Decides one round's directions for the entire population.
+
+    ``decide`` may alternatively return a
+    :class:`~repro.ring.stretch.Stretch` -- a plan of several rounds
+    whose vectors are known up front.  The scheduler executes the whole
+    span in one backend call (fused on stretch-capable backends) and
+    invokes ``observe_stretch`` (or replays ``observe`` round by round)
+    with the span's columnar outcome.
+    """
 
     @abstractmethod
     def decide(self, views: Sequence[AgentView]) -> List[LocalDirection]:

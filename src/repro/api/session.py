@@ -7,6 +7,11 @@ backend) and the protocol registry behind a single builder::
                           seed=7)
     result = session.run("location-discovery")
 
+``backend=`` accepts ``"lattice"`` (default), ``"fraction"`` (exact
+reference) or ``"array"`` (whole-column fused stretches for large
+rings; numpy-accelerated when numpy is installed) -- results are
+bit-identical across all three for both drivers.
+
 Sessions can also wrap existing objects (:meth:`RingSession.from_state`,
 :meth:`RingSession.from_scheduler`), plan a protocol without running it
 (:meth:`plan`), execute it phase by phase (:meth:`step` /

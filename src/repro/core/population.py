@@ -25,7 +25,7 @@ an agent's slot index) is unchanged and still rests on the protocols.
 
 from __future__ import annotations
 
-from collections.abc import MutableMapping
+from collections.abc import MutableMapping, Sequence as SequenceABC
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.types import Observation
@@ -33,6 +33,112 @@ from repro.types import Observation
 #: Sentinel for "this slot has not set this key" (``None`` is a real,
 #: storable value for several protocol keys, e.g. ``ringdist.label``).
 MISSING = type("_Missing", (), {"__repr__": lambda self: "<missing>"})()
+
+
+class LazyObsRow(SequenceABC):
+    """One round's observations, materialised only when read.
+
+    Wraps a stretch outcome (see :mod:`repro.ring.stretch`) and a round
+    index; the per-agent :class:`~repro.types.Observation` tuple is
+    built on first access and cached (on the stretch outcome, so rows
+    shared between the history and ``last_obs`` materialise once).
+    Restore rounds of a fused span are typically never read, so they
+    never materialise at all.
+    """
+
+    __slots__ = ("_result", "_j")
+
+    def __init__(self, result, j: int) -> None:
+        self._result = result
+        self._j = j
+
+    def _cells(self):
+        return self._result.observations(self._j)
+
+    def __getitem__(self, index):
+        return self._cells()[index]
+
+    def __len__(self) -> int:
+        return self._result.n
+
+    def __iter__(self):
+        return iter(self._cells())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (LazyObsRow, tuple, list)):
+            return tuple(self._cells()) == tuple(other)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(tuple(self._cells()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return repr(tuple(self._cells()))
+
+
+class RoundHistory:
+    """All executed rounds' observation rows, in round order.
+
+    The scheduler appends one *row* (slot-indexed observation sequence)
+    per executed round -- a materialised tuple on the scalar path, a
+    :class:`LazyObsRow` for fused stretches.  Agent logs are
+    per-slot column views over this store (:class:`AgentLog`), so
+    recording a round is O(1) instead of one append per agent.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self) -> None:
+        self._rows: List[Sequence[Observation]] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def append(self, row: Sequence[Observation]) -> None:
+        self._rows.append(row)
+
+    def row(self, r: int) -> Sequence[Observation]:
+        return self._rows[r]
+
+
+class AgentLog(SequenceABC):
+    """One agent's observation log: a slot column over the history.
+
+    List-compatible for everything protocols and tests do with logs
+    (indexing, iteration, ``len``, equality with lists); reading an
+    entry of a fused-stretch round materialises that round's row once,
+    shared across all agents.
+    """
+
+    __slots__ = ("_history", "_slot")
+
+    def __init__(self, history: RoundHistory, slot: int) -> None:
+        self._history = history
+        self._slot = slot
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    def __getitem__(self, index):
+        rows = self._history._rows
+        if isinstance(index, slice):
+            return [row[self._slot] for row in rows[index]]
+        return rows[index][self._slot]
+
+    def __iter__(self):
+        slot = self._slot
+        for row in self._history._rows:
+            yield row[slot]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (AgentLog, list, tuple)):
+            if len(self) != len(other):
+                return False
+            return all(a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return repr(list(self))
 
 
 class Population:
@@ -53,7 +159,7 @@ class Population:
     """
 
     __slots__ = ("n", "ids", "id_bound", "parity_even", "_columns",
-                 "last_obs")
+                 "last_obs", "history")
 
     def __init__(
         self,
@@ -70,6 +176,7 @@ class Population:
         self.parity_even = parity_even
         self._columns: Dict[str, List[Any]] = {}
         self.last_obs: Optional[Sequence[Observation]] = None
+        self.history = RoundHistory()
 
     # -- scheduler interface --------------------------------------------
 
@@ -79,9 +186,28 @@ class Population:
             raise IndexError(f"slot {index} out of range for n={self.n}")
         return MemorySlot(self, index)
 
+    def log_view(self, index: int) -> AgentLog:
+        """The per-agent log view for slot ``index``."""
+        return AgentLog(self.history, index)
+
     def observe(self, observations: Sequence[Observation]) -> None:
         """Record the latest round's observations (slot order)."""
         self.last_obs = observations
+
+    def record_round(self, observations: Sequence[Observation]) -> None:
+        """File one executed round: history row plus ``last_obs``."""
+        self.history.append(observations)
+        self.last_obs = observations
+
+    def record_stretch(self, result) -> None:
+        """File a fused stretch: one lazy history row per round."""
+        history = self.history
+        row = None
+        for j in range(result.k):
+            row = LazyObsRow(result, j)
+            history.append(row)
+        if row is not None:
+            self.last_obs = row
 
     # -- column interface (native policies) -----------------------------
 

@@ -24,7 +24,16 @@ and maps chiralities once for the whole batch; both lean on the
 kinematics backend's memoised per-velocity-pattern tables (see
 :mod:`repro.ring.backends`), so long homogeneous stretches -- sweeps,
 probes, restore sequences -- execute without re-deriving anything.
-Backend selection (``backend="lattice"|"fraction"``) threads through to
+
+Fused stretches: a policy's ``decide`` may return a whole
+:class:`~repro.ring.stretch.Stretch` plan instead of one vector; the
+scheduler executes the span through the backend in a single call
+(closed-form and columnar on ``backend="array"``), files one *lazy*
+history row per round -- agent logs materialise observations only when
+read -- and notifies the policy once via ``observe_stretch``.
+``run_fixed`` routes through the same path on stretch-capable
+backends.  Backend selection
+(``backend="lattice"|"fraction"|"array"``) threads through to
 :class:`~repro.ring.simulator.RingSimulator`.
 """
 
@@ -38,6 +47,7 @@ from repro.exceptions import SimulationError
 from repro.ring.backends import BackendSpec
 from repro.ring.simulator import RingSimulator
 from repro.ring.state import RingState
+from repro.ring.stretch import Stretch
 from repro.types import LocalDirection, Model, RoundOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime cycle)
@@ -89,6 +99,7 @@ class Scheduler:
                 parity_even=state.parity_even,
                 model=model,
                 memory=self.population.slot(i),
+                log=self.population.log_view(i),
             )
             for i in range(state.n)
         ]
@@ -104,18 +115,47 @@ class Scheduler:
         """Rounds executed so far (the paper's cost measure)."""
         return self.simulator.rounds_executed
 
-    def _decide(self, choose: PolicyLike) -> List[LocalDirection]:
+    @property
+    def supports_stretch(self) -> bool:
+        """Whether the backend executes fused stretches natively."""
+        return getattr(self.simulator.backend, "supports_stretch", False)
+
+    @property
+    def array_module(self):
+        """The numpy module when the backend exposes vectorised stretch
+        columns through it, else None.  Native policies key their
+        internal representation (sign rows, integer columns) off this.
+
+        None also when the backend cannot fuse with int64 columns (a
+        shared denominator past 2^61): policies then keep their exact
+        legacy plans instead of building integer mirrors that would
+        collide with sentinels or overflow int64.
+        """
+        if not self.supports_stretch:
+            return None
+        backend = self.simulator.backend
+        if not getattr(backend, "_fusable", False):
+            return None
+        return getattr(backend, "np", None)
+
+    def _decide(self, choose: PolicyLike):
         """One round's direction vector from a policy or a choice fn.
 
         A :class:`~repro.api.policy.Policy` (recognised structurally via
         its ``decide`` attribute, so this module never imports the api
         package) is consulted once for the whole population; a bare
-        callable is consulted once per agent.
+        callable is consulted once per agent.  A policy may return a
+        :class:`~repro.ring.stretch.Stretch` plan instead of a single
+        vector; it is passed through for :meth:`run_round` to execute
+        as a fused span.
         """
         decide = getattr(choose, "decide", None)
         if decide is None:
             return [choose(view) for view in self.views]
-        directions = list(decide(self.views))
+        directions = decide(self.views)
+        if isinstance(directions, Stretch):
+            return directions
+        directions = list(directions)
         if len(directions) != len(self.views):
             raise SimulationError(
                 f"policy returned {len(directions)} directions for "
@@ -140,25 +180,59 @@ class Scheduler:
             policies can post population-level results back to columns
             without per-agent dispatch.
         """
-        directions = self._decide(choose)
-        outcome = self.simulator.execute(directions)
-        for view, obs in zip(self.views, outcome.observations):
-            view.log.append(obs)
-        self.population.observe(outcome.observations)
+        decision = self._decide(choose)
+        if isinstance(decision, Stretch):
+            return self._run_stretch(choose, decision)
+        outcome = self.simulator.execute(decision)
+        self.population.record_round(outcome.observations)
         observe = getattr(choose, "observe", None)
         if observe is not None:
             observe(self.views, outcome)
         return outcome
 
+    def _run_stretch(self, choose: PolicyLike, stretch: Stretch):
+        """Execute a fused span a policy returned from ``decide``.
+
+        The span's rounds are filed in the history as lazy rows (agent
+        logs materialise them only when read).  A policy defining
+        ``observe_stretch`` gets the whole stretch outcome in one call;
+        otherwise its per-round ``observe`` hook is replayed round by
+        round with materialised outcomes.  Returns the stretch outcome.
+        """
+        result = self.simulator.execute_stretch(stretch)
+        self.population.record_stretch(result)
+        observe_stretch = getattr(choose, "observe_stretch", None)
+        if observe_stretch is not None:
+            observe_stretch(self.views, result)
+        else:
+            observe = getattr(choose, "observe", None)
+            if observe is not None:
+                for j in range(result.k):
+                    observe(self.views, result.outcome(j))
+        return result
+
     def run_rounds(self, choose: PolicyLike, k: int) -> List[RoundOutcome]:
-        """Execute ``k`` policy- or choice-driven rounds; returns all
-        outcomes.
+        """Execute at least ``k`` policy- or choice-driven rounds;
+        returns one :class:`RoundOutcome` per executed round.
 
         The policy is re-consulted every round (protocol state may
         change), but repeated direction patterns hit the backend's
         memoised tables, so homogeneous stretches run at batched speed.
+        A policy that returns a fused :class:`~repro.ring.stretch.
+        Stretch` from ``decide`` contributes all of that span's rounds
+        (materialised here); a stretch straddling the ``k``-th round is
+        executed whole, so the result may hold more than ``k`` entries.
         """
-        return [self.run_round(choose) for _ in range(k)]
+        outcomes: List[RoundOutcome] = []
+        while len(outcomes) < k:
+            result = self.run_round(choose)
+            if isinstance(result, RoundOutcome):
+                outcomes.append(result)
+            else:
+                outcomes.extend(
+                    result.outcome(j) for j in range(result.k)
+                )
+        return outcomes
 
     def run_fixed(
         self, direction: LocalDirection, k: int = 1
@@ -172,12 +246,16 @@ class Scheduler:
         if k < 1:
             raise ValueError("run_fixed requires k >= 1")
         directions = [direction] * self.state.n
+        if self.supports_stretch and not self.simulator.cross_validate:
+            result = self.simulator.execute_stretch(
+                Stretch(directions, k)
+            )
+            self.population.record_stretch(result)
+            return result.outcome(result.k - 1)
         outcomes = self.simulator.execute_batch(directions, k)
-        views = self.views
+        population = self.population
         for outcome in outcomes:
-            for view, obs in zip(views, outcome.observations):
-                view.log.append(obs)
-        self.population.observe(outcomes[-1].observations)
+            population.record_round(outcome.observations)
         return outcomes[-1]
 
     def for_each_agent(self, fn: Callable[[AgentView], None]) -> None:

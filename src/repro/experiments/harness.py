@@ -329,6 +329,151 @@ def policy_shootout(
     }
 
 
+def _array_workload(backend: str, n: int, seed: int, collect: bool):
+    """One large-ring workload run: deterministic rotation probes, then
+    neighbor discovery, then a sparse relay flood -- the probe/restore
+    pairs and bit-exchange frames that the array backend fuses into
+    whole-column stretches.  Returns ``(seconds, fingerprint)``; the
+    fingerprint (rounds, final positions, all protocol memory, sampled
+    agent logs) is only assembled on collecting runs."""
+    from repro.core.agent import id_bits
+    from repro.core.scheduler import Scheduler
+    from repro.protocols.policies.bitcomm import relay_flood
+    from repro.protocols.policies.neighbor_discovery import (
+        discover_neighbors,
+    )
+    from repro.protocols.policies.rotation_probe import ri_is_zero
+    from repro.ring.configs import random_configuration
+    from repro.types import Model
+
+    state = random_configuration(n, seed=seed, common_sense=False)
+    sched = Scheduler(state, Model.PERCEPTIVE, backend=backend)
+    ids = sched.population.ids
+    width = id_bits(sched.population.id_bound)
+    start = time.perf_counter()
+    for bit in range(6):
+        ri_is_zero(
+            sched, {agent_id for agent_id in ids if (agent_id >> bit) & 1}
+        )
+    discover_neighbors(sched)
+    relay_flood(
+        sched,
+        [
+            agent_id if agent_id % 16 == 1 else None
+            for agent_id in ids
+        ],
+        distance=2,
+        width=width,
+    )
+    elapsed = time.perf_counter() - start
+    fingerprint = None
+    if collect:
+        sample = min(n, 64)
+        fingerprint = (
+            sched.rounds,
+            state.snapshot(),
+            [dict(view.memory) for view in sched.views],
+            [list(view.log) for view in sched.views[:sample]],
+        )
+    return elapsed, fingerprint
+
+
+def array_shootout(
+    sizes: Sequence[int] = (1024, 4096, 16384),
+    seed: int = 11,
+    repeats: int = 2,
+    fraction_check_at: Optional[int] = None,
+) -> Dict[str, object]:
+    """Time the array backend against the lattice backend on large rings.
+
+    Both backends execute the identical rotation-probe + relay-flood
+    workload (perceptive model, native drivers) from identical initial
+    configurations at each size.  Before any timing, collecting runs
+    verify bit-exact agreement of round counts, final positions, every
+    agent's protocol memory and the sampled observation logs -- at
+    every size between array and lattice, and additionally against the
+    exact :class:`~repro.ring.backends.FractionBackend` at
+    ``fraction_check_at``, defaulting to the smallest swept size (the
+    Fraction run is the executable spec; checking it at the smallest
+    size keeps the sweep affordable, and the lattice backend is itself
+    property-tested bit-exact against it at every size in tier-1).
+    The report's ``fraction_checked_at`` records the size actually
+    checked -- ``None`` when ``fraction_check_at`` was pinned to a
+    size outside the sweep, so the report never claims a verification
+    that did not run.  Timings are the best of ``repeats`` runs for
+    n <= 4096 and a single run above (the big rings dominate wall
+    clock and their ratios are stable).
+
+    Returns a JSON-ready report (the ``BENCH_array.json`` payload).
+    """
+    import os
+
+    from repro.exceptions import SimulationError
+
+    sizes = tuple(sizes)
+    if fraction_check_at is None and sizes:
+        fraction_check_at = min(sizes)
+    fraction_checked = (
+        fraction_check_at if fraction_check_at in sizes else None
+    )
+    rows = []
+    for n in sizes:
+        _, latt_fp = _array_workload("lattice", n, seed, collect=True)
+        _, arr_fp = _array_workload("array", n, seed, collect=True)
+        if latt_fp != arr_fp:
+            raise SimulationError(
+                f"array and lattice backends disagree at n={n}"
+            )
+        if n == fraction_check_at:
+            _, frac_fp = _array_workload("fraction", n, seed, collect=True)
+            if frac_fp != arr_fp:
+                raise SimulationError(
+                    f"array and Fraction backends disagree at n={n}"
+                )
+        runs = max(1, repeats) if n <= 4096 else 1
+        timings: Dict[str, float] = {}
+        for backend in ("lattice", "array"):
+            timings[backend] = min(
+                _array_workload(backend, n, seed, collect=False)[0]
+                for _ in range(runs)
+            )
+        rows.append({
+            "n": n,
+            "rounds": latt_fp[0],
+            "seconds": {k: round(v, 6) for k, v in timings.items()},
+            "speedup_array_over_lattice": round(
+                timings["lattice"] / timings["array"], 2
+            ),
+        })
+
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "benchmark": "array_shootout",
+        "workload": {
+            "phases": [
+                "rotation_probes(6)",
+                "neighbor_discovery",
+                "relay_flood(d=2)",
+            ],
+            "model": "perceptive",
+            "driver": "native",
+            "seed": seed,
+            "repeats": repeats,
+            "fraction_checked_at": fraction_checked,
+        },
+        "bit_exact": True,
+        "sweep": rows,
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
 def fleet_shootout(
     sessions: int = 16,
     n: int = 24,

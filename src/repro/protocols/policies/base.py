@@ -16,6 +16,16 @@ family search) extend their own queue from inside a harvest -- the
 queue is empty beyond the current step at that point, so continuation
 steps land in order.
 
+Fused stretches: a step pushed with :meth:`PhasePolicy.push_stretch`
+carries a whole :class:`~repro.ring.stretch.Stretch` plan (several
+rounds whose vectors are known up front -- probe/restore pairs, bit
+exchange frames).  ``decide`` returns the plan itself; the scheduler
+executes the span in one backend call on stretch-capable backends and
+the step's harvest receives the columnar *stretch outcome* instead of
+one round's observations.  :meth:`PhasePolicy.push_probe` plans the
+paper's probe/REVERSEDROUND pair as one such span, so every
+``push_probe``-based driver fuses automatically.
+
 Vector helpers mirror the legacy per-agent vocabulary:
 :func:`aligned_vector` is the column form of
 :func:`repro.protocols.base.aligned_direction`, :func:`common_dists` of
@@ -33,6 +43,12 @@ from repro.core.agent import AgentView
 from repro.core.population import MISSING, Population
 from repro.core.scheduler import Scheduler
 from repro.exceptions import ProtocolError
+from repro.ring.stretch import (
+    Stretch,
+    opposite_row,
+    row_directions,
+    row_is_signs,
+)
 from repro.types import LocalDirection, Observation, RoundOutcome
 
 RIGHT = LocalDirection.RIGHT
@@ -48,6 +64,17 @@ RESTORE = type("_Restore", (), {"__repr__": lambda self: "<restore>"})()
 Vector = List[LocalDirection]
 VectorSpec = Union[Vector, Callable[[], Vector], Any]
 Harvest = Callable[[Sequence[Observation]], None]
+#: Harvest signature of a fused step: receives the stretch outcome.
+StretchHarvest = Callable[[Any], None]
+
+
+class _StretchStep:
+    """Queue marker wrapping a :class:`Stretch` (or its builder)."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: Any) -> None:
+        self.spec = spec
 
 
 def opposite_vector(vector: Sequence[LocalDirection]) -> Vector:
@@ -102,8 +129,13 @@ class PhasePolicy(Policy):
         self.sched = sched
         self.population: Population = sched.population
         self.n: int = sched.population.n
+        #: numpy when the backend exposes vectorised stretch columns
+        #: (the array backend with numpy installed), else None; fused
+        #: drivers key their internal representation off this.
+        self.xp = sched.array_module
         self._queue: "deque" = deque()
-        #: The most recent vector actually played (REPEAT/RESTORE base).
+        #: The most recent row actually played (REPEAT/RESTORE base) --
+        #: a direction vector, or a local sign row under ``xp``.
         self.last_vector: Optional[Vector] = None
 
     # -- plan construction ----------------------------------------------
@@ -115,12 +147,41 @@ class PhasePolicy(Policy):
         and an optional post-round harvest."""
         self._queue.append((vector, harvest))
 
+    def push_stretch(
+        self, spec: Any, harvest: Optional[StretchHarvest] = None
+    ) -> None:
+        """Enqueue one fused span: a :class:`Stretch` (or a callable
+        building one at decide time) and an optional harvest that
+        receives the whole stretch outcome."""
+        self._queue.append((_StretchStep(spec), harvest))
+
     def push_probe(
         self, vector: VectorSpec, harvest: Optional[Harvest] = None
     ) -> None:
-        """Enqueue an information round followed by its REVERSEDROUND."""
-        self.push(vector, harvest)
-        self.push(RESTORE)
+        """Enqueue an information round followed by its REVERSEDROUND,
+        fused into one two-round stretch (the restore round's
+        observations are never read, so on a stretch-capable backend
+        they are never materialised)."""
+
+        def build() -> Stretch:
+            row = vector() if callable(vector) else vector
+            return Stretch.probe_restore(row)
+
+        wrapped: Optional[StretchHarvest] = None
+        if harvest is not None:
+            def wrapped(result, _harvest=harvest):
+                _harvest(result.observations(0))
+
+        self.push_stretch(build, wrapped)
+
+    def push_restore(self, k: int = 1) -> None:
+        """Enqueue ``k`` REVERSEDROUNDs of the last played row as one
+        fused span (observations never materialise)."""
+
+        def build() -> Stretch:
+            return Stretch(opposite_row(self.last_vector), k)
+
+        self.push_stretch(build)
 
     def push_classify(
         self,
@@ -134,31 +195,59 @@ class PhasePolicy(Policy):
         zero (or the weak test passes), else 2 probes + 2 restores with
         the half-turn verdict posted to the ``nmove._half`` column.
         ``on_verdict(nontrivial)`` fires once the verdict is known (the
-        trailing restore rounds still execute)."""
+        trailing restore rounds still execute, as a fused span).
 
-        def first_harvest(obs: Sequence[Observation]) -> None:
-            if obs[0].dist == 0:
-                self.push(RESTORE)
+        The probes are single-round stretches so that on a stretch
+        backend the dist columns are read as raw integers -- the
+        half-turn test ``d1 + d2 == 1`` becomes one vectorised integer
+        compare against the shared denominator.
+        """
+
+        def first_harvest(result) -> None:
+            d1_ints = result.dist_ints(0)
+            vectorised = d1_ints is not None and result.np is not None
+            if vectorised:
+                zero = int(d1_ints[0]) == 0
+            else:
+                zero = result.observations(0)[0].dist == 0
+            if zero:
+                self.push_restore()
                 on_verdict(False)
                 return
             if weak:
-                self.push(RESTORE)
+                self.push_restore()
                 on_verdict(True)
                 return
-            d1s = [o.dist for o in obs]
 
-            def second_harvest(obs2: Sequence[Observation]) -> None:
-                halfs = [
-                    d1 + o.dist == 1 for d1, o in zip(d1s, obs2)
-                ]
+            def second_harvest(result2) -> None:
+                d2_ints = result2.dist_ints(0)
+                if (
+                    vectorised
+                    and d2_ints is not None
+                    and result2.np is not None
+                    and result.scale == result2.scale
+                ):
+                    halfs = (
+                        (d1_ints + d2_ints) == result.scale
+                    ).tolist()
+                else:
+                    halfs = [
+                        d1 + d2 == 1
+                        for d1, d2 in zip(result.dists(0), result2.dists(0))
+                    ]
                 self.population.set_column("nmove._half", halfs)
-                self.push(RESTORE)
-                self.push(REPEAT)
+                self.push_restore(2)
                 on_verdict(not halfs[0])
 
-            self.push(REPEAT, second_harvest)
+            self.push_stretch(
+                lambda: Stretch(self.last_vector, 1), second_harvest
+            )
 
-        self.push(vector, first_harvest)
+        def build_first() -> Stretch:
+            row = vector() if callable(vector) else vector
+            return Stretch(row, 1)
+
+        self.push_stretch(build_first, first_harvest)
 
     # -- Policy interface ------------------------------------------------
 
@@ -167,19 +256,28 @@ class PhasePolicy(Policy):
         """Rounds still queued."""
         return len(self._queue)
 
-    def decide(self, views: Sequence[AgentView]) -> Vector:
+    def decide(self, views: Sequence[AgentView]):
         if not self._queue:
             raise ProtocolError(
                 f"{type(self).__name__} has no round queued"
             )
         vector = self._queue[0][0]
+        if isinstance(vector, _StretchStep):
+            spec = vector.spec
+            stretch = spec() if callable(spec) else spec
+            self.last_vector = stretch.last_row
+            return stretch
         if vector is REPEAT:
             vector = self.last_vector
         elif vector is RESTORE:
-            vector = opposite_vector(self.last_vector)
+            vector = opposite_row(self.last_vector)
         elif callable(vector):
             vector = vector()
         self.last_vector = vector
+        if row_is_signs(vector):
+            # A plain step may follow a sign-row stretch (REPEAT /
+            # RESTORE): single rounds always run as direction vectors.
+            return row_directions(vector)
         return vector
 
     def observe(
@@ -188,6 +286,14 @@ class PhasePolicy(Policy):
         _vector, harvest = self._queue.popleft()
         if harvest is not None:
             harvest(outcome.observations)
+
+    def observe_stretch(self, views: Sequence[AgentView], result) -> None:
+        """Pop the fused step and run its harvest with the stretch
+        outcome (called by the scheduler instead of ``observe`` when
+        ``decide`` returned a :class:`Stretch`)."""
+        _spec, harvest = self._queue.popleft()
+        if harvest is not None:
+            harvest(result)
 
     # -- driving ---------------------------------------------------------
 

@@ -6,6 +6,15 @@ uniform rounds -- so :class:`NeighborDiscoveryPolicy` precomputes every
 probe vector from the ID column at construction time; harvests file
 collision observations per side, and :meth:`finalize` posts the gap and
 relative-chirality columns.
+
+Every probe/restore pair is planned as one fused
+:class:`~repro.ring.stretch.Stretch`.  On a stretch backend the probe
+vectors are int8 sign rows derived from the ID column in one shot, the
+harvests keep the raw integer ``coll()`` columns (over ``2 * scale``,
+``-1`` = no collision), and :meth:`finalize` reduces the stacked probe
+matrix with masked column minima -- the per-agent work of the legacy
+driver collapses to a handful of numpy reductions plus one interning
+pass for the gap Fractions.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from repro.protocols.policies.base import (
     Vector,
     opposite_vector,
 )
+from repro.ring.stretch import Stretch
 from repro.types import Model, Observation
 
 
@@ -45,6 +55,10 @@ class NeighborDiscoveryPolicy(PhasePolicy):
         population = self.population
         n = self.n
         ids = population.ids
+        if self.xp is not None and not sched.simulator.cross_validate:
+            self._plan_vectorised(ids)
+            return
+        self._columnar = False
         self._right_obs: List[List[Fraction]] = [[] for _ in range(n)]
         self._left_obs: List[List[Fraction]] = [[] for _ in range(n)]
         self._uniform_r: Optional[List[Optional[Fraction]]] = None
@@ -59,6 +73,54 @@ class NeighborDiscoveryPolicy(PhasePolicy):
             self._push_probe(opposite_vector(vector))
         self._push_probe([RIGHT] * n, uniform="r")
         self._push_probe([LEFT] * n, uniform="l")
+
+    # -- vectorised plan -------------------------------------------------
+
+    def _plan_vectorised(self, ids: Sequence[int]) -> None:
+        xp = self.xp
+        n = self.n
+        self._columnar = True
+        self._scale = self.sched.simulator.backend.scale
+        #: Per probe: (moved-own-right bool row, coll int row).
+        self._probe_rows: List[tuple] = []
+        self._uniform_r_ints = None
+        self._uniform_l_ints = None
+        ids_arr = xp.asarray(list(ids), dtype=xp.int64)
+        for bit in range(id_bits(self.population.id_bound)):
+            signs = xp.where(
+                (ids_arr >> bit) & 1 == 1, 1, -1
+            ).astype(xp.int8)
+            self._push_probe_vec(signs)
+            self._push_probe_vec(-signs)
+        ones = xp.ones(n, dtype=xp.int8)
+        self._push_probe_vec(ones, uniform="r")
+        self._push_probe_vec(-ones, uniform="l")
+
+    def _push_probe_vec(self, signs, uniform: Optional[str] = None) -> None:
+        """Fused probe/restore pair keeping the integer coll column."""
+
+        def harvest(result) -> None:
+            coll = result.coll_ints(0)
+            if coll is None or result.np is None:
+                # Span executed round by round: rebuild the integer
+                # column exactly (colls are on the 1/(2*scale) grid).
+                twice = 2 * self._scale
+                coll = self.xp.asarray(
+                    [
+                        -1 if c is None else int(c * twice)
+                        for c in result.colls(0)
+                    ],
+                    dtype=self.xp.int64,
+                )
+            self._probe_rows.append((signs > 0, coll))
+            if uniform == "r":
+                self._uniform_r_ints = coll
+            elif uniform == "l":
+                self._uniform_l_ints = coll
+
+        self.push_stretch(Stretch.probe_restore(signs), harvest)
+
+    # -- legacy plan -----------------------------------------------------
 
     def _push_probe(
         self, vector: Vector, uniform: Optional[str] = None
@@ -82,6 +144,9 @@ class NeighborDiscoveryPolicy(PhasePolicy):
         self.push_probe(vector, harvest)
 
     def finalize(self) -> None:
+        if self._columnar:
+            self._finalize_vectorised()
+            return
         population = self.population
         gap_right: List[Fraction] = []
         gap_left: List[Fraction] = []
@@ -107,6 +172,44 @@ class NeighborDiscoveryPolicy(PhasePolicy):
         population.set_column(KEY_GAP_LEFT, gap_left)
         population.set_column(KEY_SAME_RIGHT, same_right)
         population.set_column(KEY_SAME_LEFT, same_left)
+
+    def _finalize_vectorised(self) -> None:
+        xp = self.xp
+        population = self.population
+        colls = xp.stack([row for _m, row in self._probe_rows])
+        moved_right = xp.stack([m for m, _row in self._probe_rows])
+        seen = colls >= 0
+        none_seen = 1 << 62
+        right_min = xp.min(
+            xp.where(moved_right & seen, colls, none_seen), axis=0
+        )
+        left_min = xp.min(
+            xp.where(~moved_right & seen, colls, none_seen), axis=0
+        )
+        missing = (right_min >= none_seen) | (left_min >= none_seen)
+        if bool(missing.any()):
+            i = int(xp.argmax(missing))
+            raise ProtocolError(
+                f"agent {population.ids[i]} saw no collision on one "
+                "side; impossible for n > 4 with unique IDs"
+            )
+        # coll numerators are over 2 * scale, so the gap (twice the
+        # nearest first-collision arc) is min/scale -- one interning
+        # pass builds the same Fraction values the legacy driver posts.
+        backend = self.sched.simulator.backend
+        frac1 = backend._frac1
+        population.set_column(
+            KEY_GAP_RIGHT, [frac1(v) for v in right_min.tolist()]
+        )
+        population.set_column(
+            KEY_GAP_LEFT, [frac1(v) for v in left_min.tolist()]
+        )
+        population.set_column(
+            KEY_SAME_RIGHT, (self._uniform_r_ints != right_min).tolist()
+        )
+        population.set_column(
+            KEY_SAME_LEFT, (self._uniform_l_ints != left_min).tolist()
+        )
 
 
 def discover_neighbors(sched: Scheduler) -> None:

@@ -5,17 +5,21 @@
 restore) or the Lemma 2 classification (2 + 2) over one precomputed
 direction vector, writing the same ``probe.zero`` / ``probe.class``
 memory columns as the legacy per-agent driver.
+
+Fused execution: the probe/restore pair is planned as one
+:class:`~repro.ring.stretch.Stretch`, so on a stretch-capable backend
+the restore round never materialises observations, and the zero test /
+Lemma 2 classification read the probe's ``dist`` column as raw integer
+numerators (one vectorised compare) instead of per-agent Fractions.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import Optional, Sequence, Set
 
 from repro.core.scheduler import Scheduler
 from repro.protocols.policies.base import (
     PhasePolicy,
-    REPEAT,
-    RESTORE,
     RIGHT,
     Vector,
 )
@@ -24,7 +28,8 @@ from repro.protocols.rotation_probe import (
     KEY_PROBE_ZERO,
     RotationClass,
 )
-from repro.types import LocalDirection, Observation
+from repro.ring.stretch import Stretch
+from repro.types import LocalDirection
 
 
 class RotationProbePolicy(PhasePolicy):
@@ -51,39 +56,91 @@ class RotationProbePolicy(PhasePolicy):
         vector = list(vector)
         self.zero: Optional[bool] = None
         self.verdict: Optional[RotationClass] = None
-        self._d1: Optional[List] = None
+        self._d1 = None  # first probe's dist column (ints or Fractions)
+        self._d1_ints = False
         if classify:
-            self.push(vector, self._harvest_first)
-            self.push(REPEAT, self._harvest_second)
+            self.push_stretch(Stretch(vector, 1), self._harvest_first)
+            self.push_stretch(
+                lambda: Stretch(self.last_vector, 1), self._harvest_second
+            )
             if restore:
-                self.push(RESTORE)
-                self.push(REPEAT)
+                self.push_restore(2)
         else:
-            self.push(vector, self._harvest_zero)
             if restore:
-                self.push(RESTORE)
-
-    def _harvest_zero(self, obs: Sequence[Observation]) -> None:
-        self.population.set_column(
-            KEY_PROBE_ZERO, [o.dist == 0 for o in obs]
-        )
-        self.zero = obs[0].dist == 0
-
-    def _harvest_first(self, obs: Sequence[Observation]) -> None:
-        self._d1 = [o.dist for o in obs]
-
-    def _harvest_second(self, obs: Sequence[Observation]) -> None:
-        verdicts = []
-        for d1, o in zip(self._d1, obs):
-            total = d1 + o.dist
-            if d1 == 0:
-                verdicts.append(RotationClass.ZERO)
-            elif total == 1:
-                verdicts.append(RotationClass.HALF)
-            elif total < 1:
-                verdicts.append(RotationClass.BELOW_HALF)
+                self.push_stretch(
+                    Stretch.probe_restore(vector), self._harvest_zero
+                )
             else:
-                verdicts.append(RotationClass.ABOVE_HALF)
+                self.push_stretch(Stretch(vector, 1), self._harvest_zero)
+
+    def _harvest_zero(self, result) -> None:
+        dist = result.dist_ints(0)
+        if dist is not None and result.np is not None:
+            zeros = (dist == 0).tolist()
+        else:
+            zeros = [o.dist == 0 for o in result.observations(0)]
+        self.population.set_column(KEY_PROBE_ZERO, zeros)
+        self.zero = zeros[0]
+
+    def _harvest_first(self, result) -> None:
+        dist = result.dist_ints(0)
+        if dist is not None and result.np is not None:
+            self._d1 = dist
+            self._d1_ints = True
+            self._scale = result.scale
+        else:
+            self._d1 = result.dists(0)
+            self._d1_ints = False
+
+    def _harvest_second(self, result) -> None:
+        dist2 = result.dist_ints(0)
+        if (
+            self._d1_ints
+            and dist2 is not None
+            and result.np is not None
+            and result.scale == self._scale
+        ):
+            np = result.np
+            d1, scale = self._d1, result.scale
+            total = d1 + dist2
+            codes = np.where(
+                d1 == 0,
+                0,
+                np.where(
+                    total == scale,
+                    1,
+                    np.where(total < scale, 2, 3),
+                ),
+            ).tolist()
+            classes = (
+                RotationClass.ZERO,
+                RotationClass.HALF,
+                RotationClass.BELOW_HALF,
+                RotationClass.ABOVE_HALF,
+            )
+            verdicts = [classes[c] for c in codes]
+        else:
+            if self._d1_ints:
+                # Representation changed between the two probes (only
+                # possible after an external state rewrite): fall back
+                # to exact Fractions.
+                from fractions import Fraction
+
+                d1s = [Fraction(int(v), self._scale) for v in self._d1]
+            else:
+                d1s = self._d1
+            d2s = [o.dist for o in result.observations(0)]
+            verdicts = []
+            for d1, d2 in zip(d1s, d2s):
+                total = d1 + d2
+                if d1 == 0:
+                    verdicts.append(RotationClass.ZERO)
+                elif total == 1:
+                    verdicts.append(RotationClass.HALF)
+                elif total < 1:
+                    verdicts.append(RotationClass.BELOW_HALF)
+                else:
+                    verdicts.append(RotationClass.ABOVE_HALF)
         self.population.set_column(KEY_PROBE_CLASS, verdicts)
         self.verdict = verdicts[0]
         self._d1 = None

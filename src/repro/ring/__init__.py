@@ -3,7 +3,9 @@
 Round arithmetic is pluggable (see :mod:`repro.ring.backends`): the
 ``lattice`` backend runs each round in integer arithmetic over one
 shared denominator, the ``fraction`` backend is the exact-rational
-reference; both produce bit-identical outcomes.
+reference, and the ``array`` backend adds whole-column fused-stretch
+execution for large rings (numpy when available, stdlib ``array``
+otherwise); all three produce bit-identical outcomes.
 """
 
 from repro.ring.state import RingState
@@ -21,12 +23,15 @@ from repro.ring.collisions import (
     position_at,
 )
 from repro.ring.backends import (
+    ArrayBackend,
+    BACKEND_NAMES,
     DEFAULT_BACKEND,
     FractionBackend,
     KinematicsBackend,
     LatticeBackend,
     make_backend,
 )
+from repro.ring.stretch import MaterialisedStretch, Stretch
 from repro.ring.simulator import RingSimulator
 from repro.ring.configs import (
     random_configuration,
@@ -45,10 +50,14 @@ __all__ = [
     "AgentTrace",
     "TickTrace",
     "position_at",
+    "ArrayBackend",
+    "BACKEND_NAMES",
     "DEFAULT_BACKEND",
     "KinematicsBackend",
     "FractionBackend",
     "LatticeBackend",
+    "MaterialisedStretch",
+    "Stretch",
     "make_backend",
     "RingSimulator",
     "random_configuration",

@@ -1,0 +1,85 @@
+"""Optional numpy access and vectorised kinematics helpers.
+
+The :class:`~repro.ring.backends.ArrayBackend` stores positions, gaps
+and per-rotation displacement rows as numpy arrays when numpy is
+importable, and falls back to the stdlib :mod:`array` module (plain
+64-bit int buffers walked by Python loops) when it is not.  All numpy
+use in the package funnels through :func:`get_numpy` so that tests can
+force the fallback path by monkeypatching the import, and so that no
+module pays an import error at load time on numpy-less hosts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+_UNSET = object()
+_numpy = _UNSET
+
+
+def _import_numpy():
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def get_numpy():
+    """The numpy module, or None when numpy is not installed.
+
+    The probe import runs once and is cached; :func:`reset_numpy_cache`
+    clears the cache (tests monkeypatch the import and re-probe).
+    """
+    global _numpy
+    if _numpy is _UNSET:
+        _numpy = _import_numpy()
+    return _numpy
+
+
+def reset_numpy_cache() -> None:
+    """Forget the cached probe result (testing hook)."""
+    global _numpy
+    _numpy = _UNSET
+
+
+def hops_to_opposite_array(np, velocities):
+    """Vectorised :func:`repro.ring.kinematics.hops_to_opposite`.
+
+    ``velocities`` is an int array over {-1, +1} (mixed, idle-free).
+    Returns an int64 array: per agent, the ring distance to the nearest
+    opposite mover measured in the agent's direction of travel.  Uses
+    the classic suffix-min / prefix-max index trick on the doubled ring
+    instead of the legacy double scan.
+    """
+    n = velocities.shape[0]
+    idx = np.arange(2 * n, dtype=np.int64)
+    doubled = np.concatenate([velocities, velocities])
+    nxt = np.where(doubled < 0, idx, 2 * n)
+    nxt = np.minimum.accumulate(nxt[::-1])[::-1]
+    prv = np.maximum.accumulate(np.where(doubled > 0, idx, -1))
+    ahead = (nxt - idx)[:n]
+    behind = (idx - prv)[n:]
+    return np.where(velocities > 0, ahead, behind)
+
+
+def signs_to_directions(row) -> List:
+    """Translate a local-frame sign row (+1/-1/0) to LocalDirection."""
+    from repro.types import LocalDirection
+
+    right, left, idle = (
+        LocalDirection.RIGHT,
+        LocalDirection.LEFT,
+        LocalDirection.IDLE,
+    )
+    return [right if s > 0 else (left if s < 0 else idle) for s in row]
+
+
+def directions_to_signs(directions: Sequence) -> List[int]:
+    """Translate LocalDirection entries to local-frame signs."""
+    from repro.types import LocalDirection
+
+    right, left = LocalDirection.RIGHT, LocalDirection.LEFT
+    return [
+        1 if d is right else (-1 if d is left else 0) for d in directions
+    ]

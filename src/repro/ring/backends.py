@@ -15,6 +15,21 @@ and property-tested to produce bit-identical outcomes:
   and for states whose positions would induce an awkwardly large
   common denominator.
 
+* :class:`ArrayBackend` -- the whole-column implementation for large
+  rings (n >= 10^4): a :class:`LatticeBackend` whose positions, gaps
+  and per-rotation displacement rows additionally live in numpy int64
+  arrays (stdlib :mod:`array` buffers when numpy is absent -- see
+  :mod:`repro.ring.arrayops`).  Single rounds run on the inherited
+  integer path unchanged; its :meth:`ArrayBackend.execute_stretch`
+  advances a whole *fused stretch* (probe/restore pairs, bit-exchange
+  frames, ``run_fixed`` batches -- see :mod:`repro.ring.stretch`) in
+  one closed-form vectorised step, emitting observation *columns* that
+  materialise per-agent ``Observation`` objects only when read, and
+  committing positions lazily (``state.positions`` is built only on an
+  external read).  Whole stretches are memoised by (velocity rows,
+  rotation offset), so repeating probe/restore loops collapse to one
+  dictionary hit.
+
 * :class:`LatticeBackend` -- the performance implementation.  At
   attach time it rescales all positions to integers over the single
   common denominator ``D`` (the lcm of the position denominators).
@@ -72,7 +87,7 @@ DEFAULT_BACKEND = "lattice"
 
 #: Names :func:`make_backend` recognises (the CLI choices derive from
 #: this -- extend it when registering a new backend).
-BACKEND_NAMES = ("lattice", "fraction")
+BACKEND_NAMES = ("lattice", "fraction", "array")
 
 BackendSpec = Union[None, str, "KinematicsBackend"]
 
@@ -123,7 +138,8 @@ class KinematicsBackend(ABC):
 def make_backend(spec: BackendSpec) -> "KinematicsBackend":
     """Resolve a backend spec: an instance, a name, or None (default).
 
-    Recognised names: ``"lattice"`` (default) and ``"fraction"``.
+    Recognised names: ``"lattice"`` (default), ``"fraction"`` and
+    ``"array"``.
     """
     if isinstance(spec, KinematicsBackend):
         return spec
@@ -133,6 +149,8 @@ def make_backend(spec: BackendSpec) -> "KinematicsBackend":
         return LatticeBackend()
     if spec == "fraction":
         return FractionBackend()
+    if spec == "array":
+        return ArrayBackend()
     raise SimulationError(
         f"unknown kinematics backend {spec!r}; expected one of "
         f"{', '.join(repr(n) for n in BACKEND_NAMES)}, or a "
@@ -153,7 +171,7 @@ class FractionBackend(KinematicsBackend):
     ) -> RoundOutcome:
         state = self.state
         n = state.n
-        start = state._positions  # internal read; never mutated here
+        start = state._pos()  # internal read; never mutated here
         r = rotation_index(velocities, n)
         has_idle = any(v == 0 for v in velocities)
         need_events = cross_validate or (need_coll and has_idle)
@@ -538,3 +556,410 @@ class LatticeBackend(KinematicsBackend):
                 )
             return None, events
         return ev_coll, events
+
+
+class ArrayStretchResult:
+    """Columnar outcome of one fused stretch (see :mod:`repro.ring.stretch`).
+
+    Holds the span's observation columns as raw integer numerators --
+    ``dist`` over ``scale``, ``coll`` over ``2 * scale`` with ``-1``
+    encoding "no collision" -- and materialises per-agent
+    :class:`~repro.types.Observation` rows only when something reads
+    them, through the owning backend's interning tables (so a
+    materialised row is bit-identical to, and shares objects with, the
+    scalar path's output).
+
+    ``np`` is the numpy module when the columns are int64 ndarrays
+    (vectorised consumers branch on it), else None (stdlib ``array``
+    fallback rows; per-round ``coll`` rows may be None when the round
+    provably had no closed-form collisions).
+    """
+
+    __slots__ = (
+        "_backend", "k", "n", "scale", "rotations", "collision_events",
+        "np", "_dist", "_coll", "_obs",
+    )
+
+    def __init__(self, backend, rotations, dist, coll, vectorised):
+        self._backend = backend
+        self.k = len(rotations)
+        self.n = backend.n
+        self.scale = backend.scale
+        self.rotations = rotations
+        self.collision_events = 0
+        self.np = backend.np if vectorised else None
+        self._dist = dist
+        self._coll = coll
+        self._obs: Dict[int, Tuple[Observation, ...]] = {}
+
+    def dist_ints(self, j: int):
+        """Round ``j``'s dist numerators over ``scale`` (agent frame)."""
+        return self._dist[j]
+
+    def coll_ints(self, j: int):
+        """Round ``j``'s coll numerators over ``2 * scale`` (-1 = None),
+        or None when the model reports no collisions (or, on the
+        fallback representation, when the round had none)."""
+        if self._coll is None:
+            return None
+        return self._coll[j]
+
+    def observations(self, j: int) -> Tuple[Observation, ...]:
+        """Round ``j`` materialised as interned Observations (cached)."""
+        cached = self._obs.get(j)
+        if cached is not None:
+            return cached
+        backend = self._backend
+        # Same adversarial-growth bound the scalar hot path applies to
+        # the shared interning tables.
+        if len(backend._obs_coll) > 1 << 18:
+            backend._obs_coll.clear()
+            backend._obs_quarter.clear()
+        np = self.np
+        dn = self._dist[j]
+        dn = dn.tolist() if np is not None else list(dn)
+        cn = self.coll_ints(j)
+        if cn is not None:
+            cn = cn.tolist() if np is not None else list(cn)
+        n = self.n
+        obs_list: List[Observation] = [None] * n  # type: ignore[list-item]
+        if cn is None:
+            obs_plain = backend._obs_plain
+            for i in range(n):
+                d = dn[i]
+                ob = obs_plain.get(d)
+                if ob is None:
+                    ob = Observation(dist=backend._frac1(d))
+                    obs_plain[d] = ob
+                obs_list[i] = ob
+        else:
+            obs_plain = backend._obs_plain
+            obs_coll = backend._obs_coll
+            for i in range(n):
+                d = dn[i]
+                a = cn[i]
+                if a < 0:
+                    ob = obs_plain.get(d)
+                    if ob is None:
+                        ob = Observation(dist=backend._frac1(d))
+                        obs_plain[d] = ob
+                else:
+                    key = (d, a)
+                    ob = obs_coll.get(key)
+                    if ob is None:
+                        ob = Observation(
+                            dist=backend._frac1(d), coll=backend._frac2(a)
+                        )
+                        obs_coll[key] = ob
+                obs_list[i] = ob
+        cached = tuple(obs_list)
+        self._obs[j] = cached
+        return cached
+
+    def outcome(self, j: int) -> RoundOutcome:
+        """Round ``j`` as a materialised :class:`RoundOutcome`."""
+        return RoundOutcome(
+            observations=self.observations(j),
+            rotation_index=self.rotations[j],
+            collision_events=0,
+        )
+
+    def dists(self, j: int) -> List[Fraction]:
+        """Round ``j``'s dist column as interned Fractions."""
+        backend = self._backend
+        dn = self._dist[j]
+        dn = dn.tolist() if self.np is not None else dn
+        frac1 = backend._frac1
+        return [frac1(d) for d in dn]
+
+    def colls(self, j: int) -> List[Optional[Fraction]]:
+        """Round ``j``'s coll column (None cells where no collision)."""
+        cn = self.coll_ints(j)
+        if cn is None:
+            return [None] * self.n
+        cn = cn.tolist() if self.np is not None else cn
+        backend = self._backend
+        frac2 = backend._frac2
+        return [None if a < 0 else frac2(a) for a in cn]
+
+
+class ArrayBackend(LatticeBackend):
+    """Whole-column backend: lattice arithmetic plus fused stretches.
+
+    Single rounds execute on the inherited integer-lattice path (so the
+    per-round semantics, memo tables and event-engine integration are
+    byte-for-byte the proven ones); the numpy mirrors built at attach
+    time serve :meth:`execute_stretch`, which advances a whole fused
+    span in closed form:
+
+    - per-round rotation indices come from whole-row counts, offsets
+      accumulate, and each round's agent-frame ``dist()`` numerators
+      are one doubled-prefix gather (``p2[s + r] - p2[s]``) -- the
+      rotation-offset trick of the lattice backend, applied to columns;
+    - closed-form first-collision numerators come from the vectorised
+      nearest-opposite-hop derivation (suffix-min/prefix-max on the
+      doubled ring), memoised per velocity row;
+    - the event engine's integer heap keys are assembled as vectorised
+      int arrays when it runs at all; fused rounds are closed-form by
+      construction, so the heap is only ever built for rounds that
+      actually need contact resolution (cross-validation, or idle
+      rounds under a collision-reporting model), never for stretches;
+    - whole stretches are memoised by (velocity rows, offset), so
+      probe/restore loops repeat as single dictionary hits;
+    - positions commit lazily: the post-span list is a pending thunk on
+      the state, built only if something reads ``state.positions``.
+
+    Without numpy the same fused execution runs over stdlib
+    :mod:`array` int buffers (no vectorised consumer columns, but still
+    no per-round Observation materialisation).  Stretches whose shared
+    denominator does not fit comfortably in int64 are declined
+    (``execute_stretch`` returns None) and the simulator falls back to
+    scalar rounds.
+    """
+
+    name = "array"
+    supports_stretch = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        from repro.ring.arrayops import get_numpy
+
+        self.np = get_numpy()
+
+    def _sync(self) -> None:
+        super()._sync()
+        n, scale = self.n, self.scale
+        self._fusable = scale.bit_length() <= 61
+        self._stretch_memo: Dict[tuple, Tuple[ArrayStretchResult, int]] = {}
+        self._row_memo: Dict[object, tuple] = {}
+        np = self.np
+        if np is not None and self._fusable:
+            base = np.asarray(self._prefix, dtype=np.int64)  # length n+1
+            self._p2 = np.concatenate([base[:-1], base + scale])
+            self._chir_np = np.asarray(self._chir_cw, dtype=bool)
+            self._base_idx = np.arange(n, dtype=np.int64)
+            self._num_np = np.asarray(self._num, dtype=np.int64)
+        else:
+            self._p2 = None
+
+    # -- vectorised event-engine plumbing --------------------------------
+
+    def _event_round(self, velocities):
+        """As the lattice version, with the integer heap keys (initial
+        quarter-tick coordinates) assembled as one vectorised gather
+        when numpy is available."""
+        np = self.np
+        if np is None or self._p2 is None:
+            return super()._event_round(velocities)
+        n, off = self.n, self.offset
+        idx = self._base_idx + off
+        idx = np.where(idx >= n, idx - n, idx)
+        coords = (4 * self._num_np[idx]).tolist()
+        traces, events = simulate_collisions_ticks(
+            coords, velocities, ring_ticks=4 * self.scale
+        )
+        coll = [tr.coll_ticks for tr in traces]
+        final = [tr.final_coord for tr in traces]
+        return coll, final, events
+
+    # -- fused stretches -------------------------------------------------
+
+    def _vel_row_np(self, row):
+        """Normalise one velocity row to a contiguous int8 ndarray."""
+        np = self.np
+        arr = np.ascontiguousarray(row, dtype=np.int8)
+        if arr.shape != (self.n,):
+            raise SimulationError(
+                f"velocity row of length {arr.shape} for n={self.n}"
+            )
+        return arr
+
+    def _derive_np(self, arr, key):
+        """Per-velocity-row derivations for the vectorised path:
+        ``(r, has_idle, mixed, rel, hops)`` with rel/hops int64 arrays
+        for idle-free mixed rows (else None)."""
+        hit = self._row_memo.get(key)
+        if hit is not None:
+            return hit
+        np = self.np
+        if len(self._row_memo) > 4096:
+            self._row_memo.clear()
+        npos = int(np.count_nonzero(arr == 1))
+        nneg = int(np.count_nonzero(arr == -1))
+        r = (npos - nneg) % self.n
+        has_idle = npos + nneg < self.n
+        mixed = npos > 0 and nneg > 0
+        rel = hops = None
+        if mixed and not has_idle:
+            from repro.ring.arrayops import hops_to_opposite_array
+
+            hops = hops_to_opposite_array(np, arr.astype(np.int64))
+            rel = np.where(arr > 0, 0, -hops)
+        derived = (r, has_idle, mixed, rel, hops)
+        self._row_memo[key] = derived
+        return derived
+
+    def execute_stretch(self, vel_pairs, need_coll: bool):
+        """Advance one fused stretch; commits the state lazily.
+
+        Args:
+            vel_pairs: Run-length velocity rows ``[(row, count), ...]``
+                (objective velocities in {-1, 0, +1}; int8 ndarrays or
+                plain int sequences).
+            need_coll: Whether ``coll()`` columns must be produced.
+
+        Returns:
+            An :class:`ArrayStretchResult`, or None when the span
+            cannot be fused (oversized denominator, or an idle round
+            under a collision-reporting model) -- the simulator then
+            falls back to scalar rounds.
+        """
+        state = self.state
+        if state.version != self._version:
+            self._sync()
+        if not self._fusable:
+            return None
+        np = self.np
+        n = self.n
+        total = 0
+        derived = []
+        key_rows = []
+        if np is not None:
+            for row, count in vel_pairs:
+                arr = self._vel_row_np(row)
+                key = arr.tobytes()
+                pat = self._derive_np(arr, key)
+                if need_coll and pat[1]:  # idle round needing coll()
+                    return None
+                derived.append((pat, count))
+                key_rows.append((key, count))
+                total += count
+        else:
+            for row, count in vel_pairs:
+                vel = row if isinstance(row, tuple) else tuple(row)
+                pat = self._pattern(vel)
+                if need_coll and pat[1]:
+                    return None
+                derived.append((pat, count))
+                key_rows.append((vel, count))
+                total += count
+
+        memo_key = (tuple(key_rows), self.offset, need_coll)
+        hit = self._stretch_memo.get(memo_key)
+        if hit is None:
+            if np is not None:
+                result, r_total = self._compute_stretch_np(
+                    derived, need_coll, total
+                )
+            else:
+                result, r_total = self._compute_stretch_py(
+                    derived, need_coll, total
+                )
+            if len(self._stretch_memo) > 4096:
+                self._stretch_memo.clear()
+            self._stretch_memo[memo_key] = (result, r_total)
+        else:
+            result, r_total = hit
+
+        off = self.offset + r_total
+        if off >= n:
+            off -= n
+        self.offset = off
+        ring2 = self._ring2
+        state.commit_stretch(
+            lambda: ring2[off:off + n], total, r_total
+        )
+        self._version = state.version
+        return result
+
+    def _compute_stretch_np(self, derived, need_coll, total):
+        """Vectorised span computation (numpy path)."""
+        np = self.np
+        n, scale = self.n, self.scale
+        p2, base, chir = self._p2, self._base_idx, self._chir_np
+        dist = np.empty((total, n), dtype=np.int64)
+        coll = (
+            np.full((total, n), -1, dtype=np.int64) if need_coll else None
+        )
+        rotations: List[int] = []
+        off = self.offset
+        j = 0
+        for (r, _idle, mixed, rel, hops), count in derived:
+            for _ in range(count):
+                s = base + off
+                s = np.where(s >= n, s - n, s)
+                cw = p2[s + r] - p2[s]
+                dist[j] = np.where(chir, cw, (scale - cw) % scale)
+                if coll is not None and rel is not None:
+                    s0 = s + rel
+                    s0 = np.where(s0 < 0, s0 + n, s0)
+                    s0 = np.where(s0 >= n, s0 - n, s0)
+                    coll[j] = p2[s0 + hops] - p2[s0]
+                rotations.append(r)
+                off += r
+                if off >= n:
+                    off -= n
+                j += 1
+        r_total = (off - self.offset) % n
+        return (
+            ArrayStretchResult(self, rotations, dist, coll, True),
+            r_total,
+        )
+
+    def _compute_stretch_py(self, derived, need_coll, total):
+        """Fused span over stdlib array buffers (numpy-absent path)."""
+        from array import array
+
+        n, scale = self.n, self.scale
+        prefix = self._prefix
+        chir = self._chir_cw
+        dist_rows: List[array] = []
+        coll_rows: Optional[List[Optional[array]]] = (
+            [] if need_coll else None
+        )
+        rotations: List[int] = []
+        off = self.offset
+        for (r, _idle, _mixed, coll_spec), count in derived:
+            for _ in range(count):
+                cw_row, ccw_row = self._dist_row(r)
+                drow = array("q", bytes(8 * n))
+                s = off
+                for i in range(n):
+                    drow[i] = cw_row[s] if chir[i] else ccw_row[s]
+                    s += 1
+                    if s == n:
+                        s = 0
+                dist_rows.append(drow)
+                if coll_rows is not None:
+                    if coll_spec is None:
+                        coll_rows.append(None)
+                    else:
+                        crow = array("q", bytes(8 * n))
+                        s = off
+                        for i in range(n):
+                            rel, h = coll_spec[i]
+                            s0 = s + rel
+                            if s0 < 0:
+                                s0 += n
+                            elif s0 >= n:
+                                s0 -= n
+                            e = s0 + h
+                            if e <= n:
+                                crow[i] = prefix[e] - prefix[s0]
+                            else:
+                                crow[i] = (
+                                    scale - prefix[s0] + prefix[e - n]
+                                )
+                            s += 1
+                            if s == n:
+                                s = 0
+                        coll_rows.append(crow)
+                rotations.append(r)
+                off += r
+                if off >= n:
+                    off -= n
+        r_total = (off - self.offset) % n
+        return (
+            ArrayStretchResult(self, rotations, dist_rows, coll_rows, False),
+            r_total,
+        )

@@ -32,6 +32,12 @@ from typing import List, Sequence
 from repro.exceptions import ModelViolationError, SimulationError
 from repro.ring.backends import BackendSpec, make_backend
 from repro.ring.state import RingState
+from repro.ring.stretch import (
+    MaterialisedStretch,
+    Stretch,
+    row_directions,
+    row_is_signs,
+)
 from repro.types import LocalDirection, Model, RoundOutcome
 
 
@@ -70,6 +76,7 @@ class RingSimulator:
         # much cheaper than hashing direction vectors.
         self._vel_right = [int(c) for c in state.chiralities]
         self._vel_left = [-v for v in self._vel_right]
+        self._vel_right_arr = None  # int8 ndarray mirror, built on demand
 
     def _velocities(
         self, directions: Sequence[LocalDirection]
@@ -146,6 +153,87 @@ class RingSimulator:
             outcomes.append(outcome)
         self.rounds_executed += k
         return outcomes
+
+    def _velocities_row(self, row):
+        """Map one stretch row to objective velocities.
+
+        Direction rows go through :meth:`_velocities`; local-frame sign
+        rows (vectorised policies) are validated and multiplied by the
+        chirality sign vector -- one numpy multiply, no per-agent
+        dispatch.
+        """
+        if not row_is_signs(row):
+            return self._velocities(row)
+        n = self.state.n
+        if len(row) != n:
+            raise SimulationError("one direction per agent is required")
+        from repro.ring.arrayops import get_numpy
+
+        np = get_numpy()
+        if np is not None:
+            signs = np.ascontiguousarray(row, dtype=np.int8)
+            if bool(((signs < -1) | (signs > 1)).any()):
+                raise SimulationError(
+                    "stretch sign rows must hold only -1, 0 or +1"
+                )
+            if not self.model.allows_idle and bool((signs == 0).any()):
+                raise ModelViolationError(
+                    f"idle is not permitted in the {self.model.value} model"
+                )
+            if self._vel_right_arr is None:
+                self._vel_right_arr = np.asarray(
+                    self._vel_right, dtype=np.int8
+                )
+            return signs * self._vel_right_arr
+        allows_idle = self.model.allows_idle
+        vel_right = self._vel_right
+        velocities = [0] * n
+        for i, s in enumerate(row):
+            if s:
+                if s not in (1, -1):
+                    raise SimulationError(
+                        "stretch sign rows must hold only -1, 0 or +1"
+                    )
+                velocities[i] = s * vel_right[i]
+            elif not allows_idle:
+                raise ModelViolationError(
+                    f"idle is not permitted in the {self.model.value} model"
+                )
+        return tuple(velocities)
+
+    def execute_stretch(self, stretch: Stretch):
+        """Run a whole fused stretch (see :mod:`repro.ring.stretch`).
+
+        Hands the span to the backend in one call when it supports
+        fused execution (and cross-validation is off); otherwise -- and
+        whenever the backend declines the span -- executes it round by
+        round through :meth:`execute`.  Either way the stretch's rounds
+        count toward :attr:`rounds_executed` and the returned object
+        exposes the stretch-outcome surface.
+        """
+        if stretch.rounds < 1:
+            raise SimulationError("a stretch must span at least one round")
+        backend = self.backend
+        if (
+            getattr(backend, "supports_stretch", False)
+            and not self.cross_validate
+        ):
+            pairs = [
+                (self._velocities_row(row), count)
+                for row, count in stretch.pairs
+            ]
+            result = backend.execute_stretch(
+                pairs, need_coll=self.model.reports_collisions
+            )
+            if result is not None:
+                self.rounds_executed += stretch.rounds
+                return result
+        outcomes: List[RoundOutcome] = []
+        for row, count in stretch.pairs:
+            directions = row_directions(row)
+            for _ in range(count):
+                outcomes.append(self.execute(directions))
+        return MaterialisedStretch(outcomes)
 
     def execute_objective(self, velocities: Sequence[int]) -> RoundOutcome:
         """Run one round from objective velocities (testing/tooling hook).

@@ -58,6 +58,8 @@ class RingState:
 
     __slots__ = (
         "_positions",
+        "_lazy",
+        "_n",
         "ids",
         "chiralities",
         "id_bound",
@@ -104,8 +106,24 @@ class RingState:
         self.id_bound = id_bound
         self.initial_positions = tuple(self._positions)
         self.version = 0
+        self._n = n
+        self._lazy = None
         self._gaps: Optional[List[Fraction]] = None
         self._prefix: Optional[List[Fraction]] = None
+
+    def _pos(self) -> List[Fraction]:
+        """The live position list, materialising a lazy commit.
+
+        After a fused stretch (see :meth:`commit_stretch`) the position
+        list is a pending thunk; any read -- internal or external --
+        builds it exactly once.  Materialisation is a read, so it does
+        not bump :attr:`version`.
+        """
+        positions = self._positions
+        if positions is None:
+            positions = self._positions = self._lazy()
+            self._lazy = None
+        return positions
 
     @property
     def positions(self) -> List[Fraction]:
@@ -115,7 +133,7 @@ class RingState:
         invalidation (and backend resynchronisation) silently.  Replace
         wholesale (``state.positions = [...]``) to write.
         """
-        return list(self._positions)
+        return list(self._pos())
 
     @positions.setter
     def positions(self, value: Sequence[Fraction]) -> None:
@@ -123,6 +141,7 @@ class RingState:
         self._invalidate()
 
     def _invalidate(self) -> None:
+        self._lazy = None
         self._gaps = None
         self._prefix = None
         self.version += 1
@@ -130,7 +149,7 @@ class RingState:
     @property
     def n(self) -> int:
         """Number of agents on the ring."""
-        return len(self._positions)
+        return self._n
 
     @property
     def parity_even(self) -> bool:
@@ -141,7 +160,7 @@ class RingState:
         """The cached clockwise gap array itself (callers must not mutate)."""
         if self._gaps is None:
             n = self.n
-            pos = self._positions
+            pos = self._pos()
             self._gaps = [
                 cw_arc(pos[i], pos[(i + 1) % n]) for i in range(n)
             ]
@@ -195,7 +214,7 @@ class RingState:
         agent shifts by r.
         """
         n = self.n
-        old = self._positions
+        old = self._pos()
         self.commit_round([old[(i + r) % n] for i in range(n)], r)
 
     def commit_round(self, final: Sequence[Fraction], r: int) -> None:
@@ -208,6 +227,7 @@ class RingState:
         invalidated; the prefix cache cannot be rotated and is dropped.
         """
         self._positions = final if isinstance(final, list) else list(final)
+        self._lazy = None
         gaps = self._gaps
         if gaps is not None and r:
             n = len(gaps)
@@ -215,9 +235,31 @@ class RingState:
         self._prefix = None
         self.version += 1
 
+    def commit_stretch(self, materialise, rounds: int, r_total: int) -> None:
+        """Lazy position write used by fused-stretch backends.
+
+        ``materialise`` builds the post-span position list (canonical,
+        ring-ordered) on demand; nothing is allocated until something
+        actually reads :attr:`positions` -- restore spans typically end
+        where they began and are never read.  ``rounds`` spans were
+        executed with cumulative rotation ``r_total``; the version
+        counter advances by ``rounds`` so that per-round observers stay
+        monotonic, and the gap cache rotates by the cumulative rotation
+        exactly as ``rounds`` individual commits would have rotated it.
+        """
+        self._positions = None
+        self._lazy = materialise
+        gaps = self._gaps
+        r = r_total % self._n
+        if gaps is not None and r:
+            n = len(gaps)
+            self._gaps = [gaps[(i + r) % n] for i in range(n)]
+        self._prefix = None
+        self.version += rounds
+
     def snapshot(self) -> Tuple[Fraction, ...]:
         """Immutable copy of the current positions."""
-        return tuple(self._positions)
+        return tuple(self._pos())
 
     def restore(self, snapshot: Sequence[Fraction]) -> None:
         """Reset positions to a previously taken snapshot."""

@@ -1,0 +1,157 @@
+"""Fused-stretch execution plans and their round-by-round fallback.
+
+A :class:`Stretch` is a *plan* for several consecutive rounds whose
+direction vectors are all known up front -- the paper's ubiquitous
+probe/REVERSEDROUND pairs, the four rounds of a collision-channel bit
+exchange, a ``run_fixed`` batch.  A whole-population policy may return
+one from ``decide`` instead of a single direction vector; the scheduler
+then hands the whole span to the kinematics backend in one call.  A
+backend that understands stretches (:class:`~repro.ring.backends.
+ArrayBackend`) advances all ``k`` rounds in closed form and returns a
+*stretch outcome* whose observations stay columnar -- per-agent
+:class:`~repro.types.Observation` objects are only materialised if
+something actually reads them (restore rounds typically never are).
+
+Every stretch outcome exposes the same duck-typed surface:
+
+* ``k``, ``n``, ``rotations`` (per-round rotation indices),
+  ``collision_events``, ``scale`` (shared denominator, or None),
+  ``np`` (the numpy module when raw integer columns are available
+  through it, else None);
+* ``observations(j)`` / ``outcome(j)`` -- materialised round views;
+* ``dists(j)`` / ``colls(j)`` -- per-round observation columns as
+  interned Fractions;
+* ``dist_ints(j)`` / ``coll_ints(j)`` -- raw integer numerator columns
+  (over ``scale`` and ``2 * scale`` respectively; ``-1`` encodes a
+  ``coll() = None``), or None when the span was executed round by
+  round.
+
+:class:`MaterialisedStretch` is the fallback implementation wrapping
+plain :class:`~repro.types.RoundOutcome` values, used whenever the
+backend executes the span one round at a time (Fraction and lattice
+backends, cross-validated runs).
+
+Rows of a stretch may be given either as ``LocalDirection`` sequences
+or as local-frame *sign rows* (+1 = own RIGHT, -1 = own LEFT, 0 =
+idle) -- numpy int8 arrays from vectorised policies, any int sequence
+otherwise.  Signs are in each agent's own frame; chirality mapping
+stays inside the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.types import LocalDirection, Observation, RoundOutcome
+
+Row = Sequence  # LocalDirection sequence or local-sign int sequence
+
+
+def row_is_signs(row: Row) -> bool:
+    """Whether ``row`` is a sign row (ints) rather than directions."""
+    if len(row) == 0:
+        return False
+    first = row[0]
+    return not isinstance(first, LocalDirection)
+
+
+def row_directions(row: Row) -> List[LocalDirection]:
+    """``row`` as a LocalDirection list (identity for direction rows)."""
+    if row_is_signs(row):
+        from repro.ring.arrayops import signs_to_directions
+
+        return signs_to_directions(row)
+    return list(row)
+
+
+def opposite_row(row: Row) -> Row:
+    """The REVERSEDROUND of ``row``, in the row's own representation."""
+    if row_is_signs(row):
+        try:
+            return -row  # numpy fast path
+        except TypeError:
+            return [-s for s in row]
+    return [d.opposite() for d in row]
+
+
+class Stretch:
+    """A plan of ``rounds`` consecutive rounds with known vectors.
+
+    ``Stretch(row, k)`` plays one row ``k`` times; :meth:`of` builds a
+    heterogeneous span; ``pairs`` is the internal run-length form
+    ``[(row, count), ...]`` consumed by the simulator.
+    """
+
+    __slots__ = ("pairs", "rounds")
+
+    def __init__(self, row: Optional[Row] = None, k: int = 1,
+                 pairs: Optional[List[Tuple[Row, int]]] = None) -> None:
+        if pairs is None:
+            if row is None:
+                raise ValueError("Stretch needs a row or explicit pairs")
+            pairs = [(row, k)]
+        self.pairs: List[Tuple[Row, int]] = []
+        total = 0
+        for r, count in pairs:
+            if count < 1:
+                raise ValueError("stretch round counts must be >= 1")
+            self.pairs.append((r, count))
+            total += count
+        if total < 1:
+            raise ValueError("a stretch must span at least one round")
+        self.rounds = total
+
+    @classmethod
+    def of(cls, rows: Sequence[Row]) -> "Stretch":
+        """A span playing each row of ``rows`` once, in order."""
+        return cls(pairs=[(row, 1) for row in rows])
+
+    @classmethod
+    def probe_restore(cls, row: Row) -> "Stretch":
+        """The probe/REVERSEDROUND pair of ``row`` (2 rounds)."""
+        return cls(pairs=[(row, 1), (opposite_row(row), 1)])
+
+    @property
+    def last_row(self) -> Row:
+        """The final round's row (the REPEAT/RESTORE base afterwards)."""
+        return self.pairs[-1][0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Stretch rounds={self.rounds} spans={len(self.pairs)}>"
+
+
+class MaterialisedStretch:
+    """Stretch outcome assembled from per-round outcomes (fallback)."""
+
+    __slots__ = ("_outcomes", "k", "n", "rotations", "collision_events")
+
+    #: No raw integer columns on this implementation.
+    np = None
+    scale: Optional[int] = None
+
+    def __init__(self, outcomes: Sequence[RoundOutcome]) -> None:
+        self._outcomes = list(outcomes)
+        self.k = len(self._outcomes)
+        self.n = len(self._outcomes[0].observations) if self.k else 0
+        self.rotations = [o.rotation_index for o in self._outcomes]
+        self.collision_events = sum(
+            o.collision_events for o in self._outcomes
+        )
+
+    def outcome(self, j: int) -> RoundOutcome:
+        return self._outcomes[j]
+
+    def observations(self, j: int) -> Tuple[Observation, ...]:
+        return self._outcomes[j].observations
+
+    def dists(self, j: int) -> List:
+        return [o.dist for o in self._outcomes[j].observations]
+
+    def colls(self, j: int) -> List:
+        return [o.coll for o in self._outcomes[j].observations]
+
+    def dist_ints(self, j: int):
+        return None
+
+    def coll_ints(self, j: int):
+        return None

@@ -1,12 +1,13 @@
-"""Backend equivalence: the integer-lattice and Fraction backends must
-produce bit-identical results on every round.
+"""Backend equivalence: the integer-lattice and array backends must
+produce bit-identical results to the Fraction backend on every round.
 
 This is the load-bearing guarantee of the backend layer: protocols test
-*equalities* between observed rationals, so the lattice backend cannot
+*equalities* between observed rationals, so the derived backends cannot
 be merely "close" -- every ``dist()``, every ``coll()``, every rotation
 index, every event count and every position must match the reference
 backend exactly, across all three model variants, including rounds with
-simultaneous multi-agent contacts and external position writes.
+simultaneous multi-agent contacts and external position writes, with
+and without numpy installed (the array backend's stdlib fallback).
 """
 
 import random
@@ -18,6 +19,8 @@ from hypothesis import given, settings, strategies as st
 from repro.core.scheduler import Scheduler
 from repro.exceptions import SimulationError
 from repro.ring.backends import (
+    ArrayBackend,
+    BACKEND_NAMES,
     DEFAULT_BACKEND,
     FractionBackend,
     LatticeBackend,
@@ -34,6 +37,9 @@ from repro.types import Chirality, LocalDirection, Model
 F = Fraction
 R, L, I = LocalDirection.RIGHT, LocalDirection.LEFT, LocalDirection.IDLE
 
+#: All derived backends, compared against the Fraction reference.
+DERIVED_BACKENDS = ("lattice", "array")
+
 
 def equidistant_state(n=8, chiralities=None):
     return explicit_configuration(
@@ -44,28 +50,34 @@ def equidistant_state(n=8, chiralities=None):
     )
 
 
-def paired_simulators(make_state, model, cross_validate=False):
-    """Two identical worlds, one per backend."""
-    sims = []
-    for backend in ("fraction", "lattice"):
-        sims.append(
-            RingSimulator(
-                make_state(), model, cross_validate, backend=backend
-            )
-        )
-    return sims
+def paired_simulators(make_state, model, cross_validate=False,
+                      backends=("fraction",) + DERIVED_BACKENDS):
+    """Identical worlds, one per backend (reference first)."""
+    return [
+        RingSimulator(make_state(), model, cross_validate, backend=backend)
+        for backend in backends
+    ]
 
 
-def assert_rounds_identical(sim_f, sim_l, directions_seq):
-    """Drive both simulators through the same rounds; compare everything."""
+def assert_rounds_identical(sims, directions_seq):
+    """Drive all simulators through the same rounds; compare everything
+    against the first (reference) simulator."""
+    ref = sims[0]
     for k, directions in enumerate(directions_seq):
-        out_f = sim_f.execute(directions)
-        out_l = sim_l.execute(directions)
-        assert out_f.rotation_index == out_l.rotation_index, f"round {k}"
-        assert out_f.collision_events == out_l.collision_events, f"round {k}"
-        assert out_f.observations == out_l.observations, f"round {k}"
-        assert sim_f.state.positions == sim_l.state.positions, f"round {k}"
-        assert sim_f.state.gaps() == sim_l.state.gaps(), f"round {k}"
+        out_ref = ref.execute(directions)
+        for sim in sims[1:]:
+            out = sim.execute(directions)
+            name = sim.backend.name
+            assert out.rotation_index == out_ref.rotation_index, \
+                f"round {k} ({name})"
+            assert out.collision_events == out_ref.collision_events, \
+                f"round {k} ({name})"
+            assert out.observations == out_ref.observations, \
+                f"round {k} ({name})"
+            assert sim.state.positions == ref.state.positions, \
+                f"round {k} ({name})"
+            assert sim.state.gaps() == ref.state.gaps(), \
+                f"round {k} ({name})"
 
 
 class TestMakeBackend:
@@ -76,8 +88,19 @@ class TestMakeBackend:
     def test_by_name_and_instance(self):
         assert isinstance(make_backend("fraction"), FractionBackend)
         assert isinstance(make_backend("lattice"), LatticeBackend)
+        assert isinstance(make_backend("array"), ArrayBackend)
         inst = FractionBackend()
         assert make_backend(inst) is inst
+
+    def test_registry_names(self):
+        assert set(BACKEND_NAMES) == {"lattice", "fraction", "array"}
+
+    def test_array_is_a_lattice_backend(self):
+        # Single rounds run on the proven integer path; only fused
+        # stretches take the columnar one.
+        backend = make_backend("array")
+        assert isinstance(backend, LatticeBackend)
+        assert backend.supports_stretch
 
     def test_unknown_name_rejected(self):
         with pytest.raises(SimulationError):
@@ -95,38 +118,39 @@ class TestRandomizedEquivalence:
         make_state = lambda: random_configuration(
             n, seed=seed, common_sense=None
         )
-        sim_f, sim_l = paired_simulators(make_state, model)
+        sims = paired_simulators(make_state, model)
         rng = random.Random(seed)
         choices = (R, L, I) if model.allows_idle else (R, L)
         seq = [
             [rng.choice(choices) for _ in range(n)] for _ in range(12)
         ]
-        assert_rounds_identical(sim_f, sim_l, seq)
+        assert_rounds_identical(sims, seq)
 
     @settings(max_examples=15, deadline=None)
     @given(n=st.integers(min_value=5, max_value=9), seed=st.integers(0, 5000))
     def test_cross_validated_rounds_agree(self, n, seed):
-        """With cross-validation on, both backends run their own event
+        """With cross-validation on, every backend runs its own event
         engine and the engines must agree with each other too."""
         make_state = lambda: random_configuration(n, seed=seed)
-        sim_f, sim_l = paired_simulators(
+        sims = paired_simulators(
             make_state, Model.PERCEPTIVE, cross_validate=True
         )
         rng = random.Random(seed + 1)
         seq = [[rng.choice((R, L)) for _ in range(n)] for _ in range(6)]
-        assert_rounds_identical(sim_f, sim_l, seq)
-        assert sim_f.collision_events == sim_l.collision_events
+        assert_rounds_identical(sims, seq)
+        for sim in sims[1:]:
+            assert sim.collision_events == sims[0].collision_events
 
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(0, 5000))
     def test_lazy_cross_validated(self, seed):
         make_state = lambda: random_configuration(8, seed=seed)
-        sim_f, sim_l = paired_simulators(
+        sims = paired_simulators(
             make_state, Model.LAZY, cross_validate=True
         )
         rng = random.Random(seed)
         seq = [[rng.choice((R, L, I)) for _ in range(8)] for _ in range(6)]
-        assert_rounds_identical(sim_f, sim_l, seq)
+        assert_rounds_identical(sims, seq)
 
 
 class TestSimultaneousContacts:
@@ -135,37 +159,38 @@ class TestSimultaneousContacts:
 
     def test_alternating_velocities(self):
         make_state = lambda: equidistant_state(8)
-        sim_f, sim_l = paired_simulators(
+        sims = paired_simulators(
             make_state, Model.PERCEPTIVE, cross_validate=True
         )
         seq = [[R, L] * 4, [L, R] * 4, [R, R, L, L] * 2]
-        assert_rounds_identical(sim_f, sim_l, seq)
-        assert sim_f.collision_events > 0
+        assert_rounds_identical(sims, seq)
+        assert sims[0].collision_events > 0
 
     def test_symmetric_idle_contacts(self):
         # Movers converge symmetrically on idle agents: simultaneous
         # triple contacts resolved by pairwise exchange.
         make_state = lambda: equidistant_state(9)
-        sim_f, sim_l = paired_simulators(
+        sims = paired_simulators(
             make_state, Model.LAZY, cross_validate=True
         )
         seq = [[R, I, L] * 3, [I, R, L] * 3, [I, I, I] * 3]
-        assert_rounds_identical(sim_f, sim_l, seq)
+        assert_rounds_identical(sims, seq)
 
     def test_jittered_near_symmetric(self):
         make_state = lambda: jittered_equidistant_configuration(10, seed=3)
-        sim_f, sim_l = paired_simulators(
+        sims = paired_simulators(
             make_state, Model.PERCEPTIVE, cross_validate=True
         )
         rng = random.Random(5)
         seq = [[rng.choice((R, L)) for _ in range(10)] for _ in range(8)]
-        assert_rounds_identical(sim_f, sim_l, seq)
+        assert_rounds_identical(sims, seq)
 
 
+@pytest.mark.parametrize("backend", DERIVED_BACKENDS)
 class TestExternalWrites:
-    def test_lattice_resyncs_after_restore(self):
+    def test_resyncs_after_restore(self, backend):
         state = random_configuration(7, seed=9, common_sense=True)
-        sim = RingSimulator(state, Model.PERCEPTIVE, backend="lattice")
+        sim = RingSimulator(state, Model.PERCEPTIVE, backend=backend)
         snap = state.snapshot()
         sim.execute([R, L, R, L, R, L, R])
         state.restore(snap)
@@ -175,9 +200,9 @@ class TestExternalWrites:
         assert state.snapshot() == snap  # all-clockwise unit lap: r = 0
         assert out.rotation_index == 0
 
-    def test_lattice_resyncs_after_manual_assignment(self):
+    def test_resyncs_after_manual_assignment(self, backend):
         state = random_configuration(6, seed=2, common_sense=True)
-        sim = RingSimulator(state, Model.BASIC, backend="lattice")
+        sim = RingSimulator(state, Model.BASIC, backend=backend)
         sim.execute([R, L, R, L, R, L])
         state.positions = [F(i, 6) for i in range(6)]
         ref = RingSimulator(
@@ -191,11 +216,34 @@ class TestExternalWrites:
         assert out_l.observations == out_f.observations
         assert sim.state.positions == ref.state.positions
 
-    def test_snapshot_restore_roundtrip_with_gap_cache(self):
+    def test_resyncs_between_stretches(self, backend):
+        # External writes between fused spans must re-derive the
+        # columnar representation too, not just the scalar one.
+        from repro.ring.stretch import Stretch
+
+        state = random_configuration(7, seed=9, common_sense=True)
+        sim = RingSimulator(state, Model.PERCEPTIVE, backend=backend)
+        snap = state.snapshot()
+        vec = [R, L, R, L, R, L, R]
+        sim.execute_stretch(Stretch.probe_restore(vec))
+        assert state.snapshot() == snap
+        state.positions = [F(i, 7) for i in range(7)]
+        ref = RingSimulator(
+            random_configuration(7, seed=9, common_sense=True),
+            Model.PERCEPTIVE,
+            backend="fraction",
+        )
+        ref.state.positions = [F(i, 7) for i in range(7)]
+        result = sim.execute_stretch(Stretch(vec, 1))
+        out_f = ref.execute(vec)
+        assert result.observations(0) == out_f.observations
+        assert sim.state.positions == ref.state.positions
+
+    def test_snapshot_restore_roundtrip_with_gap_cache(self, backend):
         state = random_configuration(8, seed=4)
         gaps_before = state.gaps()
         snap = state.snapshot()
-        sim = RingSimulator(state, Model.BASIC, backend="lattice")
+        sim = RingSimulator(state, Model.BASIC, backend=backend)
         rng = random.Random(7)
         for _ in range(5):
             dirs = [rng.choice((R, L)) for _ in range(8)]
@@ -253,12 +301,113 @@ class TestBatchedExecution:
     def test_batch_across_backends(self):
         make_state = lambda: random_configuration(9, seed=8)
         outs = {}
-        for backend in ("fraction", "lattice"):
+        scheds = {}
+        for backend in ("fraction",) + DERIVED_BACKENDS:
             sched = Scheduler(
                 make_state(), Model.PERCEPTIVE, backend=backend
             )
             outs[backend] = sched.run_fixed(L, k=7)
-        assert outs["fraction"] == outs["lattice"]
+            scheds[backend] = sched
+        assert outs["fraction"] == outs["lattice"] == outs["array"]
+        for backend in DERIVED_BACKENDS:
+            for va, vb in zip(
+                scheds["fraction"].views, scheds[backend].views
+            ):
+                assert va.log == vb.log
+
+
+class TestNumpyAbsentFallback:
+    """The array backend must degrade to the stdlib ``array`` module --
+    bit-exactly -- when ``import numpy`` fails."""
+
+    def _without_numpy(self, monkeypatch):
+        import builtins
+
+        from repro.ring import arrayops
+
+        real_import = builtins.__import__
+
+        def no_numpy(name, *args, **kwargs):
+            if name == "numpy":
+                raise ImportError("numpy disabled for this test")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_numpy)
+        arrayops.reset_numpy_cache()
+
+    def test_fallback_is_bit_exact(self, monkeypatch):
+        from repro.ring import arrayops
+
+        self._without_numpy(monkeypatch)
+        try:
+            backend = make_backend("array")
+            assert backend.np is None
+            make_state = lambda: random_configuration(8, seed=21)
+            sims = paired_simulators(
+                make_state, Model.PERCEPTIVE,
+                backends=("fraction", "array"),
+            )
+            assert sims[1].backend.np is None
+            rng = random.Random(3)
+            seq = [[rng.choice((R, L)) for _ in range(8)] for _ in range(8)]
+            assert_rounds_identical(sims, seq)
+        finally:
+            monkeypatch.undo()
+            arrayops.reset_numpy_cache()
+
+    def test_fallback_fuses_stretches(self, monkeypatch):
+        from repro.ring import arrayops
+        from repro.ring.stretch import Stretch
+
+        self._without_numpy(monkeypatch)
+        try:
+            sim = RingSimulator(
+                random_configuration(8, seed=21),
+                Model.PERCEPTIVE,
+                backend="array",
+            )
+            ref = RingSimulator(
+                random_configuration(8, seed=21),
+                Model.PERCEPTIVE,
+                backend="fraction",
+            )
+            vec = [R, L, R, L, L, R, R, L]
+            result = sim.execute_stretch(Stretch.probe_restore(vec))
+            # Fused even without numpy: stdlib-array columns, np unset.
+            assert type(result).__name__ == "ArrayStretchResult"
+            assert result.np is None
+            o1 = ref.execute(vec)
+            o2 = ref.execute([d.opposite() for d in vec])
+            assert result.observations(0) == o1.observations
+            assert result.observations(1) == o2.observations
+            assert sim.state.positions == ref.state.positions
+        finally:
+            monkeypatch.undo()
+            arrayops.reset_numpy_cache()
+
+    def test_native_protocols_on_fallback(self, monkeypatch):
+        from repro.ring import arrayops
+
+        self._without_numpy(monkeypatch)
+        try:
+            from repro.api import RingSession
+
+            results = {}
+            for backend in ("lattice", "array"):
+                session = RingSession(
+                    n=8, model="perceptive", backend=backend, seed=13,
+                )
+                result = session.run("coordination")
+                results[backend] = (
+                    session.rounds,
+                    session.state.snapshot(),
+                    [dict(v.memory) for v in session.views],
+                    result.to_dict(),
+                )
+            assert results["lattice"] == results["array"]
+        finally:
+            monkeypatch.undo()
+            arrayops.reset_numpy_cache()
 
 
 class TestUnanimousMemory:
