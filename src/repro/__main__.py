@@ -5,8 +5,9 @@ Usage::
 
     python -m repro run [coordination|location-discovery] [--n 8]
                         [--model perceptive] [--seed 2024]
-                        [--backend lattice|fraction] [--common-sense]
-                        [--driver native|callback] [--json]
+                        [--backend lattice|fraction|array]
+                        [--common-sense] [--driver native|callback]
+                        [--unchecked] [--json]
     python -m repro sweep [--protocol location-discovery]
                           [--sizes 8,16] [--seeds 0,1,2,3]
                           [--models perceptive] [--backends lattice]
@@ -24,6 +25,8 @@ Usage::
                                    [--out BENCH.json]
     python -m repro bench-array [--sizes 1024,4096,16384]
                                 [--out BENCH.json]
+    python -m repro bench-speculative [--sizes 256,1024]
+                                      [--distances-n 48] [--out BENCH.json]
     python -m repro bench-fleet [--sessions 16] [--n 24] [--workers 4]
                                 [--out BENCH.json]
 
@@ -156,6 +159,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         seed=args.seed,
         common_sense=args.common_sense,
         driver=args.driver,
+        unchecked=args.unchecked,
     )
     try:
         result = session.run(args.protocol)
@@ -180,6 +184,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
             "seed": args.seed,
             "common_sense": args.common_sense,
             "driver": session.driver,
+            "unchecked": args.unchecked,
             "phases": phases,
             "result": result.to_dict(),
         }, indent=2))
@@ -231,6 +236,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         backends=backends,
         common_sense=args.common_sense,
         driver=args.driver,
+        unchecked=args.unchecked,
     )
     fleet = Fleet(specs, workers=args.workers, executor=args.executor)
     report = fleet.run()
@@ -303,6 +309,21 @@ def _cmd_bench_array(args: argparse.Namespace) -> None:
         print(f"wrote {args.out}")
 
 
+def _cmd_bench_speculative(args: argparse.Namespace) -> None:
+    from repro.experiments.harness import speculative_shootout
+
+    report = speculative_shootout(
+        sizes=tuple(_sizes(args.sizes)), distances_n=args.distances_n,
+        seed=args.seed, repeats=args.repeats,
+    )
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+
 def _cmd_bench_fleet(args: argparse.Namespace) -> None:
     from repro.experiments.harness import fleet_shootout
 
@@ -334,6 +355,12 @@ def _add_driver(parser: argparse.ArgumentParser) -> None:
         "--driver", default=DEFAULT_DRIVER, choices=list(DRIVER_NAMES),
         help="phase implementation: native whole-population policies "
         "or the legacy per-agent callback drivers (bit-exact)",
+    )
+    parser.add_argument(
+        "--unchecked", action="store_true",
+        help="skip the provably-restoring rounds of probe/restore "
+        "pairs (native driver; same results and final positions, "
+        "fewer rounds and shorter logs)",
     )
 
 
@@ -473,6 +500,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write the JSON report to this path"
     )
     ba.set_defaults(fn=_cmd_bench_array)
+
+    bs = sub.add_parser(
+        "bench-speculative",
+        help="time speculative fused stretches (data-dependent sweeps "
+        "+ Algorithm 6) on the array vs the lattice backend",
+    )
+    bs.add_argument("--sizes", default="256,1024")
+    bs.add_argument("--distances-n", type=int, default=48)
+    bs.add_argument("--seed", type=int, default=11)
+    bs.add_argument("--repeats", type=int, default=2)
+    bs.add_argument(
+        "--out", default=None, help="also write the JSON report to this path"
+    )
+    bs.set_defaults(fn=_cmd_bench_speculative)
 
     bf = sub.add_parser(
         "bench-fleet",

@@ -24,6 +24,7 @@ from repro.api.policy import (
     FunctionPolicy,
     PerAgentPolicy,
     Policy,
+    SpeculativeStretch,
     Stretch,
     VectorPolicy,
     as_policy,
@@ -60,6 +61,7 @@ __all__ = [
     "RingSession",
     "RunReport",
     "SessionSpec",
+    "SpeculativeStretch",
     "Stretch",
     "VectorPolicy",
     "as_policy",

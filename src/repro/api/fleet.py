@@ -54,6 +54,9 @@ class SessionSpec:
     id_bound: Optional[int] = None
     config: str = "random"
     driver: str = DEFAULT_DRIVER
+    #: Opt-in fast mode: skip the provably-restoring rounds of
+    #: probe/restore pairs (native driver; see RingSession docs).
+    unchecked: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -79,6 +82,7 @@ def run_session_spec(spec: SessionSpec) -> Dict[str, object]:
         id_bound=spec.id_bound,
         config=spec.config,
         driver=spec.driver,
+        unchecked=spec.unchecked,
     )
     start = time.perf_counter()
     result = session.run(spec.protocol)
@@ -194,6 +198,7 @@ def sweep(
     id_bound: Optional[int] = None,
     config: str = "random",
     driver: str = DEFAULT_DRIVER,
+    unchecked: bool = False,
 ) -> List[SessionSpec]:
     """Cartesian-product spec builder: sizes x seeds x models x backends.
 
@@ -218,5 +223,6 @@ def sweep(
                         id_bound=id_bound,
                         config=config,
                         driver=driver,
+                        unchecked=unchecked,
                     ))
     return specs

@@ -25,7 +25,7 @@ from typing import Callable, List, Sequence, Union
 from repro.core.agent import AgentView
 from repro.core.scheduler import ChoiceFn
 from repro.exceptions import ProtocolError
-from repro.ring.stretch import Stretch
+from repro.ring.stretch import SpeculativeStretch, Stretch
 from repro.types import LocalDirection, RoundOutcome
 
 PolicyLike = Union["Policy", ChoiceFn]
@@ -37,6 +37,7 @@ __all__ = [
     "PerAgentPolicy",
     "Policy",
     "PolicyLike",
+    "SpeculativeStretch",
     "Stretch",
     "VectorPolicy",
     "as_policy",

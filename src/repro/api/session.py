@@ -63,6 +63,13 @@ class RingSession:
             ``"native"`` (whole-population policies over columnar state,
             the default) or ``"callback"`` (the legacy per-agent
             reference drivers).  The two are bit-exact.
+        unchecked: Opt-in fast mode (native driver only): the provably
+            restoring rounds of probe/restore pairs are skipped -- their
+            net rotation is committed directly instead of simulated.
+            Protocol results and final positions are unchanged
+            (property-tested); round counts and agent logs are not,
+            because the skipped rounds never happen.  CLI:
+            ``--unchecked``.
     """
 
     def __init__(
@@ -79,6 +86,7 @@ class RingSession:
         state: Optional[RingState] = None,
         scheduler: Optional[Scheduler] = None,
         cross_validate: bool = False,
+        unchecked: bool = False,
     ) -> None:
         self.common_sense = common_sense
         self.driver = resolve_driver(driver)
@@ -98,6 +106,7 @@ class RingSession:
                     ("id_bound", id_bound is not None),
                     ("config", config is not None),
                     ("cross_validate", cross_validate),
+                    ("unchecked", unchecked),
                 )
                 if given
             ]
@@ -145,7 +154,8 @@ class RingSession:
                         f"n={n} contradicts the given state (n={state.n})"
                     )
             self.scheduler = Scheduler(
-                state, model, cross_validate, backend=backend
+                state, model, cross_validate, backend=backend,
+                unchecked=unchecked,
             )
         self._spec: Optional[ProtocolSpec] = None
         self._pending: List[Phase] = []
@@ -182,12 +192,13 @@ class RingSession:
         common_sense: bool = False,
         driver: Optional[str] = None,
         cross_validate: bool = False,
+        unchecked: bool = False,
     ) -> "RingSession":
         """Wrap an existing world state (the caller keeps ownership)."""
         return cls(
             state=state, model=model, backend=backend,
             common_sense=common_sense, driver=driver,
-            cross_validate=cross_validate,
+            cross_validate=cross_validate, unchecked=unchecked,
         )
 
     @classmethod

@@ -35,6 +35,19 @@ read -- and notifies the policy once via ``observe_stretch``.
 backends.  Backend selection
 (``backend="lattice"|"fraction"|"array"``) threads through to
 :class:`~repro.ring.simulator.RingSimulator`.
+
+Speculative stretches: data-dependent phases (the location-discovery
+sweeps, the Convolution/Pivot schedule) plan a
+:class:`~repro.ring.stretch.SpeculativeStretch` -- an optimistic span
+plus a per-round stop predicate over the observation columns -- via
+:meth:`Scheduler.run_stretch`; stretch-capable backends advance the
+whole span and cut the commit back to the predicate's firing round
+(a rotation-offset rewind), scalar backends interleave execute and
+evaluate.  ``unchecked=True`` additionally lets native drivers skip
+the provably-restoring rounds of probe/restore pairs entirely
+(:meth:`Scheduler.skip_restoring`): final positions and protocol
+results are unchanged, but the skipped rounds appear in neither the
+round count nor the logs -- an explicit opt-in trade.
 """
 
 from __future__ import annotations
@@ -81,11 +94,19 @@ class Scheduler:
         model: Model = Model.BASIC,
         cross_validate: bool = False,
         backend: BackendSpec = None,
+        unchecked: bool = False,
     ) -> None:
         self.simulator = RingSimulator(
             state, model, cross_validate, backend=backend
         )
         self.model = model
+        # Opt-in fast mode: native phase drivers skip the provably
+        # restoring rounds of probe/restore pairs (positions advance by
+        # the span's net rotation instead of being simulated).  Protocol
+        # outcomes and final positions are unchanged; round counts and
+        # logs are not -- see Scheduler.skip_restoring.  Cross-validated
+        # runs never skip (there would be nothing to validate).
+        self.unchecked = bool(unchecked) and not cross_validate
         self.population = Population(
             n=state.n,
             ids=state.ids,
@@ -199,8 +220,7 @@ class Scheduler:
         otherwise its per-round ``observe`` hook is replayed round by
         round with materialised outcomes.  Returns the stretch outcome.
         """
-        result = self.simulator.execute_stretch(stretch)
-        self.population.record_stretch(result)
+        result = self.run_stretch(stretch)
         observe_stretch = getattr(choose, "observe_stretch", None)
         if observe_stretch is not None:
             observe_stretch(self.views, result)
@@ -210,6 +230,34 @@ class Scheduler:
                 for j in range(result.k):
                     observe(self.views, result.outcome(j))
         return result
+
+    def run_stretch(self, stretch: Stretch):
+        """Execute a stretch plan directly (no policy dispatch).
+
+        The entry point for phase drivers that build their own spans --
+        the speculative sweeps and the Convolution/Pivot schedule hand
+        a :class:`~repro.ring.stretch.SpeculativeStretch` here and read
+        the committed rounds off the returned outcome (``result.k``;
+        for a speculative plan that is the stop predicate's firing
+        round, not the planned upper bound).  Every committed round is
+        filed in the history as a lazy row, exactly as policy-returned
+        stretches are.
+        """
+        result = self.simulator.execute_stretch(stretch)
+        self.population.record_stretch(result)
+        return result
+
+    def skip_restoring(self, row, k: int = 1) -> None:
+        """Apply ``k`` provably-restoring rounds of ``row`` unsimulated.
+
+        The ``unchecked`` fast path for restore steps: the span's net
+        rotation is committed directly (Lemma 1 -- a round's entire
+        effect on the world is a rotation), no rounds are counted, no
+        observations are filed.  Only ever routed here by native phase
+        drivers for REVERSEDROUND spans whose observations are provably
+        never read; :attr:`unchecked` must be on.
+        """
+        self.simulator.apply_restoring_span(row, k)
 
     def run_rounds(self, choose: PolicyLike, k: int) -> List[RoundOutcome]:
         """Execute at least ``k`` policy- or choice-driven rounds;

@@ -474,6 +474,207 @@ def array_shootout(
     }
 
 
+def _speculative_preset(sched, leader: bool = True, labels: bool = False):
+    """Stage the sweep/distances preconditions directly in the columns.
+
+    A harness shortcut (it reads chiralities from the world state,
+    which protocol code must never do): the common frame is pinned to
+    the objective clockwise direction, the max-ID agent leads, and for
+    Distances the 1..n labels follow the ring order -- exactly the
+    state the coordination phases would have established, minus their
+    rounds.  Works identically for the native (column) and callback
+    (per-agent memory) drivers because views are slots of the same
+    store.
+    """
+    from repro.protocols.base import (
+        KEY_FRAME_FLIP,
+        KEY_LABEL,
+        KEY_LEADER,
+        KEY_RING_SIZE,
+    )
+    from repro.types import Chirality
+
+    population = sched.population
+    chir = sched.state.chiralities
+    population.set_column(
+        KEY_FRAME_FLIP, [c is not Chirality.CLOCKWISE for c in chir]
+    )
+    if leader:
+        lead = max(range(population.n), key=lambda i: population.ids[i])
+        population.set_column(
+            KEY_LEADER, [i == lead for i in range(population.n)]
+        )
+    if labels:
+        population.set_column(
+            KEY_LABEL, list(range(1, population.n + 1))
+        )
+        population.fill(KEY_RING_SIZE, population.n)
+
+
+def _speculative_workload(
+    backend: str, n: int, distances_n: int, seed: int, driver: str,
+    collect: bool,
+):
+    """One data-dependent-phase workload run: the rotation-1 sweep at
+    ``n`` (lazy model), the rotation-2 sweep at the nearest odd
+    ``n // 2 + 1`` (basic model) and Algorithm 6 at ``distances_n``
+    (perceptive model, equation-solve bound -- held small so the
+    simulation layer under test stays visible in the ratio).  Returns
+    ``(seconds, fingerprint)``; the fingerprint (rounds, final
+    positions, every agent's ``ld.gaps``, sampled logs) is only
+    assembled on collecting runs.
+    """
+    from repro.core.scheduler import Scheduler
+    from repro.protocols.base import KEY_LD_GAPS
+    from repro.ring.configs import random_configuration
+    from repro.types import Model
+
+    if driver == "native":
+        from repro.protocols.policies.distances import discover_distances
+        from repro.protocols.policies.location_discovery import (
+            sweep_rotation_one,
+            sweep_rotation_two,
+        )
+    else:
+        from repro.protocols.distances import discover_distances
+        from repro.protocols.location_discovery import (
+            sweep_rotation_one,
+            sweep_rotation_two,
+        )
+
+    n_odd = n // 2 + 1
+    if n_odd % 2 == 0:
+        n_odd += 1
+    phases = (
+        (sweep_rotation_one, n, Model.LAZY, False),
+        (sweep_rotation_two, n_odd, Model.BASIC, False),
+        (discover_distances, distances_n, Model.PERCEPTIVE, True),
+    )
+    elapsed = 0.0
+    fingerprint = [] if collect else None
+    for run_phase, size, model, labels in phases:
+        state = random_configuration(size, seed=seed, common_sense=False)
+        sched = Scheduler(state, model, backend=backend)
+        _speculative_preset(sched, leader=not labels, labels=labels)
+        start = time.perf_counter()
+        run_phase(sched)
+        elapsed += time.perf_counter() - start
+        if collect:
+            sample = min(size, 64)
+            fingerprint.append((
+                sched.rounds,
+                state.snapshot(),
+                sched.population.get_column(KEY_LD_GAPS),
+                [list(view.log) for view in sched.views[:sample]],
+            ))
+    return elapsed, fingerprint
+
+
+def speculative_shootout(
+    sizes: Sequence[int] = (256, 1024),
+    distances_n: int = 48,
+    seed: int = 11,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """Time the array backend against the lattice backend on the
+    *data-dependent* phases (speculative fused stretches).
+
+    Both backends execute the identical sweep + Distances workload with
+    the native drivers from identical initial configurations at each
+    size.  Before any timing, collecting runs verify bit-exact
+    agreement of round counts, final positions, every agent's gap
+    vector and the sampled observation logs -- between array and
+    lattice at every size, and additionally against the legacy
+    per-agent callback drivers and the exact Fraction backend at the
+    smallest swept size (``callback_checked_at`` /
+    ``fraction_checked_at`` record what actually ran; the native
+    drivers and all three backends are property-tested bit-exact at
+    every size in tier-1).  Timings are the best of ``repeats`` runs
+    for the smaller sizes and a single run at the largest.
+
+    Returns a JSON-ready report (the ``BENCH_speculative.json``
+    payload).
+    """
+    import os
+
+    from repro.exceptions import SimulationError
+
+    sizes = tuple(sizes)
+    check_at = min(sizes) if sizes else None
+    rows = []
+    for n in sizes:
+        _, latt_fp = _speculative_workload(
+            "lattice", n, distances_n, seed, "native", collect=True
+        )
+        _, arr_fp = _speculative_workload(
+            "array", n, distances_n, seed, "native", collect=True
+        )
+        if latt_fp != arr_fp:
+            raise SimulationError(
+                f"array and lattice backends disagree at n={n}"
+            )
+        if n == check_at:
+            _, cb_fp = _speculative_workload(
+                "lattice", n, distances_n, seed, "callback", collect=True
+            )
+            if cb_fp != latt_fp:
+                raise SimulationError(
+                    f"native and callback drivers disagree at n={n}"
+                )
+            _, frac_fp = _speculative_workload(
+                "fraction", n, distances_n, seed, "native", collect=True
+            )
+            if frac_fp != arr_fp:
+                raise SimulationError(
+                    f"array and Fraction backends disagree at n={n}"
+                )
+        runs = max(1, repeats) if n < max(sizes) else 1
+        timings: Dict[str, float] = {}
+        for backend in ("lattice", "array"):
+            timings[backend] = min(
+                _speculative_workload(
+                    backend, n, distances_n, seed, "native", collect=False
+                )[0]
+                for _ in range(runs)
+            )
+        rows.append({
+            "n": n,
+            "rounds": sum(phase[0] for phase in latt_fp),
+            "seconds": {k: round(v, 6) for k, v in timings.items()},
+            "speedup_array_over_lattice": round(
+                timings["lattice"] / timings["array"], 2
+            ),
+        })
+
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "benchmark": "speculative_shootout",
+        "workload": {
+            "phases": [
+                "sweep_rotation_one(lazy)",
+                "sweep_rotation_two(basic, odd n//2+1)",
+                f"discover_distances(perceptive, n={distances_n})",
+            ],
+            "driver": "native",
+            "seed": seed,
+            "repeats": repeats,
+            "distances_n": distances_n,
+            "callback_checked_at": check_at,
+            "fraction_checked_at": check_at,
+        },
+        "bit_exact": True,
+        "sweep": rows,
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
 def fleet_shootout(
     sessions: int = 16,
     n: int = 24,

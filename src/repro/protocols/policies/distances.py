@@ -1,11 +1,24 @@
 """Native Distances / Algorithm 6 (vectorised twin of
 :mod:`repro.protocols.distances`).
 
-The Convolution/Pivot schedule is public, so every round's direction
-vector is one pass over the label column; the per-agent equation
-systems (private computation, not communication) accumulate in plain
-slot-indexed lists and solve in :func:`discover_distances`'s final
-pass.  Reuses the legacy module's pure schedule helpers
+The Convolution/Pivot *directions* are public (one pass over the label
+column per round), but the phase is data-dependent in its ending: every
+round's ``dist()``/``coll()`` observations feed each agent's equation
+system, and the protocol is done exactly when every system reaches full
+rank -- which Lemma 41 guarantees on the last Pivot round.  The whole
+n/2 + 3 round schedule is therefore planned as one
+:class:`~repro.ring.stretch.SpeculativeStretch`: the stop predicate
+harvests round ``j``'s observation columns into the equation systems
+and fires once all of them are full rank.  On a stretch-capable backend
+the span's kinematics run as a single vectorised call emitting raw
+integer dist/coll columns (the equation right-hand sides are built
+through interning caches, no per-agent Fraction arithmetic on the
+observation side); on scalar backends the predicate interleaves with
+per-round execution, reproducing the legacy loop exactly.  Either way
+the firing round is the schedule's planned end, so the native driver
+stays bit-exact with the callback reference.
+
+Reuses the legacy module's pure schedule helpers
 (:func:`~repro.protocols.distances.convolution_direction`,
 :func:`~repro.protocols.distances.pivot_direction`,
 :func:`~repro.protocols.distances.coll_window`).
@@ -14,7 +27,7 @@ pass.  Reuses the legacy module's pure schedule helpers
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.equations import Equation, EquationSystem
 from repro.core.scheduler import Scheduler
@@ -26,7 +39,6 @@ from repro.protocols.base import (
     KEY_RING_SIZE,
 )
 from repro.protocols.distances import (
-    DirectionMap,
     coll_window,
     convolution_direction,
     pivot_direction,
@@ -35,52 +47,73 @@ from repro.protocols.policies.base import (
     LEFT,
     RIGHT,
     aligned_vector,
-    common_dists,
-    run_vector,
 )
+from repro.ring.stretch import SpeculativeStretch
 from repro.types import Model
 
+#: One schedule entry: (moves_right, rho, rotation) exactly as the
+#: legacy ``_run_structured_round`` consumes them.
+_ScheduleEntry = Tuple[object, int, int]
 
-def _run_structured_round(
-    sched: Scheduler,
-    moves_right: DirectionMap,
-    rho: int,
-    rotation: int,
-    systems: List[EquationSystem],
-) -> None:
-    """Execute one scheduled round and harvest each slot's equations."""
-    population = sched.population
-    labels = population.column(KEY_LABEL)
-    flips = population.column(KEY_FRAME_FLIP)
-    n_ring = population.column(KEY_RING_SIZE)[0]
 
-    commons = [
-        RIGHT if moves_right(label - 1) else LEFT for label in labels
+def _schedule(n: int) -> List[_ScheduleEntry]:
+    """The Convolution/Pivot schedule (n/2 rounds + 3 pivots)."""
+    entries: List[_ScheduleEntry] = []
+    for i in range(1, n // 2 + 1):
+        exception = n - 2 * (i - 1)
+        rho = (2 * (i - 1)) % n
+        entries.append((convolution_direction(n, exception), rho, 2))
+    # Cumulative rotation is now n = 0 (mod n): initial configuration.
+    for j in (n, n - 1, n - 2):
+        entries.append((pivot_direction(n, j), 0, 0))
+    return entries
+
+
+def _round_columns(result, j: int, flips, cache: Dict[int, Fraction]):
+    """Round ``j``'s common-frame dists and doubled colls as Fractions.
+
+    Returns ``(dists, colls2)`` where ``colls2[slot]`` is ``2 * coll``
+    (the Prop 4/37 window right-hand side) or None.  Raw integer
+    columns go through one interning cache; the materialised-round
+    fallback mirrors the legacy per-agent arithmetic bit for bit.
+    """
+    ints = result.dist_ints(j)
+    if ints is not None:
+        scale = result.scale
+        raw = ints.tolist() if result.np is not None else list(ints)
+        dists: List[Fraction] = []
+        for flip, v in zip(flips, raw):
+            if flip and v:
+                v = scale - v
+            value = cache.get(v)
+            if value is None:
+                value = cache[v] = Fraction(v, scale)
+            dists.append(value)
+        craw = result.coll_ints(j)
+        if craw is None:
+            colls2: List[Optional[Fraction]] = [None] * len(raw)
+        else:
+            craw = craw.tolist() if result.np is not None else list(craw)
+            colls2 = []
+            for c in craw:
+                if c < 0:
+                    colls2.append(None)
+                    continue
+                # coll is over 2*scale, so 2*coll is c over scale.
+                value = cache.get(c)
+                if value is None:
+                    value = cache[c] = Fraction(c, scale)
+                colls2.append(value)
+        return dists, colls2
+    obs = result.observations(j)
+    dists = [
+        (Fraction(1) - o.dist if o.dist != 0 else Fraction(0))
+        if flip
+        else o.dist
+        for flip, o in zip(flips, obs)
     ]
-    obs = run_vector(sched, aligned_vector(flips, commons))
-
-    dists = common_dists(flips, obs)
-    for slot in range(population.n):
-        label0 = labels[slot] - 1
-        system = systems[slot]
-        if rotation % n_ring != 0:
-            system.add(
-                Equation.window(
-                    n_ring,
-                    (label0 + rho) % n_ring,
-                    rotation,
-                    Fraction(1),
-                    dists[slot],
-                )
-            )
-        window = coll_window(n_ring, moves_right, label0, rho)
-        if window is not None and obs[slot].coll is not None:
-            start, hops = window
-            system.add(
-                Equation.window(
-                    n_ring, start, hops, Fraction(1), 2 * obs[slot].coll
-                )
-            )
+    colls2 = [None if o.coll is None else 2 * o.coll for o in obs]
+    return dists, colls2
 
 
 def discover_distances(sched: Scheduler) -> int:
@@ -98,20 +131,59 @@ def discover_distances(sched: Scheduler) -> int:
             "Distances requires even n; use the rotation sweeps for odd n"
         )
 
+    labels = population.column(KEY_LABEL)
+    flips = population.column(KEY_FRAME_FLIP)
     systems = [EquationSystem(n) for _ in range(population.n)]
+    schedule = _schedule(n)
+    rows = [
+        aligned_vector(
+            flips,
+            [RIGHT if moves_right(label - 1) else LEFT for label in labels],
+        )
+        for moves_right, _rho, _rotation in schedule
+    ]
+    # Structural coll() windows, precomputed per (round, slot) -- the
+    # schedule is public, only the observation values are not.
+    windows = [
+        [
+            coll_window(n, moves_right, labels[slot] - 1, rho)
+            for slot in range(population.n)
+        ]
+        for moves_right, rho, _rotation in schedule
+    ]
+    cache: Dict[int, Fraction] = {}
+    one = Fraction(1)
+
+    def stop(result, j: int) -> bool:
+        """Harvest round ``j``'s equations; fire at full rank."""
+        _moves_right, rho, rotation = schedule[j]
+        dists, colls2 = _round_columns(result, j, flips, cache)
+        round_windows = windows[j]
+        done = True
+        for slot in range(population.n):
+            label0 = labels[slot] - 1
+            system = systems[slot]
+            if rotation % n != 0:
+                system.add(
+                    Equation.window(
+                        n, (label0 + rho) % n, rotation, one, dists[slot]
+                    )
+                )
+            window = round_windows[slot]
+            if window is not None and colls2[slot] is not None:
+                start, hops = window
+                system.add(
+                    Equation.window(n, start, hops, one, colls2[slot])
+                )
+            if done and not system.full_rank:
+                done = False
+        return done
 
     before = sched.rounds
-    for i in range(1, n // 2 + 1):
-        exception = n - 2 * (i - 1)
-        rho = (2 * (i - 1)) % n
-        _run_structured_round(
-            sched, convolution_direction(n, exception), rho, 2, systems
-        )
-    # Cumulative rotation is now n = 0 (mod n): initial configuration.
-    for j in (n, n - 1, n - 2):
-        _run_structured_round(sched, pivot_direction(n, j), 0, 0, systems)
+    sched.run_stretch(
+        SpeculativeStretch(pairs=[(row, 1) for row in rows], stop=stop)
+    )
 
-    labels = population.column(KEY_LABEL)
     gaps_column: List[List[Fraction]] = []
     for slot, system in enumerate(systems):
         if not system.full_rank:

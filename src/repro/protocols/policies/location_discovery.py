@@ -1,10 +1,29 @@
 """Native walk-based location-discovery sweeps (vectorised twin of
-:mod:`repro.protocols.location_discovery`)."""
+:mod:`repro.protocols.location_discovery`).
+
+The sweeps are the paper's canonical *data-dependent* phases: agents do
+not know n, so the loop closes only when the collected gaps first sum
+to a full turn (rotation 1) or to two full turns (rotation 2, odd n).
+Each sweep therefore plans a :class:`~repro.ring.stretch.
+SpeculativeStretch` -- an optimistic span of identical rounds plus a
+stop predicate that accumulates slot 0's common-frame ``dist()`` values
+and fires on the closing round.  A stretch-capable backend advances the
+whole span vectorised and cuts the commit back to the firing round (a
+rotation-offset rewind); scalar backends interleave execute and
+evaluate, reproducing the legacy loop exactly.  The span length is a
+*harness* hint (``state.n``-sized chunks, same access the legacy bug
+bound uses) -- correctness rests only on the predicate.
+
+Harvesting is columnar: on the vectorised path the whole span's dist
+numerators arrive as one ``(k, n)`` int64 matrix, the common-frame
+conversion is one ``where`` select, and the per-slot Fraction lists are
+built through one interning cache -- no per-round Fraction arithmetic.
+"""
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List
+from typing import Dict, List
 
 from repro.analysis.linear_system import solve_cyclic_pair_sums
 from repro.core.population import MISSING
@@ -18,9 +37,14 @@ from repro.protocols.policies.base import (
     aligned_vector,
     common_dists,
     require_column,
-    run_vector,
 )
+from repro.ring.stretch import SpeculativeStretch
 from repro.types import Model
+
+#: Upper bound on one speculative chunk (bounds the optimistic column
+#: matrix to ``_MAX_CHUNK * n`` int64 cells; tests shrink it to force
+#: multi-chunk sweeps).
+_MAX_CHUNK = 2048
 
 
 def _leader_and_flips(sched: Scheduler):
@@ -41,32 +65,134 @@ def _leader_and_flips(sched: Scheduler):
     return is_leader, flips
 
 
+def _slot0_common(result, j: int, flip0: bool, cache: Dict[int, Fraction]):
+    """Round ``j``'s common-frame ``dist()`` of slot 0."""
+    ints = result.dist_ints(j)
+    if ints is not None:
+        scale = result.scale
+        v = int(ints[0])
+        if flip0 and v:
+            v = scale - v
+        value = cache.get(v)
+        if value is None:
+            value = cache[v] = Fraction(v, scale)
+        return value
+    d = result.observations(j)[0].dist
+    if flip0 and d != 0:
+        d = Fraction(1) - d
+    return d
+
+
+def _harvest_block(result, flips, collected, cache, want_totals: bool):
+    """Append every committed round's common-frame dists per slot.
+
+    With ``want_totals`` returns ``(block_totals, scale)``: the block's
+    per-slot sums as raw numerators over ``scale`` on the
+    integer-column path, or as Fractions with ``scale=None`` on the
+    materialised-round fallback (the full-turn validation runs on
+    whichever arrived, exactly); else ``(None, scale)``.
+    """
+    matrix = result.dist_ints_all()
+    xp = result.np
+    if matrix is not None and xp is not None:
+        scale = result.scale
+        flip_row = xp.asarray([bool(f) for f in flips])
+        common = xp.where(flip_row[None, :] & (matrix != 0),
+                          scale - matrix, matrix)
+        totals = [] if want_totals else None
+        for slot, column in enumerate(common.T.tolist()):
+            gaps = collected[slot]
+            if want_totals:
+                total = 0
+                for v in column:
+                    value = cache.get(v)
+                    if value is None:
+                        value = cache[v] = Fraction(v, scale)
+                    gaps.append(value)
+                    total += v
+                totals.append(total)
+            else:
+                for v in column:
+                    value = cache.get(v)
+                    if value is None:
+                        value = cache[v] = Fraction(v, scale)
+                    gaps.append(value)
+        return totals, scale
+    totals = [Fraction(0)] * len(collected) if want_totals else None
+    for j in range(result.k):
+        obs = result.observations(j)
+        if want_totals:
+            for slot, d in enumerate(common_dists(flips, obs)):
+                collected[slot].append(d)
+                totals[slot] += d
+        else:
+            for slot, d in enumerate(common_dists(flips, obs)):
+                collected[slot].append(d)
+    return totals, None
+
+
+def _sweep_gaps(sched: Scheduler, vector, flips, target: Fraction,
+                label: str, want_totals: bool = True):
+    """Run one sweep speculatively until slot 0's collected gaps sum to
+    ``target``; returns ``(collected, rounds, totals, scale)`` where
+    ``totals`` holds every slot's running sum (numerators over
+    ``scale``, or Fractions with ``scale=None``)."""
+    population = sched.population
+    n = population.n
+    collected: List[List[Fraction]] = [[] for _ in range(n)]
+    # Same harness access the legacy bug bound uses; correctness never
+    # depends on it -- the predicate alone decides the span's length.
+    bound = 4 * sched.state.n + 8
+    hint = min(sched.state.n, _MAX_CHUNK)
+    flip0 = bool(flips[0])
+    cache: Dict[int, Fraction] = {}
+    total = [Fraction(0)]
+    fired = [False]
+    executed = 0
+    totals = None
+    scale = None
+
+    def stop(result, j: int) -> bool:
+        total[0] += _slot0_common(result, j, flip0, cache)
+        if total[0] == target:
+            fired[0] = True
+            return True
+        return False
+
+    while True:
+        chunk = min(hint, bound + 1 - executed)
+        result = sched.run_stretch(
+            SpeculativeStretch(vector, chunk, stop=stop)
+        )
+        block_totals, scale = _harvest_block(
+            result, flips, collected, cache, want_totals
+        )
+        if totals is None:
+            totals = block_totals
+        elif block_totals is not None:
+            totals = [a + b for a, b in zip(totals, block_totals)]
+        executed += result.k
+        if fired[0]:
+            return collected, executed, totals, scale
+        if executed > bound:
+            raise ProtocolError(f"{label} sweep failed to close: bug")
+
+
 def sweep_rotation_one(sched: Scheduler) -> int:
     """Native twin of the lazy-model rotation-1 sweep (Lemma 16)."""
     if sched.model is not Model.LAZY:
         raise ProtocolError("rotation-1 sweep requires the lazy model")
     is_leader, flips = _leader_and_flips(sched)
     population = sched.population
-    n = population.n
     vector = aligned_vector(
         flips, [RIGHT if lead else IDLE for lead in is_leader]
     )
-    collected: List[List[Fraction]] = [[] for _ in range(n)]
-
-    rounds = 0
-    while True:
-        obs = run_vector(sched, vector)
-        rounds += 1
-        for slot, d in enumerate(common_dists(flips, obs)):
-            collected[slot].append(d)
-        # Completion is a local test: a full turn of gaps has been seen.
-        if sum(collected[0], Fraction(0)) == 1:
-            break
-        if rounds > 4 * sched.state.n + 8:
-            raise ProtocolError("rotation-1 sweep failed to close: bug")
-
-    for gaps in collected:
-        if sum(gaps, Fraction(0)) != 1:
+    collected, rounds, totals, scale = _sweep_gaps(
+        sched, vector, flips, Fraction(1), "rotation-1"
+    )
+    full_turn = Fraction(1) if scale is None else scale
+    for total in totals:
+        if total != full_turn:
             raise ProtocolError("agent's sweep did not cover a full turn")
     population.set_column(KEY_LD_GAPS, collected)
     return rounds
@@ -80,23 +206,14 @@ def sweep_rotation_two(sched: Scheduler) -> int:
             "location discovery in the basic model is unsolvable for even n"
         )
     is_leader, flips = _leader_and_flips(sched)
-    n = population.n
     vector = aligned_vector(
         flips, [RIGHT if lead else LEFT for lead in is_leader]
     )
-    collected: List[List[Fraction]] = [[] for _ in range(n)]
-
-    rounds = 0
-    while True:
-        obs = run_vector(sched, vector)
-        rounds += 1
-        for slot, d in enumerate(common_dists(flips, obs)):
-            collected[slot].append(d)
-        # n pair sums cover every gap exactly twice (odd n): total 2.
-        if sum(collected[0], Fraction(0)) == 2:
-            break
-        if rounds > 4 * sched.state.n + 8:
-            raise ProtocolError("rotation-2 sweep failed to close: bug")
+    # n pair sums cover every gap exactly twice (odd n): total 2.
+    collected, rounds, _totals, _scale = _sweep_gaps(
+        sched, vector, flips, Fraction(2), "rotation-2",
+        want_totals=False,
+    )
 
     gaps_column: List[List[Fraction]] = []
     for pair_sums in collected:

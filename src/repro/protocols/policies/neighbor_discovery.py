@@ -38,7 +38,6 @@ from repro.protocols.policies.base import (
     Vector,
     opposite_vector,
 )
-from repro.ring.stretch import Stretch
 from repro.types import Model, Observation
 
 
@@ -118,7 +117,7 @@ class NeighborDiscoveryPolicy(PhasePolicy):
             elif uniform == "l":
                 self._uniform_l_ints = coll
 
-        self.push_stretch(Stretch.probe_restore(signs), harvest)
+        self.push_probe_span(signs, harvest)
 
     # -- legacy plan -----------------------------------------------------
 

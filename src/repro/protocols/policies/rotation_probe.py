@@ -67,9 +67,7 @@ class RotationProbePolicy(PhasePolicy):
                 self.push_restore(2)
         else:
             if restore:
-                self.push_stretch(
-                    Stretch.probe_restore(vector), self._harvest_zero
-                )
+                self.push_probe_span(vector, self._harvest_zero)
             else:
                 self.push_stretch(Stretch(vector, 1), self._harvest_zero)
 

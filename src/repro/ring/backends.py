@@ -134,6 +134,19 @@ class KinematicsBackend(ABC):
                 assert it agrees with the closed form (slow; tests).
         """
 
+    def commit_rotation(self, r: int) -> None:
+        """Advance the state by a bare rotation of ``r`` ring places.
+
+        By Lemma 1 a round's *entire* effect on the world is a rotation
+        of the position multiset, so a span whose observations are
+        never read (the trailing REVERSEDROUNDs of probe/restore pairs
+        under ``unchecked`` execution) can be applied as one rotation
+        without simulating any round.  No round is counted and no
+        observations exist; callers own the proof that the skipped
+        span's net rotation is exactly ``r``.
+        """
+        self.state.apply_rotation(r % self.state.n)
+
 
 def make_backend(spec: BackendSpec) -> "KinematicsBackend":
     """Resolve a backend spec: an instance, a name, or None (default).
@@ -500,6 +513,22 @@ class LatticeBackend(KinematicsBackend):
         self._version = state.version
         return outcome
 
+    def commit_rotation(self, r: int) -> None:
+        """Bare-rotation commit on the integer representation: one
+        offset move plus a slice of the frozen base ring (no
+        arithmetic, no resync)."""
+        state = self.state
+        if state.version != self._version:
+            self._sync()
+        n = self.n
+        r %= n
+        off = self.offset + r
+        if off >= n:
+            off -= n
+        self.offset = off
+        state.commit_round(self._ring2[off:off + n], r)
+        self._version = state.version
+
     def _frac1(self, numerator: int) -> Fraction:
         """Interned ``Fraction(numerator, scale)``."""
         value = self._fracs1.get(numerator)
@@ -604,6 +633,35 @@ class ArrayStretchResult:
             return None
         return self._coll[j]
 
+    def dist_ints_all(self):
+        """The whole span's dist numerators as a ``(k, n)`` int64
+        matrix on the vectorised representation, else None (columnar
+        harvests fall back to per-round reads)."""
+        if self.np is None:
+            return None
+        return self._dist
+
+    def truncated(self, kept: int) -> "ArrayStretchResult":
+        """The first ``kept`` rounds of this span as a fresh outcome.
+
+        Used by speculative execution to cut an optimistically
+        computed span back to the stop predicate's firing round; the
+        column storage is shared (numpy slices are views), only the
+        bookkeeping shrinks.
+        """
+        if not 0 < kept <= self.k:
+            raise SimulationError(
+                f"cannot keep {kept} of a {self.k}-round stretch"
+            )
+        coll = None if self._coll is None else self._coll[:kept]
+        return ArrayStretchResult(
+            self._backend,
+            self.rotations[:kept],
+            self._dist[:kept],
+            coll,
+            self.np is not None,
+        )
+
     def observations(self, j: int) -> Tuple[Observation, ...]:
         """Round ``j`` materialised as interned Observations (cached)."""
         cached = self._obs.get(j)
@@ -707,7 +765,12 @@ class ArrayBackend(LatticeBackend):
     - whole stretches are memoised by (velocity rows, offset), so
       probe/restore loops repeat as single dictionary hits;
     - positions commit lazily: the post-span list is a pending thunk on
-      the state, built only if something reads ``state.positions``.
+      the state, built only if something reads ``state.positions``;
+    - :meth:`execute_speculative` runs a data-dependent span (a
+      :class:`~repro.ring.stretch.SpeculativeStretch` plan)
+      optimistically in full, evaluates the stop predicate against the
+      emitted columns and cuts the commit back to the firing round --
+      the rollback is a rotation-offset rewind on the lazy commit.
 
     Without numpy the same fused execution runs over stdlib
     :mod:`array` int buffers (no vectorised consumer columns, but still
@@ -814,13 +877,80 @@ class ArrayBackend(LatticeBackend):
             under a collision-reporting model) -- the simulator then
             falls back to scalar rounds.
         """
+        plan = self._plan_pairs(vel_pairs, need_coll)
+        if plan is None:
+            return None
+        derived, key_rows, total = plan
+
+        memo_key = (tuple(key_rows), self.offset, need_coll)
+        hit = self._stretch_memo.get(memo_key)
+        if hit is None:
+            result, r_total = self._compute_span(derived, need_coll, total)
+            if len(self._stretch_memo) > 4096:
+                self._stretch_memo.clear()
+            self._stretch_memo[memo_key] = (result, r_total)
+        else:
+            result, r_total = hit
+
+        self._commit_span(total, r_total)
+        return result
+
+    def execute_speculative(self, vel_pairs, stop, need_coll: bool):
+        """Advance a speculative span; cut it back where ``stop`` fires.
+
+        The planned span is executed optimistically in full (the same
+        closed-form column computation as :meth:`execute_stretch`, but
+        unmemoised: speculative spans are one-shot and their columns
+        can be large); ``stop(result, j)`` is then evaluated against
+        the emitted observation columns for ``j = 0, 1, ...`` in order.
+        At the first firing round the span is truncated to ``j + 1``
+        rounds and the optimistic advance rolls back to that boundary
+        -- positions commit lazily through the rotation offset, so the
+        rollback is an offset rewind, never a position copy.  With
+        ``stop=None`` (or a predicate that never fires) the whole span
+        commits.
+
+        Returns the (possibly truncated) stretch outcome, or None when
+        the span cannot be fused -- the simulator then falls back to
+        the interleaved scalar execute/evaluate loop.
+        """
+        plan = self._plan_pairs(vel_pairs, need_coll)
+        if plan is None:
+            return None
+        derived, _key_rows, total = plan
+        result, r_total = self._compute_span(derived, need_coll, total)
+        kept = total
+        if stop is not None:
+            for j in range(total):
+                if stop(result, j):
+                    kept = j + 1
+                    break
+        if kept != total:
+            result = result.truncated(kept)
+            # Rotation-offset rewind: the kept prefix's cumulative
+            # rotation replaces the optimistic full-span one.
+            n = self.n
+            r_total = 0
+            for r in result.rotations:
+                r_total += r
+            r_total %= n
+        self._commit_span(kept, r_total)
+        return result
+
+    def _plan_pairs(self, vel_pairs, need_coll: bool):
+        """Normalise and derive a span's velocity rows.
+
+        Returns ``(derived, key_rows, total)`` -- per-row derivations,
+        hashable memo-key rows, and the round count -- or None when the
+        span cannot be fused (oversized denominator, or an idle round
+        under a collision-reporting model).
+        """
         state = self.state
         if state.version != self._version:
             self._sync()
         if not self._fusable:
             return None
         np = self.np
-        n = self.n
         total = 0
         derived = []
         key_rows = []
@@ -843,34 +973,27 @@ class ArrayBackend(LatticeBackend):
                 derived.append((pat, count))
                 key_rows.append((vel, count))
                 total += count
+        return derived, key_rows, total
 
-        memo_key = (tuple(key_rows), self.offset, need_coll)
-        hit = self._stretch_memo.get(memo_key)
-        if hit is None:
-            if np is not None:
-                result, r_total = self._compute_stretch_np(
-                    derived, need_coll, total
-                )
-            else:
-                result, r_total = self._compute_stretch_py(
-                    derived, need_coll, total
-                )
-            if len(self._stretch_memo) > 4096:
-                self._stretch_memo.clear()
-            self._stretch_memo[memo_key] = (result, r_total)
-        else:
-            result, r_total = hit
+    def _compute_span(self, derived, need_coll: bool, total: int):
+        """Dispatch the span computation to the active representation."""
+        if self.np is not None:
+            return self._compute_stretch_np(derived, need_coll, total)
+        return self._compute_stretch_py(derived, need_coll, total)
 
+    def _commit_span(self, rounds: int, r_total: int) -> None:
+        """Advance the offset and lazily commit ``rounds`` rounds."""
+        n = self.n
         off = self.offset + r_total
         if off >= n:
             off -= n
         self.offset = off
         ring2 = self._ring2
+        state = self.state
         state.commit_stretch(
-            lambda: ring2[off:off + n], total, r_total
+            lambda: ring2[off:off + n], rounds, r_total
         )
         self._version = state.version
-        return result
 
     def _compute_stretch_np(self, derived, need_coll, total):
         """Vectorised span computation (numpy path)."""

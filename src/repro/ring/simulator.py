@@ -34,6 +34,7 @@ from repro.ring.backends import BackendSpec, make_backend
 from repro.ring.state import RingState
 from repro.ring.stretch import (
     MaterialisedStretch,
+    SpeculativeStretch,
     Stretch,
     row_directions,
     row_is_signs,
@@ -207,12 +208,24 @@ class RingSimulator:
         Hands the span to the backend in one call when it supports
         fused execution (and cross-validation is off); otherwise -- and
         whenever the backend declines the span -- executes it round by
-        round through :meth:`execute`.  Either way the stretch's rounds
-        count toward :attr:`rounds_executed` and the returned object
-        exposes the stretch-outcome surface.
+        round through :meth:`execute`.  Either way the stretch's
+        executed rounds count toward :attr:`rounds_executed` and the
+        returned object exposes the stretch-outcome surface.
+
+        A :class:`~repro.ring.stretch.SpeculativeStretch` routes
+        through the backend's speculative path: the plan is an upper
+        bound and the stop predicate decides the committed length.  On
+        scalar execution the predicate is evaluated after each round
+        (the legacy observe-then-decide loop); either way it is called
+        once per executed round, in order.
         """
         if stretch.rounds < 1:
             raise SimulationError("a stretch must span at least one round")
+        stop = (
+            stretch.stop
+            if isinstance(stretch, SpeculativeStretch)
+            else None
+        )
         backend = self.backend
         if (
             getattr(backend, "supports_stretch", False)
@@ -222,18 +235,48 @@ class RingSimulator:
                 (self._velocities_row(row), count)
                 for row, count in stretch.pairs
             ]
-            result = backend.execute_stretch(
-                pairs, need_coll=self.model.reports_collisions
-            )
+            need_coll = self.model.reports_collisions
+            if isinstance(stretch, SpeculativeStretch):
+                result = backend.execute_speculative(
+                    pairs, stop, need_coll=need_coll
+                )
+            else:
+                result = backend.execute_stretch(pairs, need_coll=need_coll)
             if result is not None:
-                self.rounds_executed += stretch.rounds
+                self.rounds_executed += result.k
                 return result
-        outcomes: List[RoundOutcome] = []
+        outcomes = MaterialisedStretch()
+        j = 0
         for row, count in stretch.pairs:
             directions = row_directions(row)
             for _ in range(count):
                 outcomes.append(self.execute(directions))
-        return MaterialisedStretch(outcomes)
+                if stop is not None and stop(outcomes, j):
+                    return outcomes
+                j += 1
+        return outcomes
+
+    def apply_restoring_span(self, row, k: int = 1) -> None:
+        """Apply a provably-restoring span's net rotation, unsimulated.
+
+        The ``unchecked`` fast path: a span of ``k`` rounds of ``row``
+        whose observations are never read (the trailing REVERSEDROUNDs
+        of probe/restore pairs) affects the world only through its net
+        rotation (Lemma 1), so the backend commits that rotation
+        directly -- no collision resolution, no observations, and the
+        skipped rounds do **not** count toward
+        :attr:`rounds_executed`.  Callers own the proof that the span
+        really restores (the scheduler only routes restore steps here).
+        """
+        velocities = self._velocities_row(row)
+        if isinstance(velocities, tuple):
+            pos = velocities.count(1)
+            neg = velocities.count(-1)
+        else:  # int8 ndarray from a sign row
+            pos = int((velocities > 0).sum())
+            neg = int((velocities < 0).sum())
+        r = ((pos - neg) * k) % self.state.n
+        self.backend.commit_rotation(r)
 
     def execute_objective(self, velocities: Sequence[int]) -> RoundOutcome:
         """Run one round from objective velocities (testing/tooling hook).

@@ -24,12 +24,38 @@ Every stretch outcome exposes the same duck-typed surface:
 * ``dist_ints(j)`` / ``coll_ints(j)`` -- raw integer numerator columns
   (over ``scale`` and ``2 * scale`` respectively; ``-1`` encodes a
   ``coll() = None``), or None when the span was executed round by
-  round.
+  round;
+* ``dist_ints_all()`` -- the whole span's dist numerators as one
+  ``(k, n)`` matrix when the vectorised representation has one, else
+  None (columnar harvests branch on it).
 
 :class:`MaterialisedStretch` is the fallback implementation wrapping
 plain :class:`~repro.types.RoundOutcome` values, used whenever the
 backend executes the span one round at a time (Fraction and lattice
 backends, cross-validated runs).
+
+Speculative spans
+-----------------
+
+A :class:`SpeculativeStretch` extends the plan with a per-round *stop
+predicate* for the paper's data-dependent phases (the location
+discovery sweeps that close when an agent has seen a full turn of
+gaps, the Convolution/Pivot schedule that ends when every equation
+system reaches full rank).  The planned span is an optimistic upper
+bound: a stretch-capable backend advances the whole span vectorised,
+then evaluates the predicate against the emitted observation columns
+round by round and **cuts the span short at the first firing round**
+-- committed state rolls back to that boundary, which under lazy
+position commits is a rotation-offset rewind, not a copy.  Scalar
+backends interleave instead: execute one round, evaluate, stop --
+exactly the legacy observe-then-decide loop.
+
+The predicate contract: ``stop(result, j) -> bool`` is called once per
+executed round, for ``j = 0, 1, ...`` in order, where ``result`` is a
+stretch outcome holding at least rounds ``0..j``; returning True marks
+round ``j`` as the span's last round (that round is kept).  Predicates
+may therefore carry running state (cumulative sums, equation systems)
+-- which also means they usually double as the span's harvest.
 
 Rows of a stretch may be given either as ``LocalDirection`` sequences
 or as local-frame *sign rows* (+1 = own RIGHT, -1 = own LEFT, 0 =
@@ -40,9 +66,14 @@ stays inside the simulator.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.types import LocalDirection, Observation, RoundOutcome
+
+#: Per-round stop predicate of a speculative span: ``stop(result, j)``
+#: is called once per executed round in order; True keeps round ``j``
+#: as the last round of the span.
+StopPredicate = Callable[[Any, int], bool]
 
 Row = Sequence  # LocalDirection sequence or local-sign int sequence
 
@@ -120,23 +151,68 @@ class Stretch:
         return f"<Stretch rounds={self.rounds} spans={len(self.pairs)}>"
 
 
-class MaterialisedStretch:
-    """Stretch outcome assembled from per-round outcomes (fallback)."""
+class SpeculativeStretch(Stretch):
+    """A planned span that a stop predicate may cut short.
 
-    __slots__ = ("_outcomes", "k", "n", "rotations", "collision_events")
+    ``rounds`` is the *optimistic* span length -- an upper bound the
+    plan is allowed to execute; the actual number of rounds committed
+    is decided by ``stop`` (see the module docstring for the predicate
+    contract).  ``stop=None`` degrades to a plain full-span stretch
+    that still flows through the speculative execution path.
+    """
+
+    __slots__ = ("stop",)
+
+    def __init__(
+        self,
+        row: Optional[Row] = None,
+        k: int = 1,
+        pairs: Optional[List[Tuple[Row, int]]] = None,
+        stop: Optional[StopPredicate] = None,
+    ) -> None:
+        super().__init__(row, k, pairs)
+        self.stop = stop
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SpeculativeStretch rounds<={self.rounds} "
+            f"spans={len(self.pairs)}>"
+        )
+
+
+class MaterialisedStretch:
+    """Stretch outcome assembled from per-round outcomes (fallback).
+
+    Supports incremental construction (:meth:`append`) so the scalar
+    speculative path can evaluate the stop predicate after each
+    executed round against the rounds materialised so far.
+    """
+
+    __slots__ = ("_outcomes", "n", "rotations", "collision_events")
 
     #: No raw integer columns on this implementation.
     np = None
     scale: Optional[int] = None
 
-    def __init__(self, outcomes: Sequence[RoundOutcome]) -> None:
-        self._outcomes = list(outcomes)
-        self.k = len(self._outcomes)
-        self.n = len(self._outcomes[0].observations) if self.k else 0
-        self.rotations = [o.rotation_index for o in self._outcomes]
-        self.collision_events = sum(
-            o.collision_events for o in self._outcomes
-        )
+    def __init__(self, outcomes: Sequence[RoundOutcome] = ()) -> None:
+        self._outcomes: List[RoundOutcome] = []
+        self.n = 0
+        self.rotations: List[int] = []
+        self.collision_events = 0
+        for outcome in outcomes:
+            self.append(outcome)
+
+    @property
+    def k(self) -> int:
+        return len(self._outcomes)
+
+    def append(self, outcome: RoundOutcome) -> None:
+        """File one more executed round of the span."""
+        if not self._outcomes:
+            self.n = len(outcome.observations)
+        self._outcomes.append(outcome)
+        self.rotations.append(outcome.rotation_index)
+        self.collision_events += outcome.collision_events
 
     def outcome(self, j: int) -> RoundOutcome:
         return self._outcomes[j]
@@ -154,4 +230,7 @@ class MaterialisedStretch:
         return None
 
     def coll_ints(self, j: int):
+        return None
+
+    def dist_ints_all(self):
         return None

@@ -1,0 +1,32 @@
+"""The docs gate runs green in tier-1, not only in the CI docs job.
+
+``tools/check_docs.py`` executes every python code block in README.md
+and docs/*.md (doctest for ``>>>`` blocks, ``exec`` otherwise), checks
+that relative links resolve, and verifies the README bench table
+matches the committed ``BENCH_*.json`` reports.  Running it here means
+a change that breaks the documented quickstart fails the ordinary test
+suite immediately instead of waiting for the docs job.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_docs_gate_is_green():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, f"{proc.stdout}\n{proc.stderr}"
+    assert "0 error(s)" in proc.stdout
+
+
+def test_docs_exist():
+    assert (REPO / "README.md").exists()
+    assert (REPO / "docs" / "ARCHITECTURE.md").exists()
+    assert (REPO / "docs" / "BENCHMARKS.md").exists()
