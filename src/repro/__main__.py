@@ -27,6 +27,9 @@ Usage::
                                 [--out BENCH.json]
     python -m repro bench-speculative [--sizes 256,1024]
                                       [--distances-n 48] [--out BENCH.json]
+    python -m repro bench-equations [--distances-sizes 24,48,96]
+                                    [--sweep-sizes 256,1024]
+                                    [--out BENCH.json]
     python -m repro bench-fleet [--sessions 16] [--n 24] [--workers 4]
                                 [--out BENCH.json]
 
@@ -324,6 +327,22 @@ def _cmd_bench_speculative(args: argparse.Namespace) -> None:
         print(f"wrote {args.out}")
 
 
+def _cmd_bench_equations(args: argparse.Namespace) -> None:
+    from repro.experiments.harness import equations_shootout
+
+    report = equations_shootout(
+        distances_sizes=tuple(_sizes(args.distances_sizes)),
+        sweep_sizes=tuple(_sizes(args.sweep_sizes)),
+        seed=args.seed, repeats=args.repeats,
+    )
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+
 def _cmd_bench_fleet(args: argparse.Namespace) -> None:
     from repro.experiments.harness import fleet_shootout
 
@@ -514,6 +533,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write the JSON report to this path"
     )
     bs.set_defaults(fn=_cmd_bench_speculative)
+
+    be = sub.add_parser(
+        "bench-equations",
+        help="time the fraction-free equation engine and columnar gap "
+        "harvests against the exact-Fraction spec paths",
+    )
+    be.add_argument("--distances-sizes", default="24,48,96")
+    be.add_argument("--sweep-sizes", default="256,1024")
+    be.add_argument("--seed", type=int, default=11)
+    be.add_argument("--repeats", type=int, default=2)
+    be.add_argument(
+        "--out", default=None, help="also write the JSON report to this path"
+    )
+    be.set_defaults(fn=_cmd_bench_equations)
 
     bf = sub.add_parser(
         "bench-fleet",

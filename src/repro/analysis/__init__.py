@@ -3,15 +3,20 @@
 from repro.analysis.linear_system import (
     solve_linear_system,
     solve_cyclic_pair_sums,
+    solve_cyclic_pair_sums_ints,
 )
 from repro.analysis.equations import Equation, EquationSystem
+from repro.analysis.int_equations import IntEquation, IntEquationSystem
 from repro.analysis.render import render_round, render_trajectory_summary
 
 __all__ = [
     "solve_linear_system",
     "solve_cyclic_pair_sums",
+    "solve_cyclic_pair_sums_ints",
     "Equation",
     "EquationSystem",
+    "IntEquation",
+    "IntEquationSystem",
     "render_round",
     "render_trajectory_summary",
 ]

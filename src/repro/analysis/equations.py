@@ -9,6 +9,7 @@ is reached.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -44,8 +45,10 @@ class EquationSystem:
 
     def __init__(self, n: int) -> None:
         self.n = n
-        # pivot column -> reduced row (coeffs + value)
-        self._basis: Dict[int, Tuple[List[Fraction], Fraction]] = {}
+        # pivot column -> reduced row (coeffs + value + nonzero columns)
+        self._basis: Dict[
+            int, Tuple[List[Fraction], Fraction, Tuple[int, ...]]
+        ] = {}
 
     @property
     def rank(self) -> int:
@@ -58,23 +61,41 @@ class EquationSystem:
     def add(self, eq: Equation) -> bool:
         """Insert an equation; returns True if it increased the rank.
 
+        The working row's nonzero columns are tracked as a min-heap, so
+        reduction walks only the live support and stops the moment the
+        row empties instead of scanning out the remaining columns.
+        Elimination order is unchanged (ascending columns; a basis row
+        stored at pivot ``col`` has no nonzeros before ``col``, so
+        subtraction only ever adds support to the right of the cursor).
+
         Raises:
             SingularSystemError: If the equation contradicts the basis.
         """
         row = list(eq.coeffs)
         value = eq.value
-        for col in range(self.n):
+        support = [col for col, c in enumerate(row) if c != 0]
+        heapq.heapify(support)
+        while support:
+            col = heapq.heappop(support)
             if row[col] == 0:
-                continue
+                continue  # cancelled (or re-pushed) since it was filed
             entry = self._basis.get(col)
             if entry is None:
                 inv = 1 / row[col]
                 reduced = [c * inv for c in row]
-                self._basis[col] = (reduced, value * inv)
+                filed = tuple(
+                    c for c, v in enumerate(reduced) if v != 0
+                )
+                self._basis[col] = (reduced, value * inv, filed)
                 return True
-            brow, bval = entry
+            brow, bval, bsupport = entry
             factor = row[col]
-            row = [c - factor * b for c, b in zip(row, brow)]
+            for c in bsupport:
+                before = row[c]
+                after = before - factor * brow[c]
+                row[c] = after
+                if before == 0 and after != 0:
+                    heapq.heappush(support, c)
             value = value - factor * bval
         if value != 0:
             raise SingularSystemError("observation contradicts earlier ones")
@@ -88,10 +109,10 @@ class EquationSystem:
             )
         solution: List[Optional[Fraction]] = [None] * self.n
         for col in sorted(self._basis.keys(), reverse=True):
-            row, val = self._basis[col]
+            row, val, support = self._basis[col]
             acc = val
-            for c in range(col + 1, self.n):
-                if row[c] != 0:
+            for c in support:
+                if c != col:
                     acc -= row[c] * solution[c]
             solution[col] = acc
         return [s if s is not None else Fraction(0) for s in solution]

@@ -9,7 +9,7 @@ truth by equality.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.exceptions import SingularSystemError
 
@@ -64,9 +64,15 @@ def solve_linear_system(
         raise SingularSystemError(
             f"system is under-determined: rank {rank} < {n} unknowns"
         )
+    # rank == n here, so every column is a pivot column and the
+    # Gauss-Jordan passes above zeroed all coefficients of the rows
+    # beyond the basis; a leftover nonzero right-hand side is a
+    # redundant row contradicting the basis.
     for r in range(rank, m):
-        if any(aug[r][c] != 0 for c in range(n)) is False and aug[r][n] != 0:
-            raise SingularSystemError("inconsistent system")
+        if aug[r][n] != 0:
+            raise SingularSystemError(
+                "inconsistent system: redundant row contradicts the basis"
+            )
 
     solution = [Fraction(0)] * n
     for r, col in enumerate(pivot_cols):
@@ -96,4 +102,45 @@ def solve_cyclic_pair_sums(sums: Sequence[Fraction]) -> List[Fraction]:
     xs = [x0]
     for j in range(n - 1):
         xs.append(sums[j] - xs[-1])
+    return xs
+
+
+def solve_cyclic_pair_sums_ints(
+    sums: Sequence[int], den: int, cache: Optional[dict] = None
+) -> List[Fraction]:
+    """Integer-numerator twin of :func:`solve_cyclic_pair_sums`.
+
+    ``sums`` holds the pair sums' numerators over ``den`` (the
+    backends' shared denominator); the telescoping runs entirely on
+    Python ints over ``2 * den`` and only the final gap values
+    materialise as Fractions, interned through ``cache`` (callers
+    solving one system per ring slot share it: every slot recovers the
+    same n gap values, so the n-squared cells collapse to n
+    constructor calls).
+
+    Raises:
+        SingularSystemError: If n is even (the alternating-sum kernel).
+    """
+    n = len(sums)
+    if n % 2 == 0:
+        raise SingularSystemError(
+            "cyclic pair sums do not determine x for even n"
+        )
+    alternating = 0
+    for j, y in enumerate(sums):
+        alternating += y if j % 2 == 0 else -y
+    # x_0 = alternating / 2 over den, i.e. numerator over 2 * den;
+    # x_{j+1} = y_j - x_j keeps everything on that doubled grid.
+    numerators = [alternating]
+    for j in range(n - 1):
+        numerators.append(2 * sums[j] - numerators[-1])
+    doubled = 2 * den
+    if cache is None:
+        cache = {}
+    xs: List[Fraction] = []
+    for num in numerators:
+        value = cache.get(num)
+        if value is None:
+            value = cache[num] = Fraction(num, doubled)
+        xs.append(value)
     return xs

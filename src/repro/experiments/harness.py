@@ -675,6 +675,202 @@ def speculative_shootout(
     }
 
 
+def _equations_distances_run(
+    n: int, seed: int, engine: str, collect: bool
+):
+    """One native array-backend Algorithm 6 run under ``engine``.
+
+    Returns ``(seconds, fingerprint)``; the fingerprint (rounds, final
+    positions, every agent's gap vector materialised to plain Fraction
+    lists) is only assembled on collecting runs, so timed runs measure
+    the phase alone.
+    """
+    from repro.core.scheduler import Scheduler
+    from repro.protocols.base import KEY_LD_GAPS
+    from repro.protocols.policies.distances import discover_distances
+    from repro.ring.configs import random_configuration
+    from repro.types import Model
+
+    state = random_configuration(n, seed=seed, common_sense=False)
+    sched = Scheduler(state, Model.PERCEPTIVE, backend="array")
+    _speculative_preset(sched, leader=False, labels=True)
+    start = time.perf_counter()
+    discover_distances(sched, engine=engine)
+    elapsed = time.perf_counter() - start
+    fingerprint = None
+    if collect:
+        fingerprint = (
+            sched.rounds,
+            state.snapshot(),
+            [
+                list(column)
+                for column in sched.population.get_column(KEY_LD_GAPS)
+            ],
+        )
+    return elapsed, fingerprint
+
+
+def _equations_sweeps_run(n: int, seed: int, engine: str, collect: bool):
+    """The two LD sweeps (rotation 1 at ``n``, rotation 2 at the
+    nearest odd ``n // 2 + 1``) under ``engine`` on the array backend;
+    same contract as :func:`_equations_distances_run`."""
+    from repro.core.scheduler import Scheduler
+    from repro.protocols.base import KEY_LD_GAPS
+    from repro.protocols.policies.location_discovery import (
+        sweep_rotation_one,
+        sweep_rotation_two,
+    )
+    from repro.ring.configs import random_configuration
+    from repro.types import Model
+
+    n_odd = n // 2 + 1
+    if n_odd % 2 == 0:
+        n_odd += 1
+    elapsed = 0.0
+    fingerprint = [] if collect else None
+    rounds = 0
+    for run_phase, size, model in (
+        (sweep_rotation_one, n, Model.LAZY),
+        (sweep_rotation_two, n_odd, Model.BASIC),
+    ):
+        state = random_configuration(size, seed=seed, common_sense=False)
+        sched = Scheduler(state, model, backend="array")
+        _speculative_preset(sched, leader=True, labels=False)
+        start = time.perf_counter()
+        run_phase(sched, engine=engine)
+        elapsed += time.perf_counter() - start
+        rounds += sched.rounds
+        if collect:
+            fingerprint.append((
+                sched.rounds,
+                state.snapshot(),
+                [
+                    list(column)
+                    for column in sched.population.get_column(KEY_LD_GAPS)
+                ],
+            ))
+    return elapsed, fingerprint, rounds
+
+
+def equations_shootout(
+    distances_sizes: Sequence[int] = (24, 48, 96),
+    sweep_sizes: Sequence[int] = (256, 1024),
+    seed: int = 11,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """Time the fraction-free equation engine against the Fraction spec
+    on the data-dependent analysis hot paths (native array backend).
+
+    Two workloads: Algorithm 6 (``discover_distances``) across
+    ``distances_sizes`` -- integer-column harvests into
+    ``IntEquationSystem`` vs the exact-`Fraction` ``EquationSystem``
+    spec -- and the two LD sweeps across ``sweep_sizes`` -- the lazy
+    columnar ``_GapHarvest`` vs the eager Fraction-list harvest.  At
+    *every* size, before any timing, collecting runs under both engines
+    must agree bit-exactly on round counts, final positions and every
+    agent's gap vector (exact ``Fraction`` equality; a mismatch raises
+    ``SimulationError``).  Timings are the best of ``repeats`` runs for
+    the smaller sizes and a single run at the largest of each sweep.
+
+    Returns a JSON-ready report (the ``BENCH_equations.json`` payload).
+    """
+    import os
+
+    from repro.exceptions import SimulationError
+
+    distances_sizes = tuple(distances_sizes)
+    sweep_sizes = tuple(sweep_sizes)
+
+    distances_rows = []
+    for n in distances_sizes:
+        _, int_fp = _equations_distances_run(n, seed, "int", collect=True)
+        _, frac_fp = _equations_distances_run(
+            n, seed, "fraction", collect=True
+        )
+        if int_fp != frac_fp:
+            raise SimulationError(
+                f"int and Fraction equation engines disagree on "
+                f"distances at n={n}"
+            )
+        runs = max(1, repeats) if n < max(distances_sizes) else 1
+        timings: Dict[str, float] = {}
+        for engine in ("int", "fraction"):
+            timings[engine] = min(
+                _equations_distances_run(n, seed, engine, collect=False)[0]
+                for _ in range(runs)
+            )
+        distances_rows.append({
+            "n": n,
+            "rounds": int_fp[0],
+            "seconds": {k: round(v, 6) for k, v in timings.items()},
+            "speedup_int_over_fraction": round(
+                timings["fraction"] / timings["int"], 2
+            ),
+        })
+
+    sweep_rows = []
+    for n in sweep_sizes:
+        _, int_fp, rounds = _equations_sweeps_run(
+            n, seed, "int", collect=True
+        )
+        _, frac_fp, _ = _equations_sweeps_run(
+            n, seed, "fraction", collect=True
+        )
+        if int_fp != frac_fp:
+            raise SimulationError(
+                f"columnar and Fraction harvests disagree on the LD "
+                f"sweeps at n={n}"
+            )
+        runs = max(1, repeats) if n < max(sweep_sizes) else 1
+        timings = {}
+        for engine in ("int", "fraction"):
+            timings[engine] = min(
+                _equations_sweeps_run(n, seed, engine, collect=False)[0]
+                for _ in range(runs)
+            )
+        sweep_rows.append({
+            "n": n,
+            "rounds": rounds,
+            "seconds": {k: round(v, 6) for k, v in timings.items()},
+            "speedup_int_over_fraction": round(
+                timings["fraction"] / timings["int"], 2
+            ),
+        })
+
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "benchmark": "equations_shootout",
+        "workload": {
+            "backend": "array",
+            "driver": "native",
+            "phases": [
+                "discover_distances(perceptive, int vs fraction engine)",
+                "sweep_rotation_one(lazy) + sweep_rotation_two"
+                "(basic, odd n//2+1), columnar vs fraction harvest",
+            ],
+            "seed": seed,
+            "repeats": repeats,
+            "distances_sizes": list(distances_sizes),
+            "sweep_sizes": list(sweep_sizes),
+            "bit_exact_checked_at": {
+                "distances": list(distances_sizes),
+                "sweeps": list(sweep_sizes),
+            },
+        },
+        "bit_exact": True,
+        "distances": distances_rows,
+        "sweeps": sweep_rows,
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
 def fleet_shootout(
     sessions: int = 16,
     n: int = 24,

@@ -10,13 +10,19 @@ n/2 + 3 round schedule is therefore planned as one
 :class:`~repro.ring.stretch.SpeculativeStretch`: the stop predicate
 harvests round ``j``'s observation columns into the equation systems
 and fires once all of them are full rank.  On a stretch-capable backend
-the span's kinematics run as a single vectorised call emitting raw
-integer dist/coll columns (the equation right-hand sides are built
-through interning caches, no per-agent Fraction arithmetic on the
-observation side); on scalar backends the predicate interleaves with
-per-round execution, reproducing the legacy loop exactly.  Either way
-the firing round is the schedule's planned end, so the native driver
-stays bit-exact with the callback reference.
+the raw integer dist/coll columns feed straight into
+:class:`~repro.analysis.int_equations.IntEquationSystem` rows over the
+shared denominator -- no ``Fraction(v, scale)`` per cell, and the
+elimination itself is fraction-free (the solutions still materialise
+as exact Fractions, identical to the spec engine's); on scalar
+backends the predicate interleaves with per-round execution on the
+exact-`Fraction` :class:`~repro.analysis.equations.EquationSystem`,
+reproducing the legacy loop bit for bit.  Either way the firing round
+is the schedule's planned end, so the native driver stays bit-exact
+with the callback reference.  ``engine="fraction"`` forces the spec
+engine everywhere (the benchmark's baseline side); ``engine="cross"``
+runs both engines in lockstep and asserts identical rank trajectories
+and solutions.
 
 Reuses the legacy module's pure schedule helpers
 (:func:`~repro.protocols.distances.convolution_direction`,
@@ -30,6 +36,7 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.equations import Equation, EquationSystem
+from repro.analysis.int_equations import IntEquation, IntEquationSystem
 from repro.core.scheduler import Scheduler
 from repro.exceptions import ProtocolError
 from repro.protocols.base import (
@@ -116,9 +123,71 @@ def _round_columns(result, j: int, flips, cache: Dict[int, Fraction]):
     return dists, colls2
 
 
-def discover_distances(sched: Scheduler) -> int:
+def _int_round_columns(result, j: int, flips, flip_mask):
+    """Round ``j``'s common-frame dist numerators (over ``scale``) and
+    doubled-coll numerators (over ``scale``; negative = no collision)
+    as plain ints -- the :class:`IntEquationSystem` right-hand sides.
+
+    The integer-column read is the hot path (one vectorised ``where``
+    under numpy); a materialised round inside an integer-mode run is
+    recovered from the interned Fractions' numerator/denominator
+    attributes -- integer arithmetic only, exact because every
+    observation's denominator divides the shared ``scale``.
+    """
+    scale = result.scale
+    ints = result.dist_ints(j)
+    if ints is not None:
+        xp = result.np
+        if xp is not None:
+            dists = xp.where(
+                flip_mask & (ints != 0), scale - ints, ints
+            ).tolist()
+        else:
+            dists = [
+                scale - v if flip and v else v
+                for flip, v in zip(flips, ints)
+            ]
+        craw = result.coll_ints(j)
+        if craw is None:
+            colls2 = None
+        else:
+            colls2 = craw.tolist() if xp is not None else list(craw)
+        return dists, colls2
+    obs = result.observations(j)
+    dists = []
+    for flip, o in zip(flips, obs):
+        d = o.dist
+        v = d.numerator * (scale // d.denominator)
+        if flip and v:
+            v = scale - v
+        dists.append(v)
+    # coll is over 2 * scale, so 2 * coll's numerator over scale is
+    # coll's numerator rescaled to the doubled grid.
+    colls2 = [
+        -1
+        if o.coll is None
+        else o.coll.numerator * ((2 * scale) // o.coll.denominator)
+        for o in obs
+    ]
+    return dists, colls2
+
+
+def discover_distances(
+    sched: Scheduler, engine: Optional[str] = None
+) -> int:
     """Native twin of Algorithm 6.  Returns the rounds used (n/2 + 3);
-    postcondition: every agent's gap vector under ``ld.gaps``."""
+    postcondition: every agent's gap vector under ``ld.gaps``.
+
+    ``engine`` picks the equation backend: ``None``/``"int"`` harvest
+    into the fraction-free :class:`IntEquationSystem` whenever the
+    stretch outcome carries integer columns (falling back to the spec
+    engine on scale-less materialised runs); ``"cross"`` does the same
+    but shadows every system on a live :class:`EquationSystem` and
+    asserts lockstep agreement; ``"fraction"`` forces the
+    exact-`Fraction` spec everywhere.
+    """
+    if engine not in (None, "int", "cross", "fraction"):
+        raise ProtocolError(f"unknown equation engine {engine!r}")
     if sched.model is not Model.PERCEPTIVE:
         raise ProtocolError("Distances requires the perceptive model")
     population = sched.population
@@ -133,7 +202,6 @@ def discover_distances(sched: Scheduler) -> int:
 
     labels = population.column(KEY_LABEL)
     flips = population.column(KEY_FRAME_FLIP)
-    systems = [EquationSystem(n) for _ in range(population.n)]
     schedule = _schedule(n)
     rows = [
         aligned_vector(
@@ -153,13 +221,73 @@ def discover_distances(sched: Scheduler) -> int:
     ]
     cache: Dict[int, Fraction] = {}
     one = Fraction(1)
+    cross_check = engine == "cross" or bool(
+        getattr(sched.simulator, "cross_validate", False)
+    )
+    systems: List[object] = []
+    mode: Dict[str, object] = {"ints": None, "mask": None}
 
     def stop(result, j: int) -> bool:
         """Harvest round ``j``'s equations; fire at full rank."""
+        use_ints = mode["ints"]
+        if use_ints is None:
+            # First harvested round decides the engine: the stretch
+            # outcome either carries the shared denominator (integer
+            # columns -> fraction-free engine) or it does not (scalar
+            # materialised rounds -> the Fraction spec, as before).
+            use_ints = (
+                engine != "fraction" and result.scale is not None
+            )
+            mode["ints"] = use_ints
+            if use_ints:
+                scale = result.scale
+                systems.extend(
+                    IntEquationSystem(n, scale, cross_check=cross_check)
+                    for _ in range(population.n)
+                )
+                if result.np is not None:
+                    mask = result.np.asarray(
+                        [bool(f) for f in flips]
+                    )
+                    mode["mask"] = mask
+            else:
+                systems.extend(
+                    EquationSystem(n) for _ in range(population.n)
+                )
         _moves_right, rho, rotation = schedule[j]
-        dists, colls2 = _round_columns(result, j, flips, cache)
         round_windows = windows[j]
         done = True
+        if use_ints:
+            xp = result.np
+            dists, colls2 = _int_round_columns(
+                result, j, flips, mode["mask"]
+            )
+            for slot in range(population.n):
+                label0 = labels[slot] - 1
+                system = systems[slot]
+                if rotation % n != 0:
+                    system.add(
+                        IntEquation.window(
+                            n, (label0 + rho) % n, rotation,
+                            dists[slot], xp=xp,
+                        )
+                    )
+                window = round_windows[slot]
+                if (
+                    window is not None
+                    and colls2 is not None
+                    and colls2[slot] >= 0
+                ):
+                    start, hops = window
+                    system.add(
+                        IntEquation.window(
+                            n, start, hops, colls2[slot], xp=xp
+                        )
+                    )
+                if done and not system.full_rank:
+                    done = False
+            return done
+        dists, colls2 = _round_columns(result, j, flips, cache)
         for slot in range(population.n):
             label0 = labels[slot] - 1
             system = systems[slot]
@@ -184,6 +312,8 @@ def discover_distances(sched: Scheduler) -> int:
         SpeculativeStretch(pairs=[(row, 1) for row in rows], stop=stop)
     )
 
+    if not systems:
+        raise ProtocolError("the Convolution/Pivot schedule ran no rounds")
     gaps_column: List[List[Fraction]] = []
     for slot, system in enumerate(systems):
         if not system.full_rank:

@@ -14,18 +14,31 @@ evaluate, reproducing the legacy loop exactly.  The span length is a
 *harness* hint (``state.n``-sized chunks, same access the legacy bug
 bound uses) -- correctness rests only on the predicate.
 
-Harvesting is columnar: on the vectorised path the whole span's dist
-numerators arrive as one ``(k, n)`` int64 matrix, the common-frame
-conversion is one ``where`` select, and the per-slot Fraction lists are
-built through one interning cache -- no per-round Fraction arithmetic.
+Harvesting is columnar *and lazy*: on the integer path the whole
+span's dist numerators arrive as one ``(k, n)`` int64 matrix, the
+common-frame conversion is one ``where`` select, and that is where the
+work stops -- the harvest just files the matrix (plus the shared
+``scale``) in a :class:`_GapHarvest`, and ``ld.gaps`` is set to
+:class:`LazyGapColumn` views that materialise interned Fractions only
+when some consumer actually reads them (mirroring the
+:class:`~repro.core.population.LazyObsRow` pattern for observation
+rows).  The rotation-2 circulant inversion likewise runs on raw
+numerators (:func:`~repro.analysis.linear_system.
+solve_cyclic_pair_sums_ints`).  ``engine="fraction"`` forces the
+previous eager Fraction-list harvest -- the executable spec and the
+benchmark's baseline side.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
 from fractions import Fraction
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.analysis.linear_system import solve_cyclic_pair_sums
+from repro.analysis.linear_system import (
+    solve_cyclic_pair_sums,
+    solve_cyclic_pair_sums_ints,
+)
 from repro.core.population import MISSING
 from repro.core.scheduler import Scheduler
 from repro.exceptions import InfeasibleProblemError, ProtocolError
@@ -83,6 +96,151 @@ def _slot0_common(result, j: int, flip0: bool, cache: Dict[int, Fraction]):
     return d
 
 
+class _GapHarvest:
+    """The integer-mode gap store of one sweep: common-frame dist
+    numerator blocks over one shared ``scale``.
+
+    A vectorised stretch outcome contributes its whole ``(k, n)``
+    matrix (one ``where`` select, no per-cell Python); stdlib-array or
+    materialised rounds contribute per-round int lists.  Totals come
+    from column sums (vectorised when the magnitudes provably fit
+    int64, Python ints otherwise), and per-slot Fractions only exist
+    once a :class:`LazyGapColumn` is read.
+    """
+
+    __slots__ = ("n", "scale", "flips", "cache", "blocks", "rounds",
+                 "_flip_mask")
+
+    def __init__(self, n: int, scale: int, flips, cache: Dict) -> None:
+        self.n = n
+        self.scale = scale
+        self.flips = flips
+        self.cache = cache
+        self.blocks: List[object] = []
+        self.rounds = 0
+        self._flip_mask = None
+
+    def add_result(self, result, want_totals: bool):
+        """File every committed round of ``result``; returns the
+        block's per-slot totals as ints over ``scale`` (or None)."""
+        scale = self.scale
+        matrix = result.dist_ints_all()
+        xp = result.np
+        if matrix is not None and xp is not None:
+            if self._flip_mask is None:
+                self._flip_mask = xp.asarray(
+                    [bool(f) for f in self.flips]
+                )
+            common = xp.where(
+                self._flip_mask[None, :] & (matrix != 0),
+                scale - matrix, matrix,
+            )
+            self.blocks.append(common)
+            self.rounds += result.k
+            if not want_totals:
+                return None
+            if scale.bit_length() + result.k.bit_length() <= 61:
+                return common.sum(axis=0).tolist()
+            return [sum(col) for col in zip(*common.tolist())]
+        flips = self.flips
+        rows: List[List[int]] = []
+        for j in range(result.k):
+            ints = result.dist_ints(j)
+            if ints is not None:
+                row = [
+                    scale - v if flip and v else v
+                    for flip, v in zip(flips, ints)
+                ]
+            else:
+                # Materialised round: recover the numerators from the
+                # interned Fractions' attributes (exact -- every
+                # observation's denominator divides the shared scale).
+                row = []
+                for flip, o in zip(flips, result.observations(j)):
+                    d = o.dist
+                    v = d.numerator * (scale // d.denominator)
+                    if flip and v:
+                        v = scale - v
+                    row.append(v)
+            rows.append(row)
+        self.blocks.append(rows)
+        self.rounds += result.k
+        if not want_totals:
+            return None
+        return [sum(col) for col in zip(*rows)]
+
+    def column_ints(self, slot: int) -> List[int]:
+        """Slot's collected numerators over ``scale``, in round order."""
+        out: List[int] = []
+        for block in self.blocks:
+            if isinstance(block, list):
+                out.extend(row[slot] for row in block)
+            else:
+                out.extend(block[:, slot].tolist())
+        return out
+
+    def column(self, slot: int) -> List[Fraction]:
+        """Slot's collected gaps as interned Fractions."""
+        cache = self.cache
+        scale = self.scale
+        cells: List[Fraction] = []
+        for v in self.column_ints(slot):
+            value = cache.get(v)
+            if value is None:
+                value = cache[v] = Fraction(v, scale)
+            cells.append(value)
+        return cells
+
+
+class LazyGapColumn(SequenceABC):
+    """One slot's ``ld.gaps`` value, materialised only when read.
+
+    Wraps a :class:`_GapHarvest` and a slot index; the interned
+    Fraction list is built on first access and cached.  Compares (and
+    hashes) like the equivalent plain list, so cross-backend
+    fingerprints and legacy consumers keep working unchanged --
+    the same contract as :class:`~repro.core.population.LazyObsRow`.
+    """
+
+    __slots__ = ("_harvest", "_slot", "_cells")
+
+    def __init__(self, harvest: _GapHarvest, slot: int) -> None:
+        self._harvest = harvest
+        self._slot = slot
+        self._cells: Optional[List[Fraction]] = None
+
+    def _materialise(self) -> List[Fraction]:
+        cells = self._cells
+        if cells is None:
+            cells = self._cells = self._harvest.column(self._slot)
+        return cells
+
+    def ints(self) -> List[int]:
+        """The raw numerators over the harvest's ``scale`` (no
+        Fractions materialise)."""
+        return self._harvest.column_ints(self._slot)
+
+    def __getitem__(self, index):
+        return self._materialise()[index]
+
+    def __len__(self) -> int:
+        return self._harvest.rounds
+
+    def __iter__(self):
+        return iter(self._materialise())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (LazyGapColumn, tuple, list)):
+            return list(self._materialise()) == list(other)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(tuple(self._materialise()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return repr(self._materialise())
+
+
 def _harvest_block(result, flips, collected, cache, want_totals: bool):
     """Append every committed round's common-frame dists per slot.
 
@@ -132,11 +290,22 @@ def _harvest_block(result, flips, collected, cache, want_totals: bool):
 
 
 def _sweep_gaps(sched: Scheduler, vector, flips, target: Fraction,
-                label: str, want_totals: bool = True):
+                label: str, want_totals: bool = True,
+                engine: Optional[str] = None):
     """Run one sweep speculatively until slot 0's collected gaps sum to
     ``target``; returns ``(collected, rounds, totals, scale)`` where
     ``totals`` holds every slot's running sum (numerators over
-    ``scale``, or Fractions with ``scale=None``)."""
+    ``scale``, or Fractions with ``scale=None``).
+
+    The first executed round decides the harvest representation: a
+    stretch outcome carrying the shared denominator switches the whole
+    sweep to integer mode (``collected`` then holds
+    :class:`LazyGapColumn` views over one :class:`_GapHarvest`), else
+    -- or under ``engine="fraction"`` -- the sweep runs the eager
+    Fraction-list harvest exactly as before.
+    """
+    if engine not in (None, "int", "fraction"):
+        raise ProtocolError(f"unknown harvest engine {engine!r}")
     population = sched.population
     n = population.n
     collected: List[List[Fraction]] = [[] for _ in range(n)]
@@ -146,15 +315,44 @@ def _sweep_gaps(sched: Scheduler, vector, flips, target: Fraction,
     hint = min(sched.state.n, _MAX_CHUNK)
     flip0 = bool(flips[0])
     cache: Dict[int, Fraction] = {}
-    total = [Fraction(0)]
+    harvest: List[Optional[_GapHarvest]] = [None]
+    decided = [False]
+    total_frac = [Fraction(0)]
+    total_int = [0]
+    target_int = [0]
     fired = [False]
     executed = 0
     totals = None
     scale = None
 
     def stop(result, j: int) -> bool:
-        total[0] += _slot0_common(result, j, flip0, cache)
-        if total[0] == target:
+        if not decided[0]:
+            decided[0] = True
+            if engine != "fraction" and result.scale is not None:
+                h = _GapHarvest(n, result.scale, flips, cache)
+                harvest[0] = h
+                # Exact: the targets are whole/half turns on the
+                # shared-denominator grid.
+                target_int[0] = (
+                    target.numerator * h.scale
+                ) // target.denominator
+        h = harvest[0]
+        if h is not None:
+            ints = result.dist_ints(j)
+            if ints is not None:
+                v = int(ints[0])
+            else:
+                d = result.observations(j)[0].dist
+                v = d.numerator * (h.scale // d.denominator)
+            if flip0 and v:
+                v = h.scale - v
+            total_int[0] += v
+            if total_int[0] == target_int[0]:
+                fired[0] = True
+                return True
+            return False
+        total_frac[0] += _slot0_common(result, j, flip0, cache)
+        if total_frac[0] == target:
             fired[0] = True
             return True
         return False
@@ -164,21 +362,31 @@ def _sweep_gaps(sched: Scheduler, vector, flips, target: Fraction,
         result = sched.run_stretch(
             SpeculativeStretch(vector, chunk, stop=stop)
         )
-        block_totals, scale = _harvest_block(
-            result, flips, collected, cache, want_totals
-        )
+        if harvest[0] is not None:
+            block_totals = harvest[0].add_result(result, want_totals)
+            scale = harvest[0].scale
+        else:
+            block_totals, scale = _harvest_block(
+                result, flips, collected, cache, want_totals
+            )
         if totals is None:
             totals = block_totals
         elif block_totals is not None:
             totals = [a + b for a, b in zip(totals, block_totals)]
         executed += result.k
         if fired[0]:
+            if harvest[0] is not None:
+                collected = [
+                    LazyGapColumn(harvest[0], slot) for slot in range(n)
+                ]
             return collected, executed, totals, scale
         if executed > bound:
             raise ProtocolError(f"{label} sweep failed to close: bug")
 
 
-def sweep_rotation_one(sched: Scheduler) -> int:
+def sweep_rotation_one(
+    sched: Scheduler, engine: Optional[str] = None
+) -> int:
     """Native twin of the lazy-model rotation-1 sweep (Lemma 16)."""
     if sched.model is not Model.LAZY:
         raise ProtocolError("rotation-1 sweep requires the lazy model")
@@ -188,7 +396,7 @@ def sweep_rotation_one(sched: Scheduler) -> int:
         flips, [RIGHT if lead else IDLE for lead in is_leader]
     )
     collected, rounds, totals, scale = _sweep_gaps(
-        sched, vector, flips, Fraction(1), "rotation-1"
+        sched, vector, flips, Fraction(1), "rotation-1", engine=engine
     )
     full_turn = Fraction(1) if scale is None else scale
     for total in totals:
@@ -198,7 +406,9 @@ def sweep_rotation_one(sched: Scheduler) -> int:
     return rounds
 
 
-def sweep_rotation_two(sched: Scheduler) -> int:
+def sweep_rotation_two(
+    sched: Scheduler, engine: Optional[str] = None
+) -> int:
     """Native twin of the basic-model rotation-2 sweep (odd n)."""
     population = sched.population
     if population.parity_even:
@@ -210,19 +420,37 @@ def sweep_rotation_two(sched: Scheduler) -> int:
         flips, [RIGHT if lead else LEFT for lead in is_leader]
     )
     # n pair sums cover every gap exactly twice (odd n): total 2.
-    collected, rounds, _totals, _scale = _sweep_gaps(
+    collected, rounds, _totals, scale = _sweep_gaps(
         sched, vector, flips, Fraction(2), "rotation-2",
-        want_totals=False,
+        want_totals=False, engine=engine,
     )
 
     gaps_column: List[List[Fraction]] = []
-    for pair_sums in collected:
-        count = len(pair_sums)
-        # Round t was observed from slot (own + 2t): reorder the pair
-        # sums into consecutive-j form before inverting the circulant.
-        ordered: List[Fraction] = [Fraction(0)] * count
-        for t, value in enumerate(pair_sums):
-            ordered[(2 * t) % count] = value
-        gaps_column.append(solve_cyclic_pair_sums(ordered))
+    if collected and isinstance(collected[0], LazyGapColumn):
+        # Integer mode: reorder and invert the circulant on raw
+        # numerators; the gap Fractions materialise once, shared
+        # across slots (every slot recovers the same n gap values).
+        solve_cache: Dict[int, Fraction] = {}
+        for column in collected:
+            nums = column.ints()
+            count = len(nums)
+            ordered_ints: List[int] = [0] * count
+            for t, value in enumerate(nums):
+                ordered_ints[(2 * t) % count] = value
+            gaps_column.append(
+                solve_cyclic_pair_sums_ints(
+                    ordered_ints, scale, cache=solve_cache
+                )
+            )
+    else:
+        for pair_sums in collected:
+            count = len(pair_sums)
+            # Round t was observed from slot (own + 2t): reorder the
+            # pair sums into consecutive-j form before inverting the
+            # circulant.
+            ordered: List[Fraction] = [Fraction(0)] * count
+            for t, value in enumerate(pair_sums):
+                ordered[(2 * t) % count] = value
+            gaps_column.append(solve_cyclic_pair_sums(ordered))
     population.set_column(KEY_LD_GAPS, gaps_column)
     return rounds

@@ -41,6 +41,19 @@ class TestSolveLinearSystem:
         with pytest.raises(SingularSystemError):
             solve_linear_system([[F(1), F(1)]], [F(2)])
 
+    def test_inconsistent_redundant_row_raises(self):
+        # Regression: the post-elimination consistency sweep used to be
+        # dead code, so a redundant row contradicting the basis slipped
+        # through and the (wrong) basis solution was returned.
+        rows = [[F(1), F(0)], [F(0), F(1)], [F(1), F(1)]]
+        with pytest.raises(SingularSystemError, match="inconsistent"):
+            solve_linear_system(rows, [F(1), F(2), F(5)])
+
+    def test_consistent_redundant_row_still_tolerated(self):
+        rows = [[F(1), F(0)], [F(0), F(1)], [F(1), F(1)]]
+        sol = solve_linear_system(rows, [F(1), F(2), F(3)])
+        assert sol == [F(1), F(2)]
+
     def test_empty(self):
         assert solve_linear_system([], []) == []
 
@@ -117,6 +130,87 @@ class TestEquationSystem:
         with pytest.raises(SingularSystemError):
             sys_.solve()
         assert sys_.solve_if_ready() is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_support_tracking_matches_dense_reference(self, data):
+        """The heap-based support walk in :meth:`EquationSystem.add` is
+        a pure strength reduction: rank trajectory, contradiction
+        behaviour, stored reduced rows and solutions must all coincide
+        with the dense column scan it replaced."""
+
+        class DenseReference:
+            """The pre-support-set algorithm, verbatim."""
+
+            def __init__(self, n):
+                self.n = n
+                self._basis = {}
+
+            def add(self, eq):
+                row = list(eq.coeffs)
+                value = eq.value
+                for col in range(self.n):
+                    if row[col] == 0:
+                        continue
+                    entry = self._basis.get(col)
+                    if entry is None:
+                        inv = 1 / row[col]
+                        reduced = [c * inv for c in row]
+                        self._basis[col] = (reduced, value * inv)
+                        return True
+                    brow, bval = entry
+                    factor = row[col]
+                    row = [c - factor * b for c, b in zip(row, brow)]
+                    value = value - factor * bval
+                if value != 0:
+                    raise SingularSystemError("contradiction")
+                return False
+
+        import random
+
+        n = data.draw(st.integers(min_value=2, max_value=8))
+        rng = random.Random(data.draw(st.integers(0, 10_000)))
+        fast = EquationSystem(n)
+        dense = DenseReference(n)
+        for _ in range(3 * n):
+            if rng.random() < 0.7:
+                start = rng.randrange(n)
+                count = rng.randint(1, n)
+                eq = Equation.window(
+                    n, start, count, F(1), F(rng.randint(-20, 20), 7)
+                )
+            else:
+                eq = Equation(
+                    tuple(F(rng.randint(-3, 3)) for _ in range(n)),
+                    F(rng.randint(-20, 20), 7),
+                )
+            fast_raised = dense_raised = False
+            try:
+                grew = fast.add(eq)
+            except SingularSystemError:
+                fast_raised = True
+            try:
+                expected = dense.add(eq)
+            except SingularSystemError:
+                dense_raised = True
+            assert fast_raised == dense_raised
+            if not fast_raised:
+                assert grew == expected
+            assert set(fast._basis) == set(dense._basis)
+            for col, (brow, bval, _support) in fast._basis.items():
+                dense_row, dense_val = dense._basis[col]
+                assert brow == dense_row
+                assert bval == dense_val
+        if fast.full_rank:
+            dense_solution = [None] * n
+            for col in sorted(dense._basis.keys(), reverse=True):
+                row, val = dense._basis[col]
+                acc = val
+                for c in range(col + 1, n):
+                    if row[c] != 0:
+                        acc -= row[c] * dense_solution[c]
+                dense_solution[col] = acc
+            assert fast.solve() == dense_solution
 
     @settings(max_examples=40, deadline=None)
     @given(st.data())

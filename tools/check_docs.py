@@ -158,6 +158,18 @@ def bench_markdown() -> str:
         "LD sweeps + Algorithm 6 (speculative stretches)",
         f"array over lattice: **{parts}**",
     ))
+    eqs = _report("BENCH_equations.json")
+    dist_head = max(eqs["distances"], key=lambda row: row["n"])
+    sweep_head = max(eqs["sweeps"], key=lambda row: row["n"])
+    rows.append((
+        "`BENCH_equations.json`",
+        "fraction-free equation engine + columnar gap harvests",
+        f"int over Fraction: "
+        f"**{dist_head['speedup_int_over_fraction']}x** distances at "
+        f"n={dist_head['n']}, "
+        f"**{sweep_head['speedup_int_over_fraction']}x** sweeps at "
+        f"n={sweep_head['n']}",
+    ))
     fleet = _report("BENCH_fleet.json")
     rows.append((
         "`BENCH_fleet.json`",
