@@ -358,6 +358,12 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> None:
         print(f"wrote {args.out}")
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run as lint_run
+
+    return lint_run(args)
+
+
 def _add_backend(parser: argparse.ArgumentParser) -> None:
     from repro.ring.backends import BACKEND_NAMES, DEFAULT_BACKEND
 
@@ -560,6 +566,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write the JSON report to this path"
     )
     bf.set_defaults(fn=_cmd_bench_fleet)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST invariant linter (exit 1 on findings)",
+    )
+    from repro.lint.cli import configure_parser as _configure_lint
+
+    _configure_lint(lint)
+    lint.set_defaults(fn=_cmd_lint)
     return parser
 
 
@@ -567,8 +582,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     args.parser = parser  # for subcommand-level validation errors
-    args.fn(args)
-    return 0
+    code = args.fn(args)
+    return int(code) if code else 0
 
 
 if __name__ == "__main__":

@@ -43,6 +43,14 @@ class ExperimentRow:
         }
 
 
+def _numpy_version() -> Optional[str]:
+    """numpy's version string via the optional-dependency gate."""
+    from repro.ring.arrayops import get_numpy
+
+    np = get_numpy()
+    return None if np is None else str(np.__version__)
+
+
 def _jsonable(value: object) -> object:
     from fractions import Fraction
 
@@ -446,11 +454,7 @@ def array_shootout(
             ),
         })
 
-    try:
-        import numpy
-        numpy_version: Optional[str] = numpy.__version__
-    except ImportError:
-        numpy_version = None
+    numpy_version = _numpy_version()
     return {
         "benchmark": "array_shootout",
         "workload": {
@@ -646,11 +650,7 @@ def speculative_shootout(
             ),
         })
 
-    try:
-        import numpy
-        numpy_version: Optional[str] = numpy.__version__
-    except ImportError:
-        numpy_version = None
+    numpy_version = _numpy_version()
     return {
         "benchmark": "speculative_shootout",
         "workload": {
@@ -837,11 +837,7 @@ def equations_shootout(
             ),
         })
 
-    try:
-        import numpy
-        numpy_version: Optional[str] = numpy.__version__
-    except ImportError:
-        numpy_version = None
+    numpy_version = _numpy_version()
     return {
         "benchmark": "equations_shootout",
         "workload": {

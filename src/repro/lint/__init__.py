@@ -1,0 +1,57 @@
+"""``repro lint``: AST-based invariant checks for the whole stack.
+
+The repo's speedups rest on invariants the paper's math guarantees
+only while the code keeps its discipline (ROADMAP "Keep it honest"):
+exact rationals on the tick grid, no Fraction work on hot paths,
+columnar native policies, deterministic RunReports, optional numpy
+behind one gate, read-only speculative predicates.  This package makes
+that contract machine-checked: a rule registry over stdlib ``ast``,
+per-module hot-path tagging, findings with ``file:line`` spans and
+severities, a schema-v1 JSON document, and a justification-carrying
+suppression pragma (``# lint: allow[rule] -- reason``).
+
+Run it as ``python -m repro lint [--json] [--baseline FILE]``; the
+tier-1 suite keeps the real tree at zero unsuppressed findings.  See
+``docs/LINTING.md`` for the rules and how to add one.
+"""
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.engine import (
+    PACKAGE_ROOT,
+    LintResult,
+    ModuleContext,
+    lint_package,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.findings import (
+    SCHEMA,
+    Finding,
+    baseline_keys,
+    new_findings,
+    to_document,
+)
+from repro.lint.pragmas import PRAGMA_RULE, PRAGMA_UNUSED_RULE
+from repro.lint.rules import Rule, all_rules, register, rule_catalogue
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ModuleContext",
+    "PACKAGE_ROOT",
+    "PRAGMA_RULE",
+    "PRAGMA_UNUSED_RULE",
+    "Rule",
+    "SCHEMA",
+    "all_rules",
+    "baseline_keys",
+    "lint_package",
+    "lint_paths",
+    "lint_source",
+    "new_findings",
+    "register",
+    "rule_catalogue",
+    "to_document",
+]

@@ -1,0 +1,95 @@
+"""Shared AST helpers for the lint rules (pure stdlib ``ast``)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional, Tuple
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+ScopeNode = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def scoped_functions(
+    tree: ast.Module,
+) -> Iterable[Tuple[str, ast.AST]]:
+    """Yield ``(qualname, node)`` for every function in the module,
+    with ``Class.method`` / ``outer.inner`` dotted names."""
+
+    def walk(node: ast.AST, stack: Tuple[str, ...]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, FunctionNode):
+                qual = stack + (child.name,)
+                yield ".".join(qual), child
+                yield from walk(child, qual)
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, stack + (child.name,))
+            else:
+                yield from walk(child, stack)
+
+    yield from walk(tree, ())
+
+
+def enclosing_map(tree: ast.Module) -> Dict[int, str]:
+    """Map every AST node id to the dotted lexical path of its
+    enclosing defs/classes (``""`` at module level, ``Class.method``
+    inside a method, ``Class.method.closure`` inside its closures).
+    A def/class node itself is owned by the scope that *defines* it."""
+    owner: Dict[int, str] = {}
+
+    def paint(node: ast.AST, path: Tuple[str, ...]) -> None:
+        here = ".".join(path)
+        for child in ast.iter_child_nodes(node):
+            # lint: allow[nondeterminism] -- AST node ids key a within-parse cache; the addresses never reach output or iteration order
+            owner[id(child)] = here
+            if isinstance(child, ScopeNode):
+                paint(child, path + (child.name,))
+            else:
+                paint(child, path)
+
+    paint(tree, ())
+    return owner
+
+
+def in_scope(owner: str, whitelist: Iterable[str]) -> bool:
+    """Whether lexical path ``owner`` sits inside (or is) one of the
+    whitelisted qualnames -- closures of a whitelisted function count."""
+    for qual in whitelist:
+        if owner == qual or owner.startswith(qual + "."):
+            return True
+    return False
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The called name: ``foo`` for ``foo(...)``, ``foo.bar`` for
+    ``foo.bar(...)`` (one attribute hop only), else None."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute) and isinstance(
+        func.value, ast.Name
+    ):
+        return f"{func.value.id}.{func.attr}"
+    return None
+
+
+def root_of(node: ast.AST) -> Optional[ast.AST]:
+    """The root of an attribute/subscript/call chain:
+    ``a.b[0].c()`` -> the ``a`` Name node; None for other shapes."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            break
+    return node if isinstance(node, ast.Name) else None
+
+
+def contains_name(node: ast.AST, name: str) -> bool:
+    """Whether any Name node with id ``name`` appears in the subtree."""
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name
+        for sub in ast.walk(node)
+    )

@@ -1,0 +1,131 @@
+"""Command-line entry point for ``python -m repro lint``.
+
+Exit status is 0 when every finding is suppressed or matched by the
+baseline, 1 otherwise.  ``--json`` emits the schema-v1 findings
+document (the same document ``--baseline`` accepts, so a clean run's
+output round-trips as next run's baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.engine import PACKAGE_ROOT, LintResult, lint_package, lint_paths
+from repro.lint.findings import baseline_keys, new_findings
+from repro.lint.rules import all_rules, rule_catalogue
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` verb's arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the installed "
+        "repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the schema-v1 findings document instead of text",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="findings document from a previous --json run; only "
+        "findings not present in it fail the run",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _collect(paths: List[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for name, meta in sorted(rule_catalogue().items()):
+            print(f"{name} ({meta['severity']}): {meta['description']}")
+        return 0
+    try:
+        all_rules(args.rules)  # validate --rule names up front
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.paths:
+        result = lint_paths(
+            _collect(list(args.paths)),
+            package_root=PACKAGE_ROOT,
+            rules=args.rules,
+        )
+    else:
+        result = lint_package(rules=args.rules)
+
+    failing = result.findings
+    if args.baseline is not None:
+        try:
+            document = json.loads(args.baseline.read_text())
+            baseline_keys(document)  # validates the schema up front
+        except (OSError, ValueError) as exc:
+            print(f"error: unreadable baseline: {exc}", file=sys.stderr)
+            return 2
+        failing = new_findings(result.findings, document)
+
+    if args.as_json:
+        print(json.dumps(result.to_document(), indent=2, sort_keys=True))
+    else:
+        _print_text(result, failing, baselined=args.baseline is not None)
+    return 1 if failing else 0
+
+
+def _print_text(
+    result: LintResult,
+    failing: List,
+    baselined: bool,
+) -> None:
+    for finding in result.findings:
+        print(finding.render())
+    checked = result.files
+    suppressed = len(result.suppressed)
+    parts = [f"{len(result.findings)} finding(s)"]
+    if baselined:
+        parts.append(f"{len(failing)} new")
+    parts.append(f"{suppressed} suppressed")
+    parts.append(f"{checked} file(s) checked")
+    print("lint: " + ", ".join(parts))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro lint")
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,217 @@
+"""The lint driver: parse modules, run rules, apply pragmas.
+
+The engine is deliberately small: it turns each ``*.py`` file into a
+:class:`ModuleContext` (AST + package-relative path + config tags),
+asks every registered rule for findings, then lets the pragma layer
+(:mod:`repro.lint.pragmas`) claim the justified ones.  Everything is
+pure stdlib ``ast`` -- the linter must run on the no-numpy CI axis.
+
+Entry points:
+
+* :func:`lint_source` -- lint one source string under a *virtual*
+  package-relative path (the fixture corpus uses this to place bad
+  snippets inside hot-path scopes);
+* :func:`lint_paths` -- lint files on disk;
+* :func:`lint_package` -- lint the installed ``repro`` package tree
+  (what ``python -m repro lint`` and the tier-1 zero-findings test
+  run).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.findings import (
+    Finding,
+    sort_findings,
+    to_document,
+)
+from repro.lint.pragmas import apply_pragmas, parse_pragmas
+from repro.lint.rules import all_rules, rule_catalogue
+
+#: The package root the default walk lints: src/repro.
+PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may ask about one module."""
+
+    path: str  # package-relative posix path, e.g. "ring/backends.py"
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    _annotation_nodes: Optional[Set[int]] = field(
+        default=None, repr=False
+    )
+
+    def finding(
+        self, node: ast.AST, rule: str, severity: str, message: str
+    ) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            severity=severity,
+            message=message,
+        )
+
+    @property
+    def annotation_nodes(self) -> Set[int]:
+        """ids of AST nodes sitting in annotation position (type
+        annotations are not runtime constructions -- the package uses
+        ``from __future__ import annotations`` throughout)."""
+        if self._annotation_nodes is None:
+            spans: Set[int] = set()
+            for node in ast.walk(self.tree):
+                targets: List[ast.AST] = []
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    if node.returns is not None:
+                        targets.append(node.returns)
+                    args = node.args
+                    for arg in (
+                        list(args.posonlyargs)
+                        + list(args.args)
+                        + list(args.kwonlyargs)
+                        + [args.vararg, args.kwarg]
+                    ):
+                        if arg is not None and arg.annotation is not None:
+                            targets.append(arg.annotation)
+                elif isinstance(node, ast.AnnAssign):
+                    targets.append(node.annotation)
+                for target in targets:
+                    for sub in ast.walk(target):
+                        spans.add(id(sub))
+            self._annotation_nodes = spans
+        return self._annotation_nodes
+
+    def in_annotation(self, node: ast.AST) -> bool:
+        return id(node) in self.annotation_nodes
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    files: int
+    root: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_document(self) -> Dict[str, object]:
+        return to_document(
+            self.findings, self.suppressed, self.files,
+            rule_catalogue(), self.root,
+        )
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"checked {self.files} file(s): "
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: LintConfig = DEFAULT_CONFIG,
+    rules: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint one module given as a string.
+
+    ``path`` is the *virtual* package-relative posix path that decides
+    which scopes apply -- fixtures place known-bad snippets at e.g.
+    ``"protocols/policies/fixture.py"`` to enter the hot-path scope.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return LintResult(
+            findings=[Finding(
+                path=path, line=exc.lineno or 1, col=exc.offset or 0,
+                rule="syntax", severity="error",
+                message=f"module does not parse: {exc.msg}",
+            )],
+            suppressed=[], files=1, root=path,
+        )
+    ctx = ModuleContext(path=path, source=source, tree=tree, config=config)
+    selected = all_rules(rules)
+    raw: List[Finding] = []
+    for rule in selected:
+        if rule.applies(ctx):
+            raw.extend(rule.check(ctx))
+    pragmas, pragma_problems = parse_pragmas(
+        source, path, known_rules=[r.name for r in all_rules(None)],
+    )
+    active, suppressed, unused = apply_pragmas(
+        sort_findings(raw), pragmas, path,
+        checked_rules={rule.name for rule in selected},
+    )
+    active.extend(pragma_problems)
+    active.extend(unused)
+    return LintResult(
+        findings=sort_findings(active),
+        suppressed=sort_findings(suppressed),
+        files=1,
+        root=path,
+    )
+
+
+def _merge(results: List[LintResult], root: str) -> LintResult:
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for result in results:
+        findings.extend(result.findings)
+        suppressed.extend(result.suppressed)
+    return LintResult(
+        findings=sort_findings(findings),
+        suppressed=sort_findings(suppressed),
+        files=sum(result.files for result in results),
+        root=root,
+    )
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    package_root: Path = PACKAGE_ROOT,
+    config: LintConfig = DEFAULT_CONFIG,
+    rules: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint files on disk; paths are made package-relative for tagging."""
+    results = []
+    for path in paths:
+        resolved = Path(path).resolve()
+        try:
+            relative = resolved.relative_to(package_root).as_posix()
+        except ValueError:
+            relative = resolved.name
+        results.append(lint_source(
+            resolved.read_text(), relative, config=config, rules=rules,
+        ))
+    return _merge(results, root=str(package_root))
+
+
+def lint_package(
+    package_root: Path = PACKAGE_ROOT,
+    config: LintConfig = DEFAULT_CONFIG,
+    rules: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint every ``*.py`` module of the package tree."""
+    paths = sorted(package_root.rglob("*.py"))
+    return lint_paths(
+        paths, package_root=package_root, config=config, rules=rules,
+    )

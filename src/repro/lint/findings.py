@@ -1,0 +1,115 @@
+"""Finding records and the schema-v1 findings document.
+
+A :class:`Finding` is one rule hit: a ``path:line:col`` span, the rule
+name, a severity and a human message.  Findings sort by location so
+every rendering of the same tree is byte-stable -- CI diffs of the
+``--json`` document stay reviewable.
+
+The JSON document (:func:`to_document`) is versioned
+(``repro.lint.findings/v1``) and round-trips: the output of
+``python -m repro lint --json`` is itself a valid ``--baseline`` input
+(see :func:`baseline_keys` / :func:`new_findings`).  Baselines match on
+``(rule, path, message)`` -- line numbers drift when unrelated code
+moves, the triple does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+SCHEMA = "repro.lint.findings/v1"
+
+#: Severity levels, most severe first.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation anchored to a source span."""
+
+    path: str  # posix path relative to the package root
+    line: int  # 1-based
+    col: int  # 0-based, as reported by ast
+    rule: str
+    severity: str
+    message: str
+    #: Suppression note: None while active; the justification text of
+    #: the ``lint: allow`` pragma that claimed it otherwise.
+    reason: Optional[str] = None
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across unrelated line drift."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.reason is not None:
+            data["reason"] = self.reason
+        return data
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity}[{self.rule}] {self.message}"
+        )
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Canonical order: by location, then rule -- byte-stable output."""
+    return sorted(findings)
+
+
+def to_document(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    files: int,
+    rules: Dict[str, Dict[str, str]],
+    root: str,
+) -> Dict[str, object]:
+    """The schema-v1 findings document for ``--json`` output."""
+    findings = sort_findings(findings)
+    suppressed = sort_findings(suppressed)
+    return {
+        "schema": SCHEMA,
+        "root": root,
+        "files": files,
+        "rules": rules,
+        "findings": [f.to_dict() for f in findings],
+        "suppressed": [f.to_dict() for f in suppressed],
+        "summary": {
+            "errors": sum(1 for f in findings if f.severity == "error"),
+            "warnings": sum(
+                1 for f in findings if f.severity == "warning"
+            ),
+            "suppressed": len(suppressed),
+        },
+    }
+
+
+def baseline_keys(document: Dict[str, object]) -> Set[Tuple[str, str, str]]:
+    """The finding identities recorded in a schema-v1 document."""
+    schema = document.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"baseline document has schema {schema!r}, expected {SCHEMA!r}"
+        )
+    keys = set()
+    for entry in document.get("findings", ()):
+        keys.add((entry["rule"], entry["path"], entry["message"]))
+    return keys
+
+
+def new_findings(
+    findings: Sequence[Finding], baseline: Dict[str, object]
+) -> List[Finding]:
+    """Findings not present in the baseline document."""
+    known = baseline_keys(baseline)
+    return [f for f in findings if f.key() not in known]

@@ -1,0 +1,181 @@
+"""The suppression pragma: ``# lint: allow[rule] -- reason``.
+
+A pragma must carry a justification -- the reason after ``--`` is
+mandatory, and a pragma without one is itself a finding (the point of
+the linter is that every exemption is documented in place).  Placement
+is strict:
+
+* a *trailing* pragma (sharing a line with code) suppresses findings
+  anchored to that line;
+* an *own-line* pragma (comment-only line) suppresses findings on the
+  line directly below it;
+* anywhere else it suppresses nothing (and is reported as unused).
+
+Several rules may share one pragma: ``allow[rule-a, rule-b]``.
+Comments are discovered with :mod:`tokenize`, so pragma-looking text
+inside string literals is ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+
+#: Meta-rule: malformed pragmas (missing reason, unknown rule, bad
+#: syntax).  Errors -- a broken exemption must not pass silently.
+PRAGMA_RULE = "pragma"
+#: Meta-rule: a well-formed pragma that suppressed nothing (warning).
+PRAGMA_UNUSED_RULE = "pragma-unused"
+
+_PRAGMA_MARK = re.compile(r"#\s*lint\s*:")
+_PRAGMA = re.compile(
+    r"#\s*lint\s*:\s*allow\s*\[(?P<rules>[^\]]*)\]"
+    r"\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int  # line the comment sits on (1-based)
+    own_line: bool  # comment-only line (applies to the next line)
+    rules: Tuple[str, ...]
+    reason: str
+
+    @property
+    def target_line(self) -> int:
+        return self.line + 1 if self.own_line else self.line
+
+
+def _comments(source: str) -> Iterable[Tuple[int, int, str, str]]:
+    """Yield ``(line, col, text, source_line)`` per comment token."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield (
+                    token.start[0], token.start[1], token.string,
+                    token.line,
+                )
+    except (tokenize.TokenError, IndentationError):
+        # The AST parse reports syntax problems; pragmas just stop at
+        # the broken point.
+        return
+
+
+def parse_pragmas(
+    source: str, path: str, known_rules: Iterable[str]
+) -> Tuple[List[Pragma], List[Finding]]:
+    """Extract the file's pragmas; malformed ones become findings."""
+    known = set(known_rules)
+    pragmas: List[Pragma] = []
+    problems: List[Finding] = []
+
+    def problem(line: int, col: int, message: str) -> None:
+        problems.append(Finding(
+            path=path, line=line, col=col, rule=PRAGMA_RULE,
+            severity="error", message=message,
+        ))
+
+    for line, col, text, source_line in _comments(source):
+        if not _PRAGMA_MARK.search(text):
+            continue
+        match = _PRAGMA.search(text)
+        if match is None:
+            problem(
+                line, col,
+                "unrecognised lint pragma; the form is "
+                "'# lint: allow[rule] -- reason'",
+            )
+            continue
+        names = tuple(
+            name.strip()
+            for name in match.group("rules").split(",")
+            if name.strip()
+        )
+        reason = match.group("reason")
+        ok = True
+        if not names:
+            problem(line, col, "lint pragma allows no rules")
+            ok = False
+        for name in names:
+            if name not in known:
+                problem(
+                    line, col,
+                    f"lint pragma allows unknown rule {name!r}",
+                )
+                ok = False
+        if not reason:
+            problem(
+                line, col,
+                "lint pragma without a justification; write "
+                "'# lint: allow[" + ", ".join(names or ("rule",))
+                + "] -- why this site is exempt'",
+            )
+            ok = False
+        if not ok:
+            continue  # a broken pragma never suppresses
+        own_line = source_line[:col].strip() == ""
+        pragmas.append(Pragma(line, own_line, names, reason))
+    return pragmas, problems
+
+
+def apply_pragmas(
+    findings: List[Finding],
+    pragmas: List[Pragma],
+    path: str,
+    checked_rules: Optional[Set[str]] = None,
+) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+    """Split ``findings`` into (active, suppressed) and report unused
+    pragmas.  A pragma claims every finding of an allowed rule anchored
+    to its target line; pragma meta-findings are never suppressible.
+    A pragma only counts as *unused* if every rule it allows was
+    actually checked (``checked_rules``; None means all were) -- a
+    ``--rule``-filtered run must not flag the other rules' pragmas."""
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    used = [False] * len(pragmas)
+    for finding in findings:
+        claimed_by = None
+        if finding.rule not in (PRAGMA_RULE, PRAGMA_UNUSED_RULE):
+            for i, pragma in enumerate(pragmas):
+                if (
+                    finding.line == pragma.target_line
+                    and finding.rule in pragma.rules
+                ):
+                    claimed_by = i
+                    break
+        if claimed_by is None:
+            active.append(finding)
+        else:
+            used[claimed_by] = True
+            suppressed.append(Finding(
+                path=finding.path, line=finding.line, col=finding.col,
+                rule=finding.rule, severity=finding.severity,
+                message=finding.message,
+                reason=pragmas[claimed_by].reason,
+            ))
+    unused = [
+        Finding(
+            path=path, line=pragma.line, col=0,
+            rule=PRAGMA_UNUSED_RULE, severity="warning",
+            message=(
+                "pragma suppresses nothing (rule "
+                + ", ".join(pragma.rules)
+                + " did not fire on its target line)"
+            ),
+        )
+        for pragma, was_used in zip(pragmas, used)
+        if not was_used
+        and (
+            checked_rules is None
+            or all(rule in checked_rules for rule in pragma.rules)
+        )
+    ]
+    return active, suppressed, unused

@@ -1,0 +1,97 @@
+"""The rule registry.
+
+A rule is a class with ``name`` / ``severity`` / ``description`` and a
+``check(ctx)`` generator of findings; ``applies(ctx)`` scopes it to the
+modules its invariant binds (hot paths, ring kinematics, native
+policies, ...).  Decorating with :func:`register` adds an instance to
+the registry; :func:`all_rules` hands the engine every registered rule
+(or a named subset), and :func:`rule_catalogue` renders the registry
+into the schema-v1 document so a findings JSON is self-describing.
+
+Adding a rule: drop a module in this package, subclass :class:`Rule`,
+decorate with ``@register``, import it at the bottom of this file, and
+give it a fixture in ``tests/lint_fixtures/`` proving it fires (the
+fixture test fails on registered rules without one).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Type
+
+if TYPE_CHECKING:  # circular only at type-check time
+    from repro.lint.engine import ModuleContext
+    from repro.lint.findings import Finding
+
+
+class Rule:
+    """Base class: one invariant, checked per module."""
+
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def applies(self, ctx: "ModuleContext") -> bool:
+        """Whether this rule's invariant binds ``ctx``'s module."""
+        return True
+
+    def check(self, ctx: "ModuleContext") -> Iterable["Finding"]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and file the rule (name-keyed;
+    last registration wins, like the protocol registry)."""
+    rule = rule_cls()
+    if not rule.name:
+        raise ValueError(f"{rule_cls.__name__} has no rule name")
+    _REGISTRY[rule.name] = rule
+    return rule_cls
+
+
+def all_rules(names: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Registered rules, name-sorted; ``names`` selects a subset."""
+    if names is None:
+        return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    selected = []
+    for name in names:
+        if name not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise KeyError(f"unknown lint rule {name!r}; known: {known}")
+        selected.append(_REGISTRY[name])
+    return selected
+
+
+def rule_catalogue() -> Dict[str, Dict[str, str]]:
+    """Name -> {severity, description} for the findings document,
+    including the pragma meta-rules the engine itself emits."""
+    from repro.lint.pragmas import PRAGMA_RULE, PRAGMA_UNUSED_RULE
+
+    catalogue = {
+        name: {
+            "severity": rule.severity,
+            "description": rule.description,
+        }
+        for name, rule in sorted(_REGISTRY.items())
+    }
+    catalogue[PRAGMA_RULE] = {
+        "severity": "error",
+        "description": "malformed suppression pragma (missing "
+        "justification, unknown rule, or bad syntax)",
+    }
+    catalogue[PRAGMA_UNUSED_RULE] = {
+        "severity": "warning",
+        "description": "well-formed pragma that suppressed nothing",
+    }
+    return catalogue
+
+
+# Rule modules register on import, in name order.
+from repro.lint.rules import float_taint  # noqa: E402,F401
+from repro.lint.rules import fraction_hot_path  # noqa: E402,F401
+from repro.lint.rules import nondeterminism  # noqa: E402,F401
+from repro.lint.rules import numpy_gate  # noqa: E402,F401
+from repro.lint.rules import per_agent_loop  # noqa: E402,F401
+from repro.lint.rules import speculative_contract  # noqa: E402,F401

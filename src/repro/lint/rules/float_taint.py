@@ -1,0 +1,83 @@
+"""Rule ``float-taint``: the tick grid is exact; floats never touch it.
+
+Every collision time and place in a round lands on the ``Z/(2D)`` tick
+grid (ROADMAP: the event engine runs pure-int heap keys on a
+``1/(4D)`` grid), and backend equivalence is *bit*-exact -- one float
+rounding anywhere in ``ring/`` and the property tests' guarantees are
+gone in a way that only shows up on awkward denominators.
+
+Flagged in the tick-grid modules:
+
+* float and complex literals (``0.5`` instead of ``Fraction(1, 2)``);
+* calls to ``float(...)``;
+* true division of two integer literals (``1 / 2`` is ``0.5``; exact
+  code divides Fractions or keeps integer numerators).
+
+Division of Fraction values stays exact and is not flagged -- the rule
+targets the shapes that *create* floats.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.rules import Rule, register
+
+
+def _is_int_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return type(node.value) is int
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _is_int_literal(node.operand)
+    return False
+
+
+@register
+class FloatTaint(Rule):
+    name = "float-taint"
+    severity = "error"
+    description = (
+        "float literal, float() call, or int/int true division in a "
+        "tick-grid (ring kinematics) module"
+    )
+
+    def applies(self, ctx) -> bool:
+        return ctx.config.is_tick_grid(ctx.path)
+
+    def check(self, ctx) -> Iterable:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant) and type(node.value) in (
+                float, complex,
+            ):
+                yield ctx.finding(
+                    node, self.name, self.severity,
+                    f"{type(node.value).__name__} literal "
+                    f"{node.value!r} in a tick-grid module; collision "
+                    "kinematics are exact rationals on Z/(2D) -- use "
+                    "Fraction or integer numerators",
+                )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ) and node.func.id == "float":
+                if ctx.in_annotation(node):
+                    continue
+                yield ctx.finding(
+                    node, self.name, self.severity,
+                    "float() call in a tick-grid module taints the "
+                    "exact Z/(2D) grid",
+                )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, ast.Div
+            ):
+                if _is_int_literal(node.left) and _is_int_literal(
+                    node.right
+                ):
+                    yield ctx.finding(
+                        node, self.name, self.severity,
+                        "true division of integer literals produces a "
+                        "float; use Fraction(a, b) or keep integer "
+                        "numerators",
+                    )

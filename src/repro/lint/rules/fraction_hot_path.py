@@ -1,0 +1,61 @@
+"""Rule ``fraction-hot-path``: no Fraction work in hot modules.
+
+The ~35x array-over-lattice and ~11x int-over-Fraction speedups (see
+``BENCH_*.json``) exist because the tagged hot modules run on integer
+numerators over a shared denominator; a stray ``Fraction(...)`` in one
+of them silently reverts a hot path to arbitrary-precision rational
+arithmetic.  This rule flags every load of the ``Fraction`` name in a
+hot module -- construction, aliasing, or passing it around -- outside
+
+* the whitelisted interning/boundary functions
+  (:data:`repro.lint.config.FRACTION_BOUNDARY_FUNCTIONS`), where
+  Fractions are *supposed* to be minted (observation interning, the
+  one-constructor-per-unknown ``solve`` fold, spec fallbacks), and
+* type annotations (not runtime constructions; the package uses
+  ``from __future__ import annotations`` throughout).
+
+The runtime counterpart is the profiled zero-Fraction-dunder sweep in
+``tests/test_fraction_hygiene.py``; this rule catches the regression
+before it ever runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.astutil import enclosing_map, in_scope
+from repro.lint.rules import Rule, register
+
+
+@register
+class FractionOnHotPath(Rule):
+    name = "fraction-hot-path"
+    severity = "error"
+    description = (
+        "Fraction used in a hot-path module outside the whitelisted "
+        "interning/boundary functions"
+    )
+
+    def applies(self, ctx) -> bool:
+        return ctx.config.is_hot(ctx.path)
+
+    def check(self, ctx) -> Iterable:
+        whitelist = ctx.config.fraction_whitelist(ctx.path)
+        owner = enclosing_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Name) or node.id != "Fraction":
+                continue
+            if ctx.in_annotation(node):
+                continue
+            scope = owner.get(id(node), "")
+            if in_scope(scope, whitelist):
+                continue
+            where = f"in {scope}" if scope else "at module level"
+            yield ctx.finding(
+                node, self.name, self.severity,
+                f"Fraction used {where} of hot module {ctx.path}; hot "
+                "paths run on integer numerators over a shared "
+                "denominator -- intern at the boundary or whitelist "
+                "the function in repro.lint.config",
+            )

@@ -1,0 +1,131 @@
+"""Rule ``nondeterminism``: RunReports stay bit-identical.
+
+Fleet results are bit-identical across executors and worker counts,
+which is what makes every run content-addressable (ROADMAP open item
+1's result cache).  That property dies the moment any
+RunReport-producing path reads ambient state.  Banned everywhere in
+the package:
+
+* wall-clock reads: ``time.time`` / ``time.time_ns`` (and importing
+  them by name) -- benchmarks time with ``perf_counter``, results
+  never carry wall-clock values;
+* the shared global random generator: module-level ``random.<fn>()``
+  calls and ``from random import <fn>`` -- randomness flows through
+  explicitly seeded ``random.Random(seed)`` instances;
+* unseeded ``random.Random()`` -- seeds from OS entropy;
+* ``id(...)`` used as a dict key (subscript or dict-literal key):
+  CPython addresses vary across processes, so any iteration or
+  serialisation keyed on them is run-dependent.  Key by
+  ``view.agent_id`` (unique, stable) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.config import GLOBAL_RANDOM_BANNED, WALL_CLOCK_ATTRS
+from repro.lint.rules import Rule, register
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+@register
+class Nondeterminism(Rule):
+    name = "nondeterminism"
+    severity = "error"
+    description = (
+        "ambient-state read (wall clock, global random, unseeded "
+        "Random, id()-keyed dict) on a RunReport-producing path"
+    )
+
+    def check(self, ctx) -> Iterable:
+        for node in ast.walk(ctx.tree):
+            # -- wall clock ------------------------------------------
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ) and node.value.id == "time" and (
+                node.attr in WALL_CLOCK_ATTRS
+            ):
+                yield ctx.finding(
+                    node, self.name, self.severity,
+                    f"time.{node.attr} read; results must not depend "
+                    "on the wall clock (benchmarks use perf_counter)",
+                )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in WALL_CLOCK_ATTRS:
+                            yield ctx.finding(
+                                node, self.name, self.severity,
+                                f"importing time.{alias.name}; results "
+                                "must not depend on the wall clock",
+                            )
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name in GLOBAL_RANDOM_BANNED:
+                            yield ctx.finding(
+                                node, self.name, self.severity,
+                                f"importing random.{alias.name} binds "
+                                "the shared global generator; use a "
+                                "seeded random.Random(seed) instance",
+                            )
+            # -- global random ---------------------------------------
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ) and node.value.id == "random" and (
+                node.attr in GLOBAL_RANDOM_BANNED
+            ):
+                yield ctx.finding(
+                    node, self.name, self.severity,
+                    f"random.{node.attr} uses the shared global "
+                    "generator (seeded once per process); use a "
+                    "seeded random.Random(seed) instance",
+                )
+            # -- unseeded Random() -----------------------------------
+            elif isinstance(node, ast.Call):
+                func = node.func
+                is_random_ctor = (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr == "Random"
+                ) or (
+                    isinstance(func, ast.Name) and func.id == "Random"
+                )
+                if (
+                    is_random_ctor
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield ctx.finding(
+                        node, self.name, self.severity,
+                        "Random() without a seed draws from OS "
+                        "entropy; every generator takes an explicit "
+                        "seed",
+                    )
+            # -- id()-keyed dicts ------------------------------------
+            if isinstance(node, ast.Subscript) and _is_id_call(
+                node.slice
+            ):
+                yield ctx.finding(
+                    node, self.name, self.severity,
+                    "dict access keyed by id(...): object addresses "
+                    "vary across processes; key by a stable value "
+                    "(e.g. view.agent_id)",
+                )
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is not None and _is_id_call(key):
+                        yield ctx.finding(
+                            key, self.name, self.severity,
+                            "dict literal keyed by id(...): object "
+                            "addresses vary across processes; key by "
+                            "a stable value (e.g. view.agent_id)",
+                        )

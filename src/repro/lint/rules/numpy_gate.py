@@ -1,0 +1,52 @@
+"""Rule ``numpy-gate``: numpy is optional; one module imports it.
+
+The array backend degrades to stdlib ``array`` buffers when numpy is
+absent, and CI runs a whole no-numpy axis to prove it.  That axis only
+means something while every numpy import in the package funnels
+through :func:`repro.ring.arrayops.get_numpy` -- the probe the
+fallback tests monkeypatch.  A direct ``import numpy`` anywhere else
+either breaks numpy-less hosts (top level) or silently bypasses the
+gate's cache and the tests' forced-absence hook (function level), so
+both are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.rules import Rule, register
+
+
+@register
+class NumpyGate(Rule):
+    name = "numpy-gate"
+    severity = "error"
+    description = (
+        "numpy imported outside the get_numpy gate module "
+        "(ring/arrayops.py)"
+    )
+
+    def applies(self, ctx) -> bool:
+        return not ctx.config.is_numpy_gate(ctx.path)
+
+    def check(self, ctx) -> Iterable:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "numpy":
+                        yield ctx.finding(
+                            node, self.name, self.severity,
+                            "direct numpy import bypasses the "
+                            "get_numpy gate (numpy is optional; the "
+                            "no-numpy CI axis monkeypatches the "
+                            "gate's probe)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "numpy":
+                    yield ctx.finding(
+                        node, self.name, self.severity,
+                        "direct numpy import bypasses the get_numpy "
+                        "gate (numpy is optional; the no-numpy CI "
+                        "axis monkeypatches the gate's probe)",
+                    )

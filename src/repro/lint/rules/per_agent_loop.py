@@ -1,0 +1,112 @@
+"""Rule ``per-agent-loop``: native policies stay columnar.
+
+The native phase drivers exist so that a whole round (or a whole fused
+span) costs one Python call; a scalar ``for view in views`` /
+``for i in range(state.n)`` loop inside a native ``decide``,
+``finalize`` or speculative stop-predicate body reintroduces the O(n)
+per-agent dispatch the policy layer was built to remove -- and it does
+so silently, because results stay bit-exact while n=10^5 runs crawl.
+
+Scope: ``decide`` / ``finalize`` method bodies and stop-predicate
+functions (named ``stop`` or ``*_predicate`` / ``*_stop``) in the
+native policy modules.  Flagged iterations: any ``for`` statement or
+comprehension whose iterable mentions ``views``, or calls ``range`` /
+``enumerate`` / ``zip`` over something derived from a population size
+(``*.n``, bare ``n``, ``len(views)``).
+
+Legitimate scalar sites -- numpy-absent fallbacks, per-slot equation
+systems -- carry a pragma explaining why they are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.astutil import FunctionNode, scoped_functions
+from repro.lint.config import POLICY_LOOP_SCOPES, PREDICATE_NAME_MARKERS
+from repro.lint.rules import Rule, register
+
+_LOOPY = (
+    ast.For, ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+)
+
+
+def _is_population_sized(expr: ast.AST) -> Optional[str]:
+    """A description of why ``expr`` iterates per agent, or None."""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Name) and sub.id == "views":
+            return "iterates over views"
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Name) and func.id == "range":
+                for arg in sub.args:
+                    for inner in ast.walk(arg):
+                        if (
+                            isinstance(inner, ast.Attribute)
+                            and inner.attr == "n"
+                        ):
+                            return (
+                                "iterates range("
+                                + ast.unparse(arg) + ")"
+                            )
+                        if (
+                            isinstance(inner, ast.Name)
+                            and inner.id == "n"
+                        ):
+                            return (
+                                "iterates range("
+                                + ast.unparse(arg) + ")"
+                            )
+    return None
+
+
+def _predicate_like(name: str) -> bool:
+    return name in POLICY_LOOP_SCOPES or name == "stop" or name.endswith(
+        PREDICATE_NAME_MARKERS
+    )
+
+
+@register
+class PerAgentLoop(Rule):
+    name = "per-agent-loop"
+    severity = "error"
+    description = (
+        "scalar per-agent iteration inside a native decide/finalize/"
+        "stop-predicate body"
+    )
+
+    def applies(self, ctx) -> bool:
+        return ctx.config.is_native_policy(ctx.path)
+
+    def check(self, ctx) -> Iterable:
+        for qualname, fn in scoped_functions(ctx.tree):
+            leaf = qualname.rsplit(".", 1)[-1]
+            if not _predicate_like(leaf):
+                continue
+            # Walk this body only, without descending into nested
+            # defs that are themselves scoped separately.
+            stack = list(ast.iter_child_nodes(fn))
+            while stack:
+                node = stack.pop()
+                if isinstance(node, FunctionNode):
+                    continue  # scoped separately by the outer loop
+                if isinstance(node, _LOOPY):
+                    iters = (
+                        [node.iter]
+                        if isinstance(node, ast.For)
+                        else [gen.iter for gen in node.generators]
+                    )
+                    for it in iters:
+                        why = _is_population_sized(it)
+                        if why is not None:
+                            yield ctx.finding(
+                                node, self.name, self.severity,
+                                f"{qualname} {why}: one Python "
+                                "iteration per agent on the native "
+                                "decision path -- compute the column "
+                                "in one vectorised pass, or pragma "
+                                "the scalar fallback",
+                            )
+                            break
+                stack.extend(ast.iter_child_nodes(node))

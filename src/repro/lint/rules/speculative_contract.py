@@ -1,0 +1,184 @@
+"""Rule ``speculative-contract``: stop predicates are read-only.
+
+A :class:`~repro.ring.stretch.SpeculativeStretch` predicate is called
+*after* the backend has optimistically advanced the whole span: on the
+array backend all rounds beyond the firing one are rolled back by a
+rotation-offset rewind, and on scalar backends the predicate runs
+interleaved round by round.  The two executions are bit-exact only if
+the predicate observes the emitted columns without touching simulation
+state -- a predicate that writes through the scheduler, population or
+ring state would bake rolled-back rounds into live state on one
+backend but not the other.
+
+Predicates may (and do) mutate their *own* closure state -- running
+sums, per-slot equation systems, harvest buffers.  What they must not
+do, and what this rule flags inside any function wired into a
+``SpeculativeStretch(stop=...)`` (or named ``stop`` / ``*_predicate``
+/ ``*_stop`` in a module that uses SpeculativeStretch):
+
+* attribute or subscript stores rooted at simulation-state names
+  (``state``, ``sched``, ``population``, ... or ``self.sched`` /
+  ``self.population`` / ... chains), and ``del`` of the same;
+* calls to mutating methods (``set_*``, ``push*``, ``commit*``,
+  ``append``, ``update``, ...) on those roots or on the stretch
+  outcome the predicate receives as its first argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.lint.astutil import FunctionNode, root_of, scoped_functions
+from repro.lint.config import (
+    MUTATING_METHOD_NAMES,
+    MUTATING_METHOD_PREFIXES,
+    PREDICATE_NAME_MARKERS,
+    SPECULATIVE_GUARDED_NAMES,
+    SPECULATIVE_GUARDED_SELF_ATTRS,
+)
+from repro.lint.rules import Rule, register
+
+
+def _mutating_name(attr: str) -> bool:
+    return attr in MUTATING_METHOD_NAMES or attr.startswith(
+        MUTATING_METHOD_PREFIXES
+    )
+
+
+def _guarded(node: ast.AST, extra: Set[str]) -> Optional[str]:
+    """The guarded root behind ``node``'s access chain, if any.
+
+    ``state.x`` -> "state"; ``self.sched.state.x`` -> "self.sched";
+    ``result.y`` (first predicate arg) -> its name; else None.
+    """
+    # Peel the chain down to its base, tracking one self.<attr> hop.
+    base = node
+    while isinstance(base, (ast.Attribute, ast.Subscript, ast.Call)):
+        if isinstance(base, ast.Attribute) and isinstance(
+            base.value, ast.Name
+        ):
+            if base.value.id == "self" and (
+                base.attr in SPECULATIVE_GUARDED_SELF_ATTRS
+            ):
+                return f"self.{base.attr}"
+            break
+        base = (
+            base.value
+            if isinstance(base, (ast.Attribute, ast.Subscript))
+            else base.func
+        )
+    root = root_of(node)
+    if root is not None and (
+        root.id in SPECULATIVE_GUARDED_NAMES or root.id in extra
+    ):
+        return root.id
+    return None
+
+
+def _predicate_functions(tree: ast.Module) -> List[ast.AST]:
+    """Functions wired into SpeculativeStretch(stop=...) plus any
+    conventionally named predicates in a module that builds one."""
+    uses_speculative = any(
+        isinstance(node, ast.Name) and node.id == "SpeculativeStretch"
+        for node in ast.walk(tree)
+    )
+    if not uses_speculative:
+        return []
+    by_name = {}
+    for qualname, fn in scoped_functions(tree):
+        by_name.setdefault(fn.name, []).append(fn)
+    predicates: List[ast.AST] = []
+    seen: Set[int] = set()
+
+    def add(fn: ast.AST) -> None:
+        if id(fn) not in seen:
+            seen.add(id(fn))
+            predicates.append(fn)
+
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "SpeculativeStretch"
+        ):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg != "stop":
+                continue
+            value = keyword.value
+            if isinstance(value, ast.Lambda):
+                add(value)
+            elif isinstance(value, ast.Name):
+                for fn in by_name.get(value.id, ()):
+                    add(fn)
+    for qualname, fn in scoped_functions(tree):
+        if fn.name == "stop" or fn.name.endswith(PREDICATE_NAME_MARKERS):
+            add(fn)
+    return predicates
+
+
+@register
+class SpeculativeContract(Rule):
+    name = "speculative-contract"
+    severity = "error"
+    description = (
+        "SpeculativeStretch stop predicate mutates simulation state "
+        "(must be read-only over the emitted columns)"
+    )
+
+    def check(self, ctx) -> Iterable:
+        for fn in _predicate_functions(ctx.tree):
+            if isinstance(fn, ast.Lambda):
+                first_arg = (
+                    fn.args.args[0].arg if fn.args.args else None
+                )
+                body: List[ast.AST] = [fn.body]
+                label = "<lambda predicate>"
+            else:
+                first_arg = (
+                    fn.args.args[0].arg if fn.args.args else None
+                )
+                body = list(fn.body)
+                label = fn.name
+            extra = {first_arg} if first_arg else set()
+            stack = list(body)
+            while stack:
+                node = stack.pop()
+                if isinstance(node, FunctionNode):
+                    continue  # nested defs are scoped on their own
+                targets: List[ast.AST] = []
+                if isinstance(node, (ast.Assign, ast.Delete)):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ):
+                        root = _guarded(target, extra)
+                        if root is not None:
+                            yield ctx.finding(
+                                node, self.name, self.severity,
+                                f"stop predicate {label} stores "
+                                f"through {root}: predicates run "
+                                "against optimistically-executed "
+                                "rounds that may be rolled back -- "
+                                "they must be read-only over the "
+                                "emitted columns",
+                            )
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if _mutating_name(node.func.attr):
+                        root = _guarded(node.func.value, extra)
+                        if root is not None:
+                            yield ctx.finding(
+                                node, self.name, self.severity,
+                                f"stop predicate {label} calls "
+                                f"{root}.{node.func.attr}(...): "
+                                "predicates must not mutate "
+                                "simulation state or the stretch "
+                                "outcome",
+                            )
+                stack.extend(ast.iter_child_nodes(node))

@@ -68,13 +68,13 @@ def exchange_bits(sched: Scheduler, bit_of: BitFn) -> None:
         b = bit_of(view)
         if b not in (0, 1):
             raise ProtocolError(f"bit_of returned non-bit {b!r}")
-        bits[id(view)] = b
+        bits[view.agent_id] = b
 
     sched.for_each_agent(stash_bit)
 
     def probe_choice(view: AgentView) -> LocalDirection:
         return (
-            LocalDirection.RIGHT if bits[id(view)] == 1 else LocalDirection.LEFT
+            LocalDirection.RIGHT if bits[view.agent_id] == 1 else LocalDirection.LEFT
         )
 
     colls: List[dict] = []
@@ -83,14 +83,14 @@ def exchange_bits(sched: Scheduler, bit_of: BitFn) -> None:
         observed = {}
 
         def record(view: AgentView) -> None:
-            observed[id(view)] = view.last.coll
+            observed[view.agent_id] = view.last.coll
 
         sched.for_each_agent(record)
         colls.append(observed)
         sched.run_round(lambda v: probe_round(v).opposite())
 
     def decode(view: AgentView) -> None:
-        my_bit = bits[id(view)]
+        my_bit = bits[view.agent_id]
         gap_right = view.memory[KEY_GAP_RIGHT]
         gap_left = view.memory[KEY_GAP_LEFT]
         same_right = view.memory[KEY_SAME_RIGHT]
@@ -100,8 +100,8 @@ def exchange_bits(sched: Scheduler, bit_of: BitFn) -> None:
         right_probe = 0 if my_bit == 1 else 1
         left_probe = 1 - right_probe
 
-        approached_r = colls[right_probe][id(view)] == gap_right / 2
-        approached_l = colls[left_probe][id(view)] == gap_left / 2
+        approached_r = colls[right_probe][view.agent_id] == gap_right / 2
+        approached_l = colls[left_probe][view.agent_id] == gap_left / 2
 
         # Was the right neighbor moving toward me (my-leftward) during
         # probe 0?  Probe 1 is everyone's opposite of probe 0.
@@ -135,7 +135,7 @@ def exchange_frame(
         v = value_of(view)
         if v is not None and not (0 <= v < (1 << width)):
             raise ProtocolError(f"value {v} does not fit in {width} bits")
-        frames[id(view)] = v
+        frames[view.agent_id] = v
 
     sched.for_each_agent(stash)
 
@@ -143,7 +143,7 @@ def exchange_frame(
     received_left: List[int] = []
 
     def bit_slice(view: AgentView, slot: int) -> int:
-        v = frames[id(view)]
+        v = frames[view.agent_id]
         if slot == 0:
             return 1 if v is not None else 0
         if v is None:
@@ -159,19 +159,19 @@ def exchange_frame(
             for side, key in ((0, KEY_FROM_RIGHT), (1, KEY_FROM_LEFT)):
                 b = view.memory[key]
                 if slot == 0:
-                    present[side][id(view)] = bool(b)
-                    collected[side][id(view)] = 0
+                    present[side][view.agent_id] = bool(b)
+                    collected[side][view.agent_id] = 0
                 elif b:
-                    collected[side][id(view)] |= 1 << (slot - 1)
+                    collected[side][view.agent_id] |= 1 << (slot - 1)
 
         sched.for_each_agent(fold)
 
     def finish(view: AgentView) -> None:
         view.memory["comm.frame_from_right"] = (
-            collected[0][id(view)] if present[0][id(view)] else None
+            collected[0][view.agent_id] if present[0][view.agent_id] else None
         )
         view.memory["comm.frame_from_left"] = (
-            collected[1][id(view)] if present[1][id(view)] else None
+            collected[1][view.agent_id] if present[1][view.agent_id] else None
         )
 
     sched.for_each_agent(finish)
@@ -201,15 +201,15 @@ def relay_flood(
 
     def init(view: AgentView) -> None:
         v = initial_value_of(view)
-        out_right[id(view)] = v
-        out_left[id(view)] = v
+        out_right[view.agent_id] = v
+        out_left[view.agent_id] = v
         view.memory[KEY_RECEIVED] = []
 
     sched.for_each_agent(init)
 
     for hop in range(1, distance + 1):
         # Slot A: everyone transmits its rightward stream register.
-        exchange_frame(sched, lambda view: out_right[id(view)], width)
+        exchange_frame(sched, lambda view: out_right[view.agent_id], width)
 
         def receive_a(view: AgentView) -> None:
             # My left physical neighbor's rightward stream is destined
@@ -229,7 +229,7 @@ def relay_flood(
         sched.for_each_agent(receive_a)
 
         # Slot B: everyone transmits its leftward stream register.
-        exchange_frame(sched, lambda view: out_left[id(view)], width)
+        exchange_frame(sched, lambda view: out_left[view.agent_id], width)
 
         def receive_b(view: AgentView) -> None:
             if not view.memory[KEY_SAME_LEFT]:
@@ -250,8 +250,8 @@ def relay_flood(
                 view.memory[KEY_RECEIVED].append(("left", hop, inc_from_left))
             if inc_from_right is not None:
                 view.memory[KEY_RECEIVED].append(("right", hop, inc_from_right))
-            out_right[id(view)] = inc_from_left
-            out_left[id(view)] = inc_from_right
+            out_right[view.agent_id] = inc_from_left
+            out_left[view.agent_id] = inc_from_right
 
         sched.for_each_agent(settle)
 

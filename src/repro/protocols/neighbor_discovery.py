@@ -56,13 +56,13 @@ def _probe(sched: Scheduler, choose, uniform_key: Optional[str]) -> None:
 
     def deciding(view: AgentView) -> LocalDirection:
         d = choose(view)
-        directions[id(view)] = d
+        directions[view.agent_id] = d
         return d
 
     sched.run_round(deciding)
 
     def record(view: AgentView) -> None:
-        moved = directions[id(view)]
+        moved = directions[view.agent_id]
         key = _KEY_RIGHT_OBS if moved is LocalDirection.RIGHT else _KEY_LEFT_OBS
         if view.last.coll is not None:
             view.memory[key].append(view.last.coll)

@@ -631,7 +631,7 @@ class RelayFloodPolicy(BitExchangePolicy):
         for hop, inc_from_left, inc_from_right in self._hop_records:
             lefts = inc_from_left.tolist()
             rights = inc_from_right.tolist()
-            for i in range(self.n):
+            for i in range(self.n):  # lint: allow[per-agent-loop] -- one-pass finalize assembling ragged (side, hop, value) cells; runs once after the flood, not per round
                 v = lefts[i]
                 if v >= 0:
                     received[i].append(("left", hop, v))

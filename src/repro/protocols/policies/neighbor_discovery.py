@@ -151,7 +151,7 @@ class NeighborDiscoveryPolicy(PhasePolicy):
         gap_left: List[Fraction] = []
         same_right: List[bool] = []
         same_left: List[bool] = []
-        for i in range(self.n):
+        for i in range(self.n):  # lint: allow[per-agent-loop] -- documented scalar fallback for ragged observation lists; the columnar path takes _finalize_vectorised above
             right_obs = self._right_obs[i]
             left_obs = self._left_obs[i]
             if not right_obs or not left_obs:

@@ -151,7 +151,7 @@ def ring_distances(sched: Scheduler, on_iteration=None) -> None:
                         "Shift(-k/2) had rotation 0: k reached n; "
                         "the completeness check should have fired earlier"
                     )
-                ys[slot].append(Fraction(1) - d)
+                ys[slot].append(Fraction(1) - d)  # lint: allow[fraction-hot-path] -- y-phase harvest off common_dists, the documented Fraction boundary of this protocol
         for _j in range(k):
             run_vector(
                 sched, _shift_vector(labels, flips, k // 2, low_right=True)
@@ -179,7 +179,7 @@ def ring_distances(sched: Scheduler, on_iteration=None) -> None:
             z = zs[slot]
             if z is None:
                 continue
-            prefix = Fraction(0)
+            prefix = Fraction(0)  # lint: allow[fraction-hot-path] -- bounded match-phase accumulator (at most k terms per doubling step), off the per-round path
             for j, y in enumerate(ys[slot], start=1):
                 prefix += y
                 if 2 * z == prefix:

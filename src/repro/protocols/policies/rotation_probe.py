@@ -124,7 +124,7 @@ class RotationProbePolicy(PhasePolicy):
                 # to exact Fractions.
                 from fractions import Fraction
 
-                d1s = [Fraction(int(v), self._scale) for v in self._d1]
+                d1s = [Fraction(int(v), self._scale) for v in self._d1]  # lint: allow[fraction-hot-path] -- exact fallback when the representation changed between probes (external state rewrite); never taken on the steady path
             else:
                 d1s = self._d1
             d2s = [o.dist for o in result.observations(0)]

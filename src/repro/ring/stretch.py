@@ -66,7 +66,16 @@ stays inside the simulator.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
 
 from repro.types import LocalDirection, Observation, RoundOutcome
 
@@ -75,7 +84,9 @@ from repro.types import LocalDirection, Observation, RoundOutcome
 #: as the last round of the span.
 StopPredicate = Callable[[Any, int], bool]
 
-Row = Sequence  # LocalDirection sequence or local-sign int sequence
+#: A LocalDirection sequence or a local-sign int sequence (numpy int8
+#: arrays from vectorised policies, any int sequence otherwise).
+Row = Sequence[Any]
 
 
 def row_is_signs(row: Row) -> bool:
@@ -98,10 +109,10 @@ def row_directions(row: Row) -> List[LocalDirection]:
 def opposite_row(row: Row) -> Row:
     """The REVERSEDROUND of ``row``, in the row's own representation."""
     if row_is_signs(row):
-        try:
-            return -row  # numpy fast path
-        except TypeError:
-            return [-s for s in row]
+        neg = getattr(row, "__neg__", None)
+        if neg is not None:
+            return cast(Row, neg())  # numpy fast path
+        return [-s for s in row]
     return [d.opposite() for d in row]
 
 
@@ -191,8 +202,8 @@ class MaterialisedStretch:
     __slots__ = ("_outcomes", "n", "rotations", "collision_events")
 
     #: No raw integer columns on this implementation.
-    np = None
-    scale: Optional[int] = None
+    np: ClassVar[None] = None
+    scale: ClassVar[Optional[int]] = None
 
     def __init__(self, outcomes: Sequence[RoundOutcome] = ()) -> None:
         self._outcomes: List[RoundOutcome] = []
@@ -220,17 +231,17 @@ class MaterialisedStretch:
     def observations(self, j: int) -> Tuple[Observation, ...]:
         return self._outcomes[j].observations
 
-    def dists(self, j: int) -> List:
+    def dists(self, j: int) -> List[Any]:
         return [o.dist for o in self._outcomes[j].observations]
 
-    def colls(self, j: int) -> List:
+    def colls(self, j: int) -> List[Any]:
         return [o.coll for o in self._outcomes[j].observations]
 
-    def dist_ints(self, j: int):
+    def dist_ints(self, j: int) -> Optional[Sequence[int]]:
         return None
 
-    def coll_ints(self, j: int):
+    def coll_ints(self, j: int) -> Optional[Sequence[int]]:
         return None
 
-    def dist_ints_all(self):
+    def dist_ints_all(self) -> Optional[Any]:
         return None

@@ -1,0 +1,24 @@
+"""Fixture: float taint inside a tick-grid (ring kinematics) module.
+
+Linted under ``ring/fixture.py``.  Three tainting shapes -- a float
+literal, a ``float()`` call, and true division of integer literals --
+plus an exact computation that must stay clean.
+"""
+
+from fractions import Fraction
+
+HALF_WRONG = 0.5
+HALF_RIGHT = Fraction(1, 2)
+
+
+def taint_call(x):
+    return float(x)
+
+
+def taint_division():
+    return 1 / 2
+
+
+def exact(a, b):
+    # Fraction division is exact and not flagged.
+    return Fraction(a) / Fraction(b)

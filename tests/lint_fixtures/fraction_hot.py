@@ -1,0 +1,24 @@
+"""Fixture: Fraction arithmetic inside a hot-path module.
+
+Linted under the virtual path ``protocols/policies/fixture.py`` so the
+``fraction-hot-path`` rule applies.  ``boundary`` mirrors a
+whitelisted interning function (the test whitelists it explicitly);
+``hot_loop`` is the violation.
+"""
+
+from fractions import Fraction
+
+
+def boundary(scale):
+    return Fraction(1, scale)
+
+
+def hot_loop(values, scale):
+    total = Fraction(0)
+    for v in values:
+        total += Fraction(v, scale)
+    return total
+
+
+def annotated_only(x: Fraction) -> Fraction:
+    return x

@@ -1,0 +1,33 @@
+"""Fixture: every banned ambient-state read for the nondeterminism
+rule (path-independent: the rule runs on every module)."""
+
+import random
+import time
+
+
+def wall_clock():
+    return time.time()
+
+
+def global_random():
+    return random.randint(0, 10)
+
+
+def unseeded():
+    return random.Random()
+
+
+def seeded(seed):
+    # Explicitly seeded generators are the sanctioned pattern.
+    return random.Random(seed)
+
+
+def id_keyed(views):
+    table = {}
+    for view in views:
+        table[id(view)] = view
+    return table
+
+
+def id_literal(view):
+    return {id(view): 1}

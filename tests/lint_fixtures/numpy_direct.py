@@ -1,0 +1,20 @@
+"""Fixture: direct numpy imports bypassing the get_numpy gate.
+
+Linted under any path other than ``ring/arrayops.py``.  Both the
+module-level and the function-level import are violations; routing
+through the gate is the sanctioned pattern.
+"""
+
+import numpy  # noqa: F401
+
+
+def local_import():
+    from numpy import int64
+
+    return int64
+
+
+def gated():
+    from repro.ring.arrayops import get_numpy
+
+    return get_numpy()

@@ -1,0 +1,36 @@
+"""Fixture: scalar per-agent iteration on the native decision path.
+
+Linted under ``protocols/policies/fixture.py``.  Both ``decide`` and
+the stop predicate iterate the population one agent at a time; the
+helper outside any decision scope is legal.
+"""
+
+
+class ScalarPolicy:
+    def __init__(self, n):
+        self.n = n
+
+    def decide(self, views):
+        out = []
+        for view in views:
+            out.append(view)
+        return out
+
+    def finalize(self):
+        for i in range(self.n):
+            _ = i
+
+
+def make_predicate(population):
+    def stop(result, j):
+        total = 0
+        for slot in range(population.n):
+            total += slot
+        return total > 0
+
+    return stop
+
+
+def legal_helper(items):
+    # Not a decide/finalize/predicate body: plain iteration is fine.
+    return [item for item in items]

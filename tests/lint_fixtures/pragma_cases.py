@@ -1,0 +1,38 @@
+"""Fixture: pragma placement and well-formedness cases.
+
+Linted under any path (the nondeterminism rule fires on every module).
+
+* ``suppressed_trailing`` / ``suppressed_own_line``: valid pragmas on
+  the finding line and on the line directly above it;
+* ``wrong_line``: a pragma two lines above the finding suppresses
+  nothing (and is itself reported unused);
+* ``no_reason``: a pragma without a justification is a finding and
+  does not suppress;
+* ``unknown_rule``: allowing a rule the linter does not know is a
+  finding and does not suppress.
+"""
+
+import time
+
+
+def suppressed_trailing():
+    return time.time()  # lint: allow[nondeterminism] -- fixture: justified exemption
+
+
+def suppressed_own_line():
+    # lint: allow[nondeterminism] -- fixture: own-line pragma covers the next line
+    return time.time()
+
+
+def wrong_line():
+    # lint: allow[nondeterminism] -- fixture: too far from the finding
+
+    return time.time()
+
+
+def no_reason():
+    return time.time()  # lint: allow[nondeterminism]
+
+
+def unknown_rule():
+    return time.time()  # lint: allow[no-such-rule] -- fixture: bogus rule name

@@ -1,0 +1,32 @@
+"""Fixture: SpeculativeStretch stop predicates that mutate simulation
+state.  The read-only predicate at the bottom must stay clean."""
+
+from repro.ring.stretch import SpeculativeStretch
+
+
+def build(sched, state, flips):
+    def stop(result, j):
+        state.offset = j  # store through simulation state
+        result.cache["j"] = j  # store through the stretch outcome
+        sched.push_round(flips)  # mutating call on the scheduler
+        return j > 3
+
+    return SpeculativeStretch((1, len(flips)), stop=stop)
+
+
+def build_lambda(state, flips):
+    return SpeculativeStretch(
+        (1, len(flips)), stop=lambda result, j: state.log.append(j)
+    )
+
+
+def build_clean(flips, target):
+    totals = []
+
+    def stop(result, j):
+        # Closure accumulation over emitted columns is the sanctioned
+        # pattern: read the outcome, keep private running state.
+        totals.append(j)
+        return len(totals) >= target
+
+    return SpeculativeStretch((1, len(flips)), stop=stop)

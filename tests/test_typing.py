@@ -1,0 +1,33 @@
+"""The scoped strict-typing gate (mirrors CI's typecheck job).
+
+mypy is not a runtime dependency -- the test skips when it is absent
+(the container image does not ship it; CI installs it).
+"""
+
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+SCOPED_FILES = (
+    "src/repro/ring/stretch.py",
+    "src/repro/api/policy.py",
+)
+
+
+def test_scoped_modules_are_strict_clean():
+    api = pytest.importorskip("mypy.api")
+    stdout, stderr, status = api.run(
+        ["--config-file", str(ROOT / "mypy.ini")]
+        + [str(ROOT / f) for f in SCOPED_FILES]
+    )
+    assert status == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"
+
+
+def test_config_scopes_the_strict_gate():
+    # The config must keep naming exactly the audited modules: widening
+    # the gate is a deliberate act, not a drive-by.
+    config = (ROOT / "mypy.ini").read_text()
+    for f in SCOPED_FILES:
+        assert f in config
+    assert "strict = True" in config
