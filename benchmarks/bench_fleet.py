@@ -1,17 +1,23 @@
-"""Fleet execution benchmark: parallel ring sweeps vs. serial.
+"""Fleet execution benchmark: warm process pools vs. serial.
 
-The Fleet runner executes independent sessions across a process pool;
-on multicore hosts that is where throughput now comes from (the lattice
-backend already owns the single-ring hot path).  This module runs the
-fleet shootout -- a 16-ring location-discovery sweep, serial vs. a
-4-worker pool, bit-identical results enforced -- and writes the
-machine-readable ``BENCH_fleet.json`` report to the repo root so
-successive PRs can track the scaling trajectory next to
+The Fleet runner executes independent sessions across the persistent
+warm pools of :mod:`repro.parallel`: pools are spawned once and reused,
+spec and result payloads travel through shared-memory slots, and
+:meth:`~repro.api.fleet.Fleet.warm` runs before the timed repeats so
+pool spin-up never lands in a timed region (the historic
+``BENCH_fleet.json`` regression -- 0.83x "speedup" -- was exactly that
+spin-up being timed).  This module runs the fleet shootout -- a 16-ring
+location-discovery sweep, serial vs. the warm pools along a
+per-worker-count scaling curve, bit-identical results enforced -- and
+writes the machine-readable ``BENCH_fleet.json`` report to the repo
+root so successive PRs can track the scaling trajectory next to
 ``BENCH_simulator.json``.
 
-The speedup gate is honest about hardware: process parallelism cannot
-beat serial on a single-CPU host (the report still lands, with
-``cpu_count`` recorded); with 2+ CPUs the pool must win.
+The speedup gate is honest about hardware: with 2+ CPUs the warm pool
+must deliver real parallel speedup (>= 1.5x); on a single-CPU host it
+only has to stay at least even with serial (>= 0.95x -- the pool adds
+nothing but must no longer cost anything either).  ``cpu_count`` is
+recorded in the report either way.
 """
 
 from __future__ import annotations
@@ -26,18 +32,23 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
 
 
 def test_fleet_shootout_16_rings(once):
-    """16 rings x 4 workers: determinism is a hard gate everywhere; the
-    parallel-speedup gate applies where the hardware can express it."""
+    """16 rings, warm pools at 1/2/4 workers: determinism is a hard
+    gate everywhere; the parallel-speedup gate applies where the
+    hardware can express it."""
     report = once(lambda: fleet_shootout(sessions=16, n=24, workers=4))
     print("\nfleet shootout:", json.dumps(report["seconds"]),
           f"speedup={report['parallel_speedup']}x "
           f"(cpus={report['cpu_count']})")
+    print("scaling:", json.dumps(report["scaling"]))
     BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
     assert report["deterministic_across_executors"] is True
+    assert report["warm_pool"] is True
+    assert [row["workers"] for row in report["scaling"]] == [1, 2, 4]
     cpus = os.cpu_count() or 1
     if cpus >= 2:
-        # The pool must deliver real parallel speedup on multicore.
-        assert report["parallel_speedup"] >= 1.3
+        # Warm pools must deliver real parallel speedup on multicore.
+        assert report["parallel_speedup"] >= 1.5
     else:
-        # Single CPU: only guard against pathological pool overhead.
-        assert report["parallel_speedup"] >= 0.5
+        # Single CPU: the pool cannot win, but with spin-up excluded
+        # and zero-copy payloads it must at least break even.
+        assert report["parallel_speedup"] >= 0.95

@@ -1,0 +1,71 @@
+"""Sharded single-ring benchmark: one large ring, several workers.
+
+:func:`repro.experiments.harness.shard_shootout` runs identical fused
+spans through the serial :class:`~repro.ring.backends.ArrayBackend` and
+the sharded :class:`~repro.parallel.shard.ShardedArrayBackend` over a
+ring-size sweep, enforcing bit-exactness (a sha256 digest over the
+rotation schedule, final offset, and every dist/coll column) on an
+untimed check span *before* any timing runs.  The full sweep reaches
+``n = 10**6`` agents and writes the machine-readable
+``BENCH_shard.json`` to the repo root; under ``--bench-fast`` a small
+sweep exercises the same path (including the bit-exactness gate)
+without touching the committed report.
+
+The speedup gate is hardware-conditional like the fleet bench: with
+2+ CPUs the sharded path must win at the largest n (where the span
+arithmetic dwarfs the IPC and copy-out overhead); on a single-CPU box
+sharding is pure overhead by construction, so the gate is only a
+sanity floor that catches pathological serialisation, not a win.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.harness import shard_shootout
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+#: Committed full sweep: spans at 10**6 agents take multi-second serial
+#: times, so parallel wins are measurable well above timer noise.
+FULL_SIZES = (65536, 262144, 1048576)
+#: Smoke sweep: large enough to clear the shard thresholds, small
+#: enough for CI.
+FAST_SIZES = (16384, 65536)
+
+
+def test_shard_shootout(once, pytestconfig):
+    """Serial vs. sharded fused spans, bit-exact before timing."""
+    from repro.ring.arrayops import get_numpy
+
+    if get_numpy() is None:
+        import pytest
+
+        pytest.skip("sharding extends the array backend (needs numpy)")
+    fast = pytestconfig.getoption("--bench-fast")
+    sizes = FAST_SIZES if fast else FULL_SIZES
+    rounds = 16 if fast else 48
+    repeats = 2 if fast else 3
+    report = once(lambda: shard_shootout(
+        sizes=sizes, shards=4, rounds=rounds, repeats=repeats,
+    ))
+    for row in report["results"]:
+        print(f"\nn={row['n']}: serial={row['seconds']['serial']}s "
+              f"sharded={row['seconds']['sharded']}s "
+              f"speedup={row['speedup']}x")
+    if not fast:
+        BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    assert report["bit_exact_before_timing"] is True
+    assert all(row["bit_exact"] for row in report["results"])
+    cpus = os.cpu_count() or 1
+    speedup = report["speedup_at_largest_n"]
+    if cpus >= 2:
+        # Real parallel hardware: sharding must pay for its IPC at the
+        # largest ring (smoke rings are smaller, so the bar is lower).
+        assert speedup >= (1.1 if fast else 1.5)
+    else:
+        # Single CPU: four processes time-slicing one core plus the
+        # copy-out can only lose; gate against pathological collapse.
+        assert speedup >= 0.25

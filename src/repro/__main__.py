@@ -6,7 +6,8 @@ Usage::
     python -m repro run [coordination|location-discovery] [--n 8]
                         [--model perceptive] [--seed 2024]
                         [--backend lattice|fraction|array]
-                        [--common-sense] [--driver native|callback]
+                        [--shard 4] [--common-sense]
+                        [--driver native|callback]
                         [--unchecked] [--json]
     python -m repro sweep [--protocol location-discovery]
                           [--sizes 8,16] [--seeds 0,1,2,3]
@@ -31,6 +32,9 @@ Usage::
                                     [--sweep-sizes 256,1024]
                                     [--out BENCH.json]
     python -m repro bench-fleet [--sessions 16] [--n 24] [--workers 4]
+                                [--repeats 3] [--out BENCH.json]
+    python -m repro bench-shard [--sizes 65536,262144,1048576]
+                                [--shards 4] [--rounds 48]
                                 [--out BENCH.json]
 
 ``run`` with no protocol lists the registry.  All structured output
@@ -155,6 +159,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
     from repro.exceptions import InfeasibleProblemError, ProtocolError
 
+    if args.shard is not None and args.backend != "array":
+        args.parser.error("--shard requires --backend array")
     session = RingSession(
         n=args.n,
         model=args.model,
@@ -163,6 +169,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         common_sense=args.common_sense,
         driver=args.driver,
         unchecked=args.unchecked,
+        shards=args.shard,
     )
     try:
         result = session.run(args.protocol)
@@ -348,7 +355,22 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> None:
 
     report = fleet_shootout(
         sessions=args.sessions, n=args.n, workers=args.workers,
-        seed=args.seed,
+        seed=args.seed, repeats=args.repeats,
+    )
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+
+def _cmd_bench_shard(args: argparse.Namespace) -> None:
+    from repro.experiments.harness import shard_shootout
+
+    report = shard_shootout(
+        sizes=tuple(_sizes(args.sizes)), shards=args.shards,
+        rounds=args.rounds, seed=args.seed, repeats=args.repeats,
     )
     print(json.dumps(report, indent=2))
     if args.out:
@@ -424,6 +446,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=2024)
     run.add_argument("--common-sense", action="store_true")
+    run.add_argument(
+        "--shard", type=int, default=None, metavar="WORKERS",
+        help="run the array backend's fused spans across this many "
+        "worker processes over shared memory (requires --backend "
+        "array; bit-identical results, only worth it for large rings)",
+    )
     _add_backend(run)
     _add_driver(run)
     _add_json(run)
@@ -562,10 +590,26 @@ def build_parser() -> argparse.ArgumentParser:
     bf.add_argument("--n", type=int, default=24)
     bf.add_argument("--workers", type=int, default=4)
     bf.add_argument("--seed", type=int, default=0)
+    bf.add_argument("--repeats", type=int, default=3)
     bf.add_argument(
         "--out", default=None, help="also write the JSON report to this path"
     )
     bf.set_defaults(fn=_cmd_bench_fleet)
+
+    bsh = sub.add_parser(
+        "bench-shard",
+        help="time sharded whole-ring fused spans against the serial "
+        "array backend on large rings",
+    )
+    bsh.add_argument("--sizes", default="65536,262144,1048576")
+    bsh.add_argument("--shards", type=int, default=4)
+    bsh.add_argument("--rounds", type=int, default=48)
+    bsh.add_argument("--seed", type=int, default=11)
+    bsh.add_argument("--repeats", type=int, default=3)
+    bsh.add_argument(
+        "--out", default=None, help="also write the JSON report to this path"
+    )
+    bsh.set_defaults(fn=_cmd_bench_shard)
 
     lint = sub.add_parser(
         "lint",

@@ -13,6 +13,13 @@ Executors: ``"process"`` (default; real parallelism for this CPU-bound
 workload on multicore hosts), ``"thread"`` (GIL-bound, but no spawn
 cost) and ``"serial"`` (in-process baseline, also the timing reference
 for the fleet benchmark).
+
+The process executor rides the persistent warm pools and shared-memory
+arenas of :mod:`repro.parallel`: the pool for a worker count is created
+once and reused across every subsequent ``run()``, spec payloads and
+result rows travel through shm slots rather than pickles, and
+:meth:`Fleet.warm` pre-spawns the workers so benchmarks can keep pool
+spin-up out of their timed regions.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ import json
 import os
 import platform
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
@@ -165,18 +172,29 @@ class Fleet:
         self.workers = 1 if executor == "serial" else workers
         self.executor = executor
 
+    def warm(self) -> None:
+        """Pre-spawn the process pool (no-op for the other executors).
+
+        Benchmarks call this before their timed repeats so pool
+        spin-up and worker imports never land inside a timed region;
+        ``run()`` warms lazily anyway, so calling it is optional.
+        """
+        if self.executor == "process":
+            from repro.parallel.pool import get_pool
+
+            get_pool(self.workers).warm()
+
     def run(self) -> RunReport:
         """Execute every spec; returns the structured report."""
         start = time.perf_counter()
         if self.executor == "serial":
             rows = [run_session_spec(spec) for spec in self.specs]
+        elif self.executor == "process":
+            from repro.parallel.pool import run_specs_pooled
+
+            rows = run_specs_pooled(self.specs, self.workers)
         else:
-            pool_cls = (
-                ProcessPoolExecutor
-                if self.executor == "process"
-                else ThreadPoolExecutor
-            )
-            with pool_cls(max_workers=self.workers) as pool:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 rows = list(pool.map(run_session_spec, self.specs))
         elapsed = time.perf_counter() - start
         return RunReport(

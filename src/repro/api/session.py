@@ -10,7 +10,10 @@ backend) and the protocol registry behind a single builder::
 ``backend=`` accepts ``"lattice"`` (default), ``"fraction"`` (exact
 reference) or ``"array"`` (whole-column fused stretches for large
 rings; numpy-accelerated when numpy is installed) -- results are
-bit-identical across all three for both drivers.
+bit-identical across all three for both drivers.  ``shards=`` puts the
+array backend's fused spans onto a pool of worker processes over
+shared memory (:mod:`repro.parallel`), still bit-identical; it is only
+worth it for large rings (CLI: ``--shard``).
 
 Sessions can also wrap existing objects (:meth:`RingSession.from_state`,
 :meth:`RingSession.from_scheduler`), plan a protocol without running it
@@ -50,6 +53,22 @@ def _resolve_model(model: Union[Model, str]) -> Model:
     return model if isinstance(model, Model) else Model(model)
 
 
+def _sharded_backend(backend: BackendSpec, shards: int) -> BackendSpec:
+    """Resolve ``shards=``: the array backend, sharded when shards > 1."""
+    if shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    if backend not in (None, "array"):
+        raise ConfigurationError(
+            f"shards= applies to the array backend only, not "
+            f"backend={backend!r}"
+        )
+    if shards == 1:
+        return "array"
+    from repro.parallel.shard import ShardedArrayBackend
+
+    return ShardedArrayBackend(shards=shards)
+
+
 class RingSession:
     """One ring, one scheduler, one protocol run (or many ad-hoc rounds).
 
@@ -70,6 +89,12 @@ class RingSession:
             (property-tested); round counts and agent logs are not,
             because the skipped rounds never happen.  CLI:
             ``--unchecked``.
+        shards: When > 1, run the array backend's fused spans across
+            this many worker processes over shared memory
+            (:class:`~repro.parallel.shard.ShardedArrayBackend`);
+            results stay bit-identical to the serial backends.  Only
+            valid with ``backend=None`` or ``"array"``.  CLI:
+            ``--shard``.
     """
 
     def __init__(
@@ -87,6 +112,7 @@ class RingSession:
         scheduler: Optional[Scheduler] = None,
         cross_validate: bool = False,
         unchecked: bool = False,
+        shards: Optional[int] = None,
     ) -> None:
         self.common_sense = common_sense
         self.driver = resolve_driver(driver)
@@ -107,6 +133,7 @@ class RingSession:
                     ("config", config is not None),
                     ("cross_validate", cross_validate),
                     ("unchecked", unchecked),
+                    ("shards", shards is not None),
                 )
                 if given
             ]
@@ -117,6 +144,8 @@ class RingSession:
                 )
             self.scheduler = scheduler
         else:
+            if shards is not None:
+                backend = _sharded_backend(backend, shards)
             model = _resolve_model(model) if model is not None else Model.BASIC
             if state is None:
                 if n is None:
@@ -193,12 +222,14 @@ class RingSession:
         driver: Optional[str] = None,
         cross_validate: bool = False,
         unchecked: bool = False,
+        shards: Optional[int] = None,
     ) -> "RingSession":
         """Wrap an existing world state (the caller keeps ownership)."""
         return cls(
             state=state, model=model, backend=backend,
             common_sense=common_sense, driver=driver,
             cross_validate=cross_validate, unchecked=unchecked,
+            shards=shards,
         )
 
     @classmethod

@@ -27,6 +27,10 @@ HOT_PATH_MODULES: Tuple[str, ...] = (
     "ring/arrayops.py",
     "analysis/int_equations.py",
     "protocols/policies/*.py",
+    # The zero-copy execution layer moves raw int64 columns between
+    # processes; a Fraction anywhere in it would mean a pickled object
+    # column snuck into the shared-memory seam.
+    "parallel/*.py",
 )
 
 #: Modules whose arithmetic feeds the Z/(2D) tick grid: float literals

@@ -1,0 +1,52 @@
+"""Zero-copy shared-memory execution: arenas, warm pools, sharded rings.
+
+Three rungs, each building on the previous one:
+
+* :mod:`repro.parallel.shm` -- a named-column allocator over
+  :mod:`multiprocessing.shared_memory`: int64 and byte columns packed
+  into one segment, numpy ``frombuffer`` views when numpy is available
+  and stdlib ``memoryview("q")`` casts when it is not, with an explicit
+  create/attach/close/unlink lifecycle (context-manager owner, atexit
+  sweep) so CI never leaks segments.
+
+* :mod:`repro.parallel.pool` -- persistent *warm* worker pools: one
+  process pool per worker count, reused across runs, whose workers
+  attach to a shm arena once per run and keep the attachment cached.
+  Fleet jobs pass only ``(arena name, spec index)``-sized tuples; spec
+  payloads and result rows travel through shm slots, not pickles.
+
+* :mod:`repro.parallel.shard` -- :class:`ShardedArrayBackend`: one
+  large ring's fused-stretch columns computed by several workers, each
+  owning a contiguous slot range.  The round-boundary merge is a
+  rotation-offset exchange (Lemma 1): workers share only the frozen
+  prefix mirror and the span's rotation schedule, never column data.
+
+Everything degrades gracefully: no numpy, no usable shared memory or a
+single worker all fall back to the proven serial paths, bit-exact.
+"""
+
+from repro.parallel.pool import (
+    WorkerPool,
+    get_pool,
+    run_specs_pooled,
+    shutdown_pools,
+)
+from repro.parallel.shard import ShardedArrayBackend
+from repro.parallel.shm import (
+    ShmArena,
+    arena_from_arrays,
+    load_population_ints,
+    share_population_ints,
+)
+
+__all__ = [
+    "ShmArena",
+    "ShardedArrayBackend",
+    "WorkerPool",
+    "arena_from_arrays",
+    "get_pool",
+    "load_population_ints",
+    "run_specs_pooled",
+    "share_population_ints",
+    "shutdown_pools",
+]

@@ -1,0 +1,297 @@
+"""Sharded whole-ring rounds: one large ring, several workers.
+
+:class:`ShardedArrayBackend` extends the fused-stretch
+:class:`~repro.ring.backends.ArrayBackend` so that the span columns of
+a single large-n ring are computed by a pool of worker processes, each
+owning a contiguous range of agent slots.  The decomposition leans on
+the same rotation-offset invariant (Lemma 1) the serial path exploits:
+
+* the doubled prefix mirror ``p2`` and the chirality mask are frozen
+  for the life of a stretch run, so they are shared once per
+  :meth:`_sync` through a read-only shm arena;
+* every round's column is a gather against those frozen arrays at the
+  round's rotation offset, and the offsets are a scalar recurrence
+  over the span's rotation schedule -- so the *only* round-boundary
+  state workers need is the schedule itself, a few dozen bytes.  Each
+  worker replays the offsets locally and writes rows ``[lo:hi)`` of
+  the span matrices; slices are disjoint, so the merge is implicit.
+
+The parent copies the finished matrices out of shared memory onto the
+heap before releasing the span arena -- stretch results are memoised
+and referenced by lazy history rows indefinitely, far beyond any
+sensible segment lifetime.
+
+Sharding is a pure execution strategy: results are bit-identical to
+the serial backend (the worker slice runs the very same int64
+expressions), and every degraded environment -- no numpy, one shard,
+a span below the shard threshold, shared memory unavailable -- falls
+back to the proven serial code path.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.parallel import pool as _pool
+from repro.parallel.shm import Layout, ShmArena
+from repro.ring.backends import ArrayBackend, ArrayStretchResult
+
+#: Spans smaller than this many cells (rounds x agents) are not worth
+#: a pool round-trip; the serial path runs them.
+MIN_SHARD_CELLS = 1 << 15
+
+#: Rings smaller than this never shard, whatever the span size.
+MIN_SHARD_N = 1 << 10
+
+#: One schedule entry: (rotation index, repeat count, index of the
+#: row's rel/hops block in the span arena, or -1 when the row has no
+#: closed-form collisions).
+ScheduleEntry = Tuple[int, int, int]
+
+
+def _shard_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced ``[lo, hi)`` agent-slot ranges."""
+    size, extra = divmod(n, shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + size + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _shard_job(
+    share_name: str,
+    share_layout: Layout,
+    span_name: str,
+    span_layout: Layout,
+    params: Tuple[int, int, int, int, int, int, bool,
+                  Tuple[ScheduleEntry, ...]],
+) -> int:
+    """Compute rows ``[lo:hi)`` of one span's columns in this worker.
+
+    The share arena holds the frozen doubled-prefix mirror and the
+    chirality mask; the span arena holds the output matrices plus the
+    rel/hops blocks for mixed rows.  The rotation schedule is replayed
+    locally -- the only cross-shard state is this tuple of small ints.
+    """
+    from repro.ring.arrayops import get_numpy
+
+    np = get_numpy()
+    n, scale, off, total, lo, hi, need_coll, schedule = params
+    share = _pool._attached_arena(share_name, share_layout)
+    span = ShmArena.attach(span_name, span_layout)
+    try:
+        p2 = share.ints("p2")
+        chir = share.ints("chir")[lo:hi].astype(bool)  # copies off shm
+        base = np.arange(lo, hi, dtype=np.int64)
+        dist = span.ints("dist").reshape(total, n)
+        coll = span.ints("coll").reshape(total, n) if need_coll else None
+        rel_all = hops_all = None
+        if any(entry[2] >= 0 for entry in schedule):
+            rel_all = span.ints("rel").reshape(-1, n)
+            hops_all = span.ints("hops").reshape(-1, n)
+        j = 0
+        for r, count, mixed_idx in schedule:
+            rel = hops = None
+            if mixed_idx >= 0:
+                rel = rel_all[mixed_idx, lo:hi]
+                hops = hops_all[mixed_idx, lo:hi]
+            for _ in range(count):
+                s = base + off
+                s = np.where(s >= n, s - n, s)
+                cw = p2[s + r] - p2[s]
+                dist[j, lo:hi] = np.where(
+                    chir, cw, (scale - cw) % scale
+                )
+                if coll is not None:
+                    if rel is not None:
+                        s0 = s + rel
+                        s0 = np.where(s0 < 0, s0 + n, s0)
+                        s0 = np.where(s0 >= n, s0 - n, s0)
+                        coll[j, lo:hi] = p2[s0 + hops] - p2[s0]
+                    else:
+                        coll[j, lo:hi] = -1
+                off += r
+                if off >= n:
+                    off -= n
+                j += 1
+        # Drop every view into the span segment before closing it.
+        del p2, dist, coll, rel_all, hops_all, rel, hops
+    finally:
+        try:
+            span.close()
+        except BufferError:
+            # Exceptional exit with views still in frame scope: the
+            # mapping dies with this worker process, and only the
+            # owner's unlink decides the segment's fate -- a noisy
+            # close here would mask the real error.
+            pass
+    return lo
+
+
+class ShardedArrayBackend(ArrayBackend):
+    """An :class:`~repro.ring.backends.ArrayBackend` whose fused spans
+    are computed by ``shards`` worker processes over shared memory.
+
+    Bit-identical to the serial array backend by construction; see the
+    module docstring for the decomposition.  Serial fallbacks: numpy
+    absent, one shard, sub-threshold spans, shm unavailable.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        min_n: int = MIN_SHARD_N,
+        min_cells: int = MIN_SHARD_CELLS,
+    ) -> None:
+        super().__init__()
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        self.shards = shards
+        self.min_n = min_n
+        self.min_cells = min_cells
+        self.sharded_spans = 0
+        self._share_arena: Optional[ShmArena] = None
+        self._shm_broken = False
+
+    # -- shared mirrors ---------------------------------------------------
+
+    def _sync(self) -> None:
+        self.release_shared()
+        super()._sync()
+
+    def release_shared(self) -> None:
+        """Release the frozen-mirror share arena (rebuilt on demand)."""
+        arena, self._share_arena = self._share_arena, None
+        if arena is not None:
+            arena.release()
+
+    def _share_layout(self) -> Layout:
+        n = self.n
+        return (("p2", "i64", 2 * n + 1), ("chir", "i64", n))
+
+    def _shared_mirrors(self) -> Optional[ShmArena]:
+        """The share arena for the current frozen mirrors (lazy)."""
+        if self._share_arena is not None:
+            return self._share_arena
+        if self._shm_broken or self._p2 is None:
+            return None
+        np = self.np
+        try:
+            arena = ShmArena.create(self._share_layout())
+            view = arena.ints("p2")
+            view[:] = self._p2
+            del view
+            view = arena.ints("chir")
+            view[:] = self._chir_np.astype(np.int64)
+            del view
+        except (OSError, ValueError):
+            # No usable shared memory on this box; never retry, the
+            # serial path is always correct.
+            self._shm_broken = True
+            return None
+        # A dropped backend must not pin its mirror segment until the
+        # atexit sweep; release() is idempotent, so an explicit
+        # release_shared() and this finalizer compose.
+        weakref.finalize(self, arena.release)
+        self._share_arena = arena
+        return arena
+
+    # -- sharded span computation -----------------------------------------
+
+    def _compute_stretch_np(self, derived, need_coll, total):
+        n = self.n
+        if (
+            self.shards <= 1
+            or n < self.min_n
+            or total * n < self.min_cells
+        ):
+            return super()._compute_stretch_np(derived, need_coll, total)
+        share = self._shared_mirrors()
+        if share is None:
+            return super()._compute_stretch_np(derived, need_coll, total)
+        np, scale = self.np, self.scale
+
+        # Rotation schedule plus rel/hops blocks for mixed rows: the
+        # entire cross-shard protocol for this span.
+        rotations, r_total = self._span_rotations(derived)
+        schedule: List[ScheduleEntry] = []
+        mixed_blocks: List[Tuple[object, object]] = []
+        for (r, _idle, _mixed, rel, hops), count in derived:
+            mixed_idx = -1
+            if need_coll and rel is not None:
+                mixed_idx = len(mixed_blocks)
+                mixed_blocks.append((rel, hops))
+            schedule.append((r, count, mixed_idx))
+
+        span_layout: Layout = (
+            ("dist", "i64", total * n),
+            ("coll", "i64", total * n if need_coll else 0),
+            ("rel", "i64", len(mixed_blocks) * n),
+            ("hops", "i64", len(mixed_blocks) * n),
+        )
+        try:
+            span = ShmArena.create(span_layout)
+        except (OSError, ValueError):
+            self._shm_broken = True
+            return super()._compute_stretch_np(derived, need_coll, total)
+
+        try:
+            if mixed_blocks:
+                rel_view = span.ints("rel").reshape(-1, n)
+                hops_view = span.ints("hops").reshape(-1, n)
+                for i, (rel, hops) in enumerate(mixed_blocks):
+                    rel_view[i] = rel
+                    hops_view[i] = hops
+                del rel_view, hops_view
+            worker_pool = _pool.get_pool(self.shards)
+            worker_pool.warm()
+            futures = [
+                worker_pool.submit(
+                    _shard_job,
+                    share.name,
+                    share.layout,
+                    span.name,
+                    span.layout,
+                    (n, scale, self.offset, total, lo, hi, need_coll,
+                     tuple(schedule)),
+                )
+                for lo, hi in _shard_bounds(n, self.shards)
+            ]
+            for future in futures:
+                future.result()
+            # Copy out of shared memory: stretch results are memoised
+            # and referenced by lazy history rows far beyond any
+            # segment lifetime, so the heap owns the final columns.
+            view = span.ints("dist")
+            dist = np.array(view, dtype=np.int64).reshape(total, n)
+            del view
+            coll = None
+            if need_coll:
+                view = span.ints("coll")
+                coll = np.array(view, dtype=np.int64).reshape(total, n)
+                del view
+        finally:
+            try:
+                span.close()
+            except BufferError:
+                # Exceptional exit with a live copy-out view; unlink
+                # below still destroys the segment once every mapping
+                # (including this one, at worst at process exit) goes.
+                pass
+            span.unlink()
+        self.sharded_spans += 1
+        return (
+            ArrayStretchResult(self, rotations, dist, coll, True),
+            r_total,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ShardedArrayBackend shards={self.shards} n={self.n} "
+            f"sharded_spans={self.sharded_spans}>"
+        )

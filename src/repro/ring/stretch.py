@@ -121,7 +121,11 @@ class Stretch:
 
     ``Stretch(row, k)`` plays one row ``k`` times; :meth:`of` builds a
     heterogeneous span; ``pairs`` is the internal run-length form
-    ``[(row, count), ...]`` consumed by the simulator.
+    ``[(row, count), ...]`` consumed by the simulator.  Every stretch
+    executor -- the serial fused path, speculative execution, and the
+    sharded multi-process path of :mod:`repro.parallel.shard` -- plans
+    from this same run-length form, so a plan built once runs
+    bit-identically on any of them.
     """
 
     __slots__ = ("pairs", "rounds")

@@ -1,0 +1,187 @@
+"""Sharded single-ring execution: bit-exactness against the serial
+array backend, session-level ``shards=`` plumbing, fallback paths, and
+leak-free failure handling.
+
+Sharding is a pure execution strategy, so the tests compare *complete*
+session fingerprints -- round counts, final positions, agent logs,
+memory, protocol results -- between the serial array backend and
+sharded backends at 1/2/4 workers.  Thresholds are lowered so the test
+rings genuinely exercise the shared-memory path (asserted through the
+``sharded_spans`` counter), not the small-ring serial fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RingSession, Stretch
+from repro.core.scheduler import Scheduler
+from repro.exceptions import ConfigurationError
+from repro.parallel import shard as shard_mod
+from repro.parallel.shard import ShardedArrayBackend, _shard_bounds
+from repro.parallel.shm import _OWNED
+from repro.ring.arrayops import get_numpy
+from repro.ring.backends import ArrayBackend
+from repro.ring.configs import random_configuration
+from repro.types import Model
+
+#: Sharding decomposes the *vectorised* span path; without numpy the
+#: backend is the (already tier-1-tested) scalar serial path.
+pytestmark = pytest.mark.skipif(
+    get_numpy() is None, reason="sharding requires numpy"
+)
+
+
+def sharded_backend(shards):
+    """A sharded backend whose thresholds let test-sized rings shard."""
+    return ShardedArrayBackend(shards=shards, min_n=4, min_cells=8)
+
+
+def session_fingerprint(session, result):
+    sched = session.scheduler
+    return (
+        sched.rounds,
+        sched.state.snapshot(),
+        [list(view.log) for view in sched.views],
+        [dict(view.memory) for view in sched.views],
+        result.to_dict(),
+    )
+
+
+class TestShardBounds:
+    def test_balanced_contiguous_cover(self):
+        for n, shards in [(10, 3), (8, 4), (7, 1), (5, 5)]:
+            bounds = _shard_bounds(n, shards)
+            assert bounds[0][0] == 0 and bounds[-1][1] == n
+            assert all(
+                bounds[i][1] == bounds[i + 1][0]
+                for i in range(len(bounds) - 1)
+            )
+            sizes = [hi - lo for lo, hi in bounds]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestProtocolBitExactness:
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize(
+        "protocol,model,n",
+        [
+            ("coordination", "perceptive", 12),
+            ("location-discovery", "perceptive", 12),
+            ("coordination", "lazy", 9),
+        ],
+    )
+    def test_sharded_session_matches_serial(
+        self, protocol, model, n, shards
+    ):
+        serial = RingSession(n=n, model=model, backend="array", seed=7)
+        reference = session_fingerprint(serial, serial.run(protocol))
+
+        backend = sharded_backend(shards)
+        session = RingSession(n=n, model=model, backend=backend, seed=7)
+        fingerprint = session_fingerprint(session, session.run(protocol))
+        assert backend.sharded_spans > 0  # the shm path really ran
+        backend.release_shared()
+        assert fingerprint == reference
+
+
+class TestSpanEquality:
+    def directions(self, n):
+        row_a = [1 if i % 3 else -1 for i in range(n)]
+        row_b = [-s for s in row_a]
+        return Stretch(pairs=[(row_a, 3), (row_b, 2), (row_a, 1)])
+
+    def span_columns(self, backend, n):
+        state = random_configuration(n=n, seed=5, common_sense=False)
+        sched = Scheduler(state, model=Model.PERCEPTIVE, backend=backend)
+        result = sched.run_stretch(self.directions(n))
+        return (
+            list(result.rotations),
+            [result.dist_ints(j).tolist() for j in range(result.k)],
+            [result.coll_ints(j).tolist() for j in range(result.k)],
+            backend.offset,
+        )
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_stretch_columns_match_serial(self, shards):
+        n = 24
+        reference = self.span_columns(ArrayBackend(), n)
+        backend = sharded_backend(shards)
+        columns = self.span_columns(backend, n)
+        if shards > 1:
+            assert backend.sharded_spans == 1
+        else:
+            assert backend.sharded_spans == 0  # one shard: serial path
+        backend.release_shared()
+        assert columns == reference
+
+    def test_small_ring_falls_back_to_serial(self):
+        n = 8
+        backend = ShardedArrayBackend(shards=2)  # default thresholds
+        columns = self.span_columns(backend, n)
+        assert backend.sharded_spans == 0
+        assert columns == self.span_columns(ArrayBackend(), n)
+
+
+class TestSessionShardsOption:
+    def test_shards_session_matches_array(self):
+        plain = RingSession(n=12, model="perceptive", backend="array",
+                            seed=3)
+        sharded = RingSession(n=12, model="perceptive", seed=3, shards=2)
+        r1 = plain.run("coordination")
+        r2 = sharded.run("coordination")
+        assert session_fingerprint(sharded, r2) == session_fingerprint(
+            plain, r1
+        )
+
+    def test_shards_one_is_the_plain_array_backend(self):
+        session = RingSession(n=9, model="perceptive", shards=1)
+        assert not isinstance(
+            session.scheduler.simulator.backend, ShardedArrayBackend
+        )
+
+    def test_shards_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingSession(n=9, shards=0)
+
+    def test_shards_with_non_array_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingSession(n=9, backend="lattice", shards=2)
+
+
+class TestFailurePaths:
+    def test_pool_failure_propagates_without_leaking(self, monkeypatch):
+        n = 24
+        state = random_configuration(n=n, seed=5, common_sense=False)
+        backend = sharded_backend(2)
+        sched = Scheduler(state, backend=backend)
+
+        def broken_pool(workers):
+            raise RuntimeError("no pool on this box")
+
+        monkeypatch.setattr(shard_mod._pool, "get_pool", broken_pool)
+        before = set(_OWNED)
+        row = [1 if i % 3 else -1 for i in range(n)]
+        with pytest.raises(RuntimeError):
+            sched.run_stretch(Stretch(row, 4))
+        # the span arena must be gone; only the reusable frozen-mirror
+        # share arena may remain, and release_shared drops that too.
+        leaked = set(_OWNED) - before
+        share = backend._share_arena
+        assert leaked <= ({share.name} if share is not None else set())
+        backend.release_shared()
+        assert set(_OWNED) - before == set()
+
+    def test_shm_unavailable_falls_back_to_serial(self, monkeypatch):
+        n = 24
+        reference = TestSpanEquality().span_columns(ArrayBackend(), n)
+        backend = sharded_backend(2)
+
+        def no_shm(layout):
+            raise OSError("shared memory unavailable")
+
+        monkeypatch.setattr(shard_mod.ShmArena, "create", no_shm)
+        columns = TestSpanEquality().span_columns(backend, n)
+        assert backend.sharded_spans == 0
+        assert backend._shm_broken is True
+        assert columns == reference

@@ -174,10 +174,20 @@ def bench_markdown() -> str:
     rows.append((
         "`BENCH_fleet.json`",
         f"{fleet['workload']['sessions']}-ring sweep, "
-        f"{fleet['workload']['workers']} workers",
-        f"process pool over serial: **{fleet['parallel_speedup']}x** "
+        f"warm pools up to {fleet['workload']['workers']} workers",
+        f"warm pool over serial: **{fleet['parallel_speedup']}x** "
         f"(on {fleet['cpu_count']} CPU"
         f"{'s' if fleet['cpu_count'] != 1 else ''})",
+    ))
+    shard = _report("BENCH_shard.json")
+    shard_head = max(shard["results"], key=lambda row: row["n"])
+    rows.append((
+        "`BENCH_shard.json`",
+        f"one ring at n={shard_head['n']}, "
+        f"{shard['workload']['shards']} shards over shared memory",
+        f"sharded over serial: **{shard_head['speedup']}x** "
+        f"(on {shard['cpu_count']} CPU"
+        f"{'s' if shard['cpu_count'] != 1 else ''})",
     ))
     lines = [
         "| report | workload | headline (this machine) |",
