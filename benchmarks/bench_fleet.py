@@ -44,6 +44,10 @@ def test_fleet_shootout_16_rings(once):
     assert report["deterministic_across_executors"] is True
     assert report["warm_pool"] is True
     assert [row["workers"] for row in report["scaling"]] == [1, 2, 4]
+    # Every scaling row records the host CPU count so a single row
+    # quoted out of context still reads honestly.
+    assert all(row["cpu_count"] == (os.cpu_count() or 1)
+               for row in report["scaling"])
     cpus = os.cpu_count() or 1
     if cpus >= 2:
         # Warm pools must deliver real parallel speedup on multicore.

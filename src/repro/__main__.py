@@ -9,11 +9,15 @@ Usage::
                         [--shard 4] [--common-sense]
                         [--driver native|callback]
                         [--unchecked] [--json]
+                        [--cache|--no-cache] [--cache-dir DIR]
     python -m repro sweep [--protocol location-discovery]
                           [--sizes 8,16] [--seeds 0,1,2,3]
                           [--models perceptive] [--backends lattice]
                           [--driver native|callback] [--workers 4]
                           [--executor process] [--out X.json]
+                          [--cache|--no-cache] [--cache-dir DIR]
+    python -m repro cache stats|verify|clear [--cache-dir DIR]
+                                             [--sample N]
     python -m repro table1 [--odd 9,17,33] [--even 8,16,32] [--seed 1]
                            [--backend lattice|fraction] [--json]
     python -m repro table2 [--backend ...] [--json]
@@ -36,9 +40,14 @@ Usage::
     python -m repro bench-shard [--sizes 65536,262144,1048576]
                                 [--shards 4] [--rounds 48]
                                 [--out BENCH.json]
+    python -m repro bench-cache [--sessions 8] [--n 16] [--dupes 4]
+                                [--out BENCH.json]
 
 ``run`` with no protocol lists the registry.  All structured output
 (``--json``, ``sweep``) uses exact ``"p/q"`` strings for rationals.
+``--cache`` (or ``REPRO_CACHE=1``) serves repeated runs from the
+content-addressed run store; fetched results are bit-identical to
+computed ones.
 """
 
 from __future__ import annotations
@@ -161,6 +170,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
     if args.shard is not None and args.backend != "array":
         args.parser.error("--shard requires --backend array")
+    from repro.store.service import resolve_cache
+
     session = RingSession(
         n=args.n,
         model=args.model,
@@ -170,6 +181,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         driver=args.driver,
         unchecked=args.unchecked,
         shards=args.shard,
+        cache=resolve_cache(args.cache),
+        cache_dir=args.cache_dir,
     )
     try:
         result = session.run(args.protocol)
@@ -248,7 +261,10 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         driver=args.driver,
         unchecked=args.unchecked,
     )
-    fleet = Fleet(specs, workers=args.workers, executor=args.executor)
+    fleet = Fleet(
+        specs, workers=args.workers, executor=args.executor,
+        cache=args.cache, cache_dir=args.cache_dir,
+    )
     report = fleet.run()
     payload = report.to_json()
     print(payload)
@@ -380,6 +396,51 @@ def _cmd_bench_shard(args: argparse.Namespace) -> None:
         print(f"wrote {args.out}")
 
 
+def _cmd_bench_cache(args: argparse.Namespace) -> None:
+    from repro.experiments.harness import cache_shootout
+
+    report = cache_shootout(
+        sessions=args.sessions, n=args.n, dupes=args.dupes,
+        seed=args.seed, repeats=args.repeats,
+    )
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.store.service import get_store, verify_entry
+
+    store = get_store(args.cache_dir)
+    if args.action == "stats":
+        print(json.dumps(store.stats(), indent=2))
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(json.dumps({
+            "cleared": removed, "cache_dir": str(store.cache_dir),
+        }, indent=2))
+        return 0
+    # verify: recompute stored entries and assert bit-equality.
+    digests = list(store.iter_digests())
+    if args.sample is not None:
+        if args.sample < 1:
+            args.parser.error("--sample must be >= 1")
+        digests = digests[:args.sample]
+    rows = [verify_entry(store, digest) for digest in digests]
+    ok = all(row["ok"] for row in rows)
+    print(json.dumps({
+        "cache_dir": str(store.cache_dir),
+        "verified": len(rows),
+        "ok": ok,
+        "rows": rows,
+    }, indent=2))
+    return 0 if ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run as lint_run
 
@@ -424,6 +485,20 @@ def _add_json(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="compute-or-fetch against the content-addressed run store "
+        "(default: on when REPRO_CACHE=1; fetched results are "
+        "bit-identical to computed ones)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="run-store directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -455,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend(run)
     _add_driver(run)
     _add_json(run)
+    _add_cache(run)
     run.set_defaults(fn=_cmd_run)
 
     sw = sub.add_parser(
@@ -473,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sw.add_argument("--common-sense", action="store_true")
     _add_driver(sw)
+    _add_cache(sw)
     sw.add_argument(
         "--out", default=None, help="also write the JSON report to this path"
     )
@@ -610,6 +687,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write the JSON report to this path"
     )
     bsh.set_defaults(fn=_cmd_bench_shard)
+
+    bc = sub.add_parser(
+        "bench-cache",
+        help="time run-store warm fetches and sweep dedup against "
+        "recomputation (bit-exactness asserted before timing)",
+    )
+    bc.add_argument("--sessions", type=int, default=8)
+    bc.add_argument("--n", type=int, default=16)
+    bc.add_argument("--dupes", type=int, default=4)
+    bc.add_argument("--seed", type=int, default=0)
+    bc.add_argument("--repeats", type=int, default=3)
+    bc.add_argument(
+        "--out", default=None, help="also write the JSON report to this path"
+    )
+    bc.set_defaults(fn=_cmd_bench_cache)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect the content-addressed run store (stats), "
+        "recompute-and-compare entries (verify), or empty it (clear)",
+    )
+    cache.add_argument(
+        "action", choices=["stats", "verify", "clear"],
+        help="stats: entry count, bytes and hit/miss events; verify: "
+        "rerun stored specs and assert bit-equality (exit 1 on any "
+        "mismatch); clear: remove every entry",
+    )
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="run-store directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    cache.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="verify only the first N entries (sorted by digest) "
+        "instead of all of them",
+    )
+    cache.set_defaults(fn=_cmd_cache)
 
     lint = sub.add_parser(
         "lint",

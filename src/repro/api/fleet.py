@@ -20,14 +20,27 @@ once and reused across every subsequent ``run()``, spec payloads and
 result rows travel through shm slots rather than pickles, and
 :meth:`Fleet.warm` pre-spawns the workers so benchmarks can keep pool
 spin-up out of their timed regions.
+
+With caching on (``cache=True``, or ``REPRO_CACHE=1`` in the
+environment), ``run()`` first partitions the sweep against the
+content-addressed run store (:mod:`repro.store`): specs whose key is
+already stored are served by fetch, the remaining *distinct* keys are
+computed once each through the configured executor (so warm pools only
+ever receive misses), and duplicate specs -- including specs differing
+only in backend or driver, which are bit-exact equivalent -- fan out
+from the one computation.  Rows keep their ``{"spec", "result",
+"seconds"}`` shape and spec order either way; the report additionally
+carries a ``cache`` summary (hits / misses / deduped).
 """
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import platform
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
@@ -112,6 +125,10 @@ class RunReport:
         workers: Worker count used (1 for serial).
         seconds_total: Wall-clock of the whole fleet run.
         cpu_count: Host CPU count (parallel speedup context).
+        cache: Run-cache summary (hits / misses / deduped /
+            uncacheable) when the fleet ran with caching on, else
+            ``None`` -- the payload shape is unchanged for uncached
+            runs.
     """
 
     results: List[Dict[str, object]] = field(default_factory=list)
@@ -119,9 +136,10 @@ class RunReport:
     workers: int = 1
     seconds_total: float = 0.0
     cpu_count: int = 1
+    cache: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "schema": REPORT_SCHEMA,
             "executor": self.executor,
             "workers": self.workers,
@@ -130,6 +148,9 @@ class RunReport:
             "python": platform.python_version(),
             "results": self.results,
         }
+        if self.cache is not None:
+            payload["cache"] = dict(self.cache)
+        return payload
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -150,6 +171,12 @@ class Fleet:
             order regardless of completion order).
         workers: Pool size; defaults to ``min(len(specs), cpu_count)``.
         executor: ``"process"``, ``"thread"`` or ``"serial"``.
+        cache: Compute-or-fetch against the content-addressed run
+            store (:mod:`repro.store`).  ``None`` (the default) defers
+            to the ``REPRO_CACHE`` environment switch; fetched and
+            deduplicated results are bit-identical to computed ones.
+        cache_dir: Store directory override (default
+            ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
     """
 
     def __init__(
@@ -157,6 +184,8 @@ class Fleet:
         specs: Sequence[SessionSpec],
         workers: Optional[int] = None,
         executor: str = "process",
+        cache: Optional[bool] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ConfigurationError(
@@ -171,6 +200,8 @@ class Fleet:
             raise ConfigurationError("workers must be >= 1")
         self.workers = 1 if executor == "serial" else workers
         self.executor = executor
+        self.cache = cache
+        self.cache_dir = cache_dir
 
     def warm(self) -> None:
         """Pre-spawn the process pool (no-op for the other executors).
@@ -184,18 +215,109 @@ class Fleet:
 
             get_pool(self.workers).warm()
 
-    def run(self) -> RunReport:
-        """Execute every spec; returns the structured report."""
-        start = time.perf_counter()
+    def _execute(
+        self, specs: Sequence[SessionSpec]
+    ) -> List[Dict[str, object]]:
+        """Run ``specs`` through the configured executor, in order."""
+        if not specs:
+            return []
         if self.executor == "serial":
-            rows = [run_session_spec(spec) for spec in self.specs]
-        elif self.executor == "process":
+            return [run_session_spec(spec) for spec in specs]
+        if self.executor == "process":
             from repro.parallel.pool import run_specs_pooled
 
-            rows = run_specs_pooled(self.specs, self.workers)
-        else:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                rows = list(pool.map(run_session_spec, self.specs))
+            return run_specs_pooled(list(specs), self.workers)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(run_session_spec, specs))
+
+    def _run_cached(self) -> RunReport:
+        """The compute-or-fetch path: partition, dedup, fan out.
+
+        Specs already in the store are served by fetch; the remaining
+        *distinct* keys are computed once each through the configured
+        executor (warm pools only ever see misses); duplicates copy the
+        one computed row with ``seconds`` 0.0.  Row shape and spec
+        order match the uncached path exactly.
+        """
+        from repro.store.keys import safe_key
+        from repro.store.service import get_store
+
+        store = get_store(self.cache_dir)
+        start = time.perf_counter()
+        rows: List[Optional[Dict[str, object]]] = [None] * len(self.specs)
+        hits = misses = deduped = uncacheable = 0
+        # digest -> list of spec indices sharing it (dedup groups).
+        to_compute: "OrderedDict[str, List[int]]" = OrderedDict()
+        keyed_docs: Dict[str, Dict[str, object]] = {}
+        for index, spec in enumerate(self.specs):
+            keyed = safe_key(spec)
+            if keyed is None:
+                uncacheable += 1
+                row = run_session_spec(spec)
+                rows[index] = row
+                continue
+            digest, key_doc = keyed
+            if digest in to_compute:
+                to_compute[digest].append(index)
+                deduped += 1
+                continue
+            fetch_start = time.perf_counter()
+            entry = store.get(digest)
+            if entry is not None:
+                hits += 1
+                rows[index] = {
+                    "spec": spec.to_dict(),
+                    "result": entry["result"],
+                    "seconds": round(time.perf_counter() - fetch_start, 6),
+                }
+                continue
+            misses += 1
+            to_compute[digest] = [index]
+            keyed_docs[digest] = key_doc
+        computed = self._execute(
+            [self.specs[group[0]] for group in to_compute.values()]
+        )
+        for (digest, group), row in zip(to_compute.items(), computed):
+            primary = group[0]
+            rows[primary] = row
+            store.put(
+                digest,
+                row["result"],  # type: ignore[arg-type]
+                key=keyed_docs[digest],
+                spec=self.specs[primary].to_dict(),
+                backend=self.specs[primary].backend,
+            )
+            for index in group[1:]:
+                rows[index] = {
+                    "spec": self.specs[index].to_dict(),
+                    "result": copy.deepcopy(row["result"]),
+                    "seconds": 0.0,
+                }
+        elapsed = time.perf_counter() - start
+        return RunReport(
+            results=[row for row in rows if row is not None],
+            executor=self.executor,
+            workers=self.workers,
+            seconds_total=elapsed,
+            cpu_count=os.cpu_count() or 1,
+            cache={
+                "enabled": True,
+                "hits": hits,
+                "misses": misses,
+                "deduped": deduped,
+                "uncacheable": uncacheable,
+                "cache_dir": str(store.cache_dir),
+            },
+        )
+
+    def run(self) -> RunReport:
+        """Execute every spec; returns the structured report."""
+        from repro.store.service import resolve_cache
+
+        if resolve_cache(self.cache):
+            return self._run_cached()
+        start = time.perf_counter()
+        rows = self._execute(self.specs)
         elapsed = time.perf_counter() - start
         return RunReport(
             results=rows,

@@ -37,7 +37,7 @@ from repro.api.registry import (
 from repro.core.agent import AgentView
 from repro.core.scheduler import Scheduler
 from repro.exceptions import ConfigurationError, ProtocolError
-from repro.ring.backends import BackendSpec
+from repro.ring.backends import BACKEND_NAMES, DEFAULT_BACKEND, BackendSpec
 from repro.ring.state import RingState
 from repro.types import LocalDirection, Model, RoundOutcome
 
@@ -113,9 +113,17 @@ class RingSession:
         cross_validate: bool = False,
         unchecked: bool = False,
         shards: Optional[int] = None,
+        cache: bool = False,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.common_sense = common_sense
         self.driver = resolve_driver(driver)
+        self.cache = cache
+        self.cache_dir = cache_dir
+        #: SessionSpec kwargs (minus protocol) when this session was
+        #: built from generator arguments and is therefore addressable
+        #: in the run store; ``None`` means "always compute".
+        self._cache_args: Optional[Dict[str, object]] = None
         if scheduler is not None:
             # A scheduler already fixes every one of these; accepting an
             # override here would silently run with the scheduler's own
@@ -144,6 +152,14 @@ class RingSession:
                 )
             self.scheduler = scheduler
         else:
+            if shards is not None and shards > 1:
+                backend_label: Optional[str] = "array"
+            elif backend is None:
+                backend_label = DEFAULT_BACKEND
+            elif isinstance(backend, str):
+                backend_label = backend
+            else:
+                backend_label = getattr(backend, "name", None)
             if shards is not None:
                 backend = _sharded_backend(backend, shards)
             model = _resolve_model(model) if model is not None else Model.BASIC
@@ -152,6 +168,26 @@ class RingSession:
                     raise ConfigurationError(
                         "RingSession needs n=, state= or scheduler="
                     )
+                # Generator-built sessions are fully described by plain
+                # data, so their runs are addressable in the run store.
+                # Wrapped states, cross-validating schedulers and
+                # unregistered backend objects always compute.
+                if (
+                    not cross_validate
+                    and isinstance(backend_label, str)
+                    and backend_label in BACKEND_NAMES
+                ):
+                    self._cache_args = {
+                        "n": n,
+                        "model": model.value,
+                        "backend": backend_label,
+                        "seed": seed if seed is not None else 0,
+                        "common_sense": common_sense,
+                        "id_bound": id_bound,
+                        "config": config if config is not None else "random",
+                        "driver": self.driver,
+                        "unchecked": unchecked,
+                    }
                 state = self._build_state(
                     config if config is not None else "random",
                     n=n,
@@ -345,6 +381,76 @@ class RingSession:
 
     def run(self, protocol: Union[str, ProtocolSpec]) -> object:
         """Plan and execute ``protocol`` end to end; returns its result
-        (e.g. :class:`~repro.protocols.base.LocationDiscoveryResult`)."""
+        (e.g. :class:`~repro.protocols.base.LocationDiscoveryResult`).
+
+        With ``cache=True`` (strictly opt-in for sessions -- a fetched
+        run leaves the scheduler untouched, which matters to callers
+        that inspect ring state afterwards), the run store is consulted
+        first: a hit returns the stored result rebuilt into its result
+        object, bit-identical to computing; a miss computes here and
+        files the result.  ``phase_rounds`` is populated either way
+        (``phase_drivers`` reads ``"cached"`` on a hit).
+        """
+        if (
+            self.cache
+            and isinstance(protocol, str)
+            and self._cache_args is not None
+            and self.scheduler.rounds == 0
+        ):
+            result = self._run_cached(protocol)
+            if result is not None:
+                return result
         self.start(protocol)
         return self.resume()
+
+    def _run_cached(self, protocol: str) -> Optional[object]:
+        """Compute-or-fetch ``protocol`` through the run store.
+
+        Returns the result object, or ``None`` when the spec turned out
+        uncacheable (caller computes as if caching were off).
+        """
+        from repro.api.fleet import SessionSpec
+        from repro.protocols.base import result_from_dict
+        from repro.store.keys import safe_key
+        from repro.store.service import get_store
+
+        spec = SessionSpec(protocol=protocol, **self._cache_args)  # type: ignore[arg-type]
+        keyed = safe_key(spec)
+        if keyed is None:
+            return None
+        digest, key_doc = keyed
+        store = get_store(self.cache_dir)
+        entry = store.get(digest)
+        if entry is not None:
+            payload = entry["result"]
+            result = result_from_dict(payload)  # type: ignore[arg-type]
+            rounds_by_phase = payload.get("rounds_by_phase", {})  # type: ignore[union-attr]
+            self._spec = get_protocol(protocol)
+            self._pending = []
+            rounds = {
+                str(name): int(count)  # type: ignore[arg-type]
+                for name, count in dict(rounds_by_phase).items()
+            }
+            # The stored envelope sorts keys; the key document's phase
+            # list restores plan order for display parity with a
+            # computed run.
+            self.phase_rounds = {
+                name: rounds.pop(name)
+                for name in key_doc.get("phases", [])  # type: ignore[union-attr]
+                if name in rounds
+            }
+            self.phase_rounds.update(rounds)
+            self.phase_drivers = {
+                name: "cached" for name in self.phase_rounds
+            }
+            return result
+        self.start(protocol)
+        result = self.resume()
+        store.put(
+            digest,
+            result.to_dict(),  # type: ignore[attr-defined]
+            key=key_doc,
+            spec=spec.to_dict(),
+            backend=spec.backend,
+        )
+        return result

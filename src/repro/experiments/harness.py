@@ -954,6 +954,10 @@ def fleet_shootout(
             "workers": count,
             "seconds": round(best, 6),
             "speedup": round(serial_best / best, 2),
+            # Each row carries the host CPU count so a single row
+            # pasted out of context still reads honestly (a 4-worker
+            # 1.0x on a 1-CPU host is expected, not a regression).
+            "cpu_count": os.cpu_count() or 1,
         })
         if pool_best is None or best < pool_best:
             pool_best = best
@@ -977,6 +981,178 @@ def fleet_shootout(
         },
         "scaling": scaling,
         "parallel_speedup": round(speedup, 2),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def cache_shootout(
+    sessions: int = 8,
+    n: int = 16,
+    dupes: int = 4,
+    seed: int = 0,
+    model: str = "perceptive",
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time run-store warm fetches and sweep dedup against recompute.
+
+    Two measurements over location-discovery sweeps on the lattice
+    backend (every store interaction through the public Fleet path):
+
+    * **warm**: a ``sessions``-spec sweep whose results are already
+      stored runs with the cache on (every spec a hit) against the
+      same sweep recomputed serially.  This is the steady-state payoff
+      of the store: a rerun of yesterday's sweep.
+    * **dedup**: a sweep of ``dupes`` distinct specs, each repeated
+      ``dupes`` times, runs against a *fresh empty store each repeat*
+      -- so the win is purely intra-sweep deduplication (each distinct
+      key computed once, duplicates fanned out), not warm hits.
+
+    Bit-exactness is enforced **before** any timing: fetched payloads
+    must equal the serially recomputed reference, a backend/driver
+    variant sweep (fraction backend, callback driver) must be served
+    by the same entries -- that is the key's backend-independence --
+    and a sampled variant is recomputed uncached and compared against
+    the fetched payload.  Any mismatch raises ``SimulationError``.
+    Timings are best-of-``repeats``.
+
+    Returns a JSON-ready report (the ``BENCH_cache.json`` payload).
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.api.fleet import Fleet, run_session_spec, sweep
+    from repro.exceptions import SimulationError
+    from repro.store.service import reset_stores
+
+    repeats = max(1, repeats)
+    specs = sweep(
+        protocol="location-discovery",
+        sizes=(n,),
+        seeds=range(seed, seed + sessions),
+        models=(model,),
+        backends=("lattice",),
+    )
+    variant_specs = sweep(
+        protocol="location-discovery",
+        sizes=(n,),
+        seeds=range(seed, seed + sessions),
+        models=(model,),
+        backends=("fraction",),
+        driver="callback",
+    )
+    scratch: List[str] = []
+
+    def fresh_dir() -> str:
+        path = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        scratch.append(path)
+        return path
+
+    try:
+        # -- bit-exactness first, timing only afterwards -------------
+        reference = [run_session_spec(spec)["result"] for spec in specs]
+        warm_dir = fresh_dir()
+        populate = Fleet(
+            specs, executor="serial", cache=True, cache_dir=warm_dir,
+        ).run()
+        if [row["result"] for row in populate.results] != reference:
+            raise SimulationError("cached compute differs from recompute")
+        fetched = Fleet(
+            specs, executor="serial", cache=True, cache_dir=warm_dir,
+        ).run()
+        if fetched.cache["hits"] != len(specs):  # type: ignore[index]
+            raise SimulationError("warm sweep was not served by fetches")
+        if [row["result"] for row in fetched.results] != reference:
+            raise SimulationError("fetched results differ from recompute")
+        variant = Fleet(
+            variant_specs, executor="serial", cache=True,
+            cache_dir=warm_dir,
+        ).run()
+        if variant.cache["hits"] != len(variant_specs):  # type: ignore[index]
+            raise SimulationError(
+                "backend/driver variant missed entries keyed "
+                "backend-independently"
+            )
+        if [row["result"] for row in variant.results] != reference:
+            raise SimulationError("variant fetch differs from recompute")
+        sampled = run_session_spec(variant_specs[0])["result"]
+        if sampled != reference[0]:
+            raise SimulationError(
+                "sampled variant recompute differs from reference"
+            )
+
+        # -- warm: all-hit sweep vs serial recompute -----------------
+        def best_of(make_fleet) -> float:
+            best = None
+            for _ in range(repeats):
+                report = make_fleet().run()
+                if best is None or report.seconds_total < best:
+                    best = report.seconds_total
+            return best
+
+        recompute_best = best_of(
+            lambda: Fleet(specs, executor="serial", cache=False)
+        )
+        warm_best = best_of(
+            lambda: Fleet(
+                specs, executor="serial", cache=True, cache_dir=warm_dir,
+            )
+        )
+
+        # -- dedup: duplicated sweep against a fresh store each time -
+        dup_specs = [
+            spec for spec in specs[:dupes] for _ in range(dupes)
+        ]
+        dup_uncached_best = best_of(
+            lambda: Fleet(dup_specs, executor="serial", cache=False)
+        )
+        dup_best = None
+        for _ in range(repeats):
+            report = Fleet(
+                dup_specs, executor="serial", cache=True,
+                cache_dir=fresh_dir(),
+            ).run()
+            summary = report.cache or {}
+            if summary.get("misses") != dupes or (
+                summary.get("deduped") != len(dup_specs) - dupes
+            ):
+                raise SimulationError(
+                    "dedup sweep did not compute each distinct key "
+                    f"exactly once: {summary}"
+                )
+            if dup_best is None or report.seconds_total < dup_best:
+                dup_best = report.seconds_total
+    finally:
+        reset_stores()
+        for path in scratch:
+            shutil.rmtree(path, ignore_errors=True)
+
+    return {
+        "benchmark": "cache_shootout",
+        "workload": {
+            "sessions": sessions,
+            "n": n,
+            "dupes": dupes,
+            "model": model,
+            "protocol": "location-discovery",
+            "backend": "lattice",
+            "variant_backend": "fraction",
+            "variant_driver": "callback",
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "bit_exact": True,
+        "seconds": {
+            "recompute": round(recompute_best, 6),
+            "warm_fetch": round(warm_best, 6),
+            "dup_sweep_uncached": round(dup_uncached_best, 6),
+            "dup_sweep_deduped": round(dup_best, 6),
+        },
+        "warm_speedup": round(recompute_best / warm_best, 2),
+        "dedup_speedup": round(dup_uncached_best / dup_best, 2),
+        "entries": len(specs),
         "cpu_count": os.cpu_count() or 1,
         "python": platform.python_version(),
         "platform": platform.platform(),

@@ -31,6 +31,11 @@ HOT_PATH_MODULES: Tuple[str, ...] = (
     # processes; a Fraction anywhere in it would mean a pickled object
     # column snuck into the shared-memory seam.
     "parallel/*.py",
+    # The run store sits on every cached fleet's hot path and handles
+    # results only as their JSON payloads ("p/q" strings); a Fraction
+    # here would mean a payload was parsed where it should have been
+    # passed through byte-identically.
+    "store/*.py",
 )
 
 #: Modules whose arithmetic feeds the Z/(2D) tick grid: float literals

@@ -7,6 +7,7 @@ from fractions import Fraction
 from typing import Dict, List, Optional
 
 from repro.core.agent import AgentView
+from repro.exceptions import ProtocolError
 from repro.types import LocalDirection
 
 # Memory keys shared across protocols.  A key's value is always written
@@ -62,6 +63,19 @@ class CoordinationResult:
             "rounds_by_phase": dict(self.rounds_by_phase),
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CoordinationResult":
+        """Inverse of :meth:`to_dict` (the run-cache fetch path)."""
+        leader = data.get("leader_id")
+        return cls(
+            rounds=int(data["rounds"]),  # type: ignore[arg-type]
+            leader_id=None if leader is None else int(leader),  # type: ignore[arg-type]
+            rounds_by_phase={
+                str(name): int(rounds)  # type: ignore[arg-type]
+                for name, rounds in dict(data["rounds_by_phase"]).items()  # type: ignore[arg-type]
+            },
+        )
+
 
 @dataclass
 class LocationDiscoveryResult:
@@ -95,3 +109,48 @@ class LocationDiscoveryResult:
                 [str(g) for g in gaps] for gaps in self.gaps_by_agent
             ],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LocationDiscoveryResult":
+        """Inverse of :meth:`to_dict` (the run-cache fetch path).
+
+        ``"p/q"`` strings parse back to exact :class:`Fraction` values,
+        so a fetched result round-trips byte-identically through
+        :meth:`to_dict`.
+        """
+        return cls(
+            rounds=int(data["rounds"]),  # type: ignore[arg-type]
+            rounds_by_phase={
+                str(name): int(rounds)  # type: ignore[arg-type]
+                for name, rounds in dict(data["rounds_by_phase"]).items()  # type: ignore[arg-type]
+            },
+            gaps_by_agent=[
+                [Fraction(str(gap)) for gap in gaps]
+                for gaps in data["gaps_by_agent"]  # type: ignore[union-attr]
+            ],
+        )
+
+
+#: Result classes by their ``to_dict()["kind"]`` discriminator.
+_RESULT_KINDS = {
+    "coordination": CoordinationResult,
+    "location_discovery": LocationDiscoveryResult,
+}
+
+
+def result_from_dict(data: Dict[str, object]) -> object:
+    """Rebuild a protocol result object from its ``to_dict`` payload.
+
+    The run cache stores results as their JSON payloads; this is the
+    dispatcher that turns a fetched payload back into the object
+    :meth:`RingSession.run <repro.api.session.RingSession.run>` would
+    have returned.
+    """
+    kind = data.get("kind")
+    cls = _RESULT_KINDS.get(str(kind))
+    if cls is None:
+        known = ", ".join(sorted(_RESULT_KINDS))
+        raise ProtocolError(
+            f"unknown result kind {kind!r} in stored payload; known: {known}"
+        )
+    return cls.from_dict(data)

@@ -78,16 +78,41 @@ class TestRunReport:
     def test_schema(self):
         report = Fleet(SPECS[:2], executor="serial").run()
         payload = report.to_dict()
-        assert set(payload) == {
+        base = {
             "schema", "executor", "workers", "seconds_total", "cpu_count",
             "python", "results",
         }
+        # "cache" appears exactly when the fleet ran with caching on
+        # (e.g. the REPRO_CACHE CI axis); nothing else may.
+        assert base <= set(payload) <= base | {"cache"}
+        assert ("cache" in payload) == (report.cache is not None)
         assert payload["schema"] == 1
         assert payload["executor"] == "serial"
         assert payload["workers"] == 1
         assert len(payload["results"]) == 2
         reread = json.loads(report.to_json())
         assert reread == payload
+
+    def test_uncached_payload_shape_unchanged(self):
+        # cache=False pins the historic key set even under REPRO_CACHE.
+        report = Fleet(SPECS[:2], executor="serial", cache=False).run()
+        assert set(report.to_dict()) == {
+            "schema", "executor", "workers", "seconds_total", "cpu_count",
+            "python", "results",
+        }
+
+    def test_canonical_json_round_trips_byte_identical(self):
+        # The run store keys and stores these payloads by their
+        # canonical serialisation; a payload that did not survive a
+        # JSON round trip byte-for-byte could never be fetched
+        # bit-identically.
+        from repro.store.keys import canonical_json
+
+        report = Fleet(SPECS[:2], executor="serial", cache=False).run()
+        text = canonical_json({"results": report.payloads()})
+        assert canonical_json(json.loads(text)) == text
+        rerun = Fleet(SPECS[:2], executor="serial", cache=False).run()
+        assert canonical_json({"results": rerun.payloads()}) == text
 
     def test_payloads_strip_timings(self):
         report = RunReport(results=[

@@ -336,4 +336,8 @@ class TestCliBackendArray:
         ]) == 0
         ref = json.loads(capsys.readouterr().out)
         assert payload["result"] == ref["result"]
-        assert payload["phases"] == ref["phases"]
+        # Compare names and rounds, not driver labels: on the
+        # cache-enabled CI axis the rerun is a fetch ([cached]).
+        assert [
+            (p["name"], p["rounds"]) for p in payload["phases"]
+        ] == [(p["name"], p["rounds"]) for p in ref["phases"]]

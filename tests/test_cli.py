@@ -148,3 +148,108 @@ class TestCli:
     def test_rejects_bad_model(self):
         with pytest.raises(SystemExit):
             main(["demo", "--model", "psychic"])
+
+
+class TestCliCache:
+    """The --cache surface.  Every test pins --cache-dir to tmp_path:
+    these must never read or clear a shared store (REPRO_CACHE_DIR),
+    including on the cache-enabled CI axis."""
+
+    RUN = ["run", "location-discovery", "--n", "7", "--model", "basic",
+           "--seed", "3", "--json"]
+
+    def test_cached_run_bit_identical(self, capsys, tmp_path):
+        cache = ["--cache", "--cache-dir", str(tmp_path)]
+        assert main(self.RUN + cache) == 0
+        computed = json.loads(capsys.readouterr().out)
+        assert main(self.RUN + ["--backend", "fraction"] + cache) == 0
+        fetched = json.loads(capsys.readouterr().out)
+        assert fetched["result"] == computed["result"]
+        assert {p["driver"] for p in fetched["phases"]} == {"cached"}
+        assert [p["name"] for p in fetched["phases"]] == [
+            p["name"] for p in computed["phases"]
+        ]
+
+    def test_no_cache_forces_compute(self, capsys, tmp_path):
+        cache_dir = ["--cache-dir", str(tmp_path)]
+        assert main(self.RUN + ["--cache"] + cache_dir) == 0
+        capsys.readouterr()
+        assert main(self.RUN + ["--no-cache"] + cache_dir) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {p["driver"] for p in payload["phases"]} == {"native"}
+
+    def test_cached_sweep_summary_and_equality(self, capsys, tmp_path):
+        args = ["sweep", "--sizes", "7", "--seeds", "0,1",
+                "--models", "basic", "--backends", "lattice,fraction",
+                "--executor", "serial"]
+        cache = ["--cache", "--cache-dir", str(tmp_path)]
+        assert main(args + ["--no-cache"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert "cache" not in plain
+        assert main(args + cache) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args + cache) == 0
+        second = json.loads(capsys.readouterr().out)
+        strip = lambda rep: [
+            {"spec": r["spec"], "result": r["result"]}
+            for r in rep["results"]
+        ]
+        assert strip(first) == strip(plain)
+        assert strip(second) == strip(plain)
+        # 4 rows, 2 distinct keys: dedup on the first pass, no misses
+        # on the second.
+        assert first["cache"]["misses"] == 2
+        assert first["cache"]["deduped"] == 2
+        assert second["cache"]["misses"] == 0
+        for row in first["results"]:
+            assert set(row) == {"spec", "result", "seconds"}
+
+    def test_cache_stats_verify_clear(self, capsys, tmp_path):
+        cache = ["--cache", "--cache-dir", str(tmp_path)]
+        dir_only = ["--cache-dir", str(tmp_path)]
+        assert main(self.RUN + cache) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"] + dir_only) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["cache_dir"] == str(tmp_path)
+        assert main(["cache", "verify"] + dir_only) == 0
+        verified = json.loads(capsys.readouterr().out)
+        assert verified["ok"] is True
+        assert verified["verified"] == 1
+        assert verified["rows"][0]["ok"] is True
+        assert main(["cache", "clear"] + dir_only) == 0
+        cleared = json.loads(capsys.readouterr().out)
+        assert cleared["cleared"] == 1
+        assert main(["cache", "stats"] + dir_only) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_cache_verify_flags_tampering(self, capsys, tmp_path):
+        from repro.store.store import RunStore
+
+        cache = ["--cache", "--cache-dir", str(tmp_path)]
+        assert main(self.RUN + cache) == 0
+        capsys.readouterr()
+        store = RunStore(tmp_path)
+        (digest,) = store.iter_digests()
+        path = store.entry_path(digest)
+        envelope = json.loads(path.read_text())
+        envelope["result"]["rounds"] += 1
+        path.write_text(json.dumps(envelope))
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["ok"] is False
+        assert "differs" in verdict["rows"][0]["detail"]
+
+    def test_cache_verify_sample(self, capsys, tmp_path):
+        cache = ["--cache", "--cache-dir", str(tmp_path)]
+        assert main(self.RUN + cache) == 0
+        assert main(self.RUN + ["--seed", "4"] + cache) == 0
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path),
+                     "--sample", "1"]) == 0
+        verified = json.loads(capsys.readouterr().out)
+        assert verified["verified"] == 1
+        with pytest.raises(SystemExit):
+            main(["cache", "verify", "--cache-dir", str(tmp_path),
+                  "--sample", "0"])

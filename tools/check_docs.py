@@ -189,6 +189,14 @@ def bench_markdown() -> str:
         f"(on {shard['cpu_count']} CPU"
         f"{'s' if shard['cpu_count'] != 1 else ''})",
     ))
+    cache = _report("BENCH_cache.json")
+    rows.append((
+        "`BENCH_cache.json`",
+        f"{cache['workload']['sessions']}-ring sweep via the run store "
+        f"(+ {cache['workload']['dupes']}-duplicate dedup)",
+        f"warm fetch over recompute: **{cache['warm_speedup']}x**, "
+        f"sweep dedup: **{cache['dedup_speedup']}x**",
+    ))
     lines = [
         "| report | workload | headline (this machine) |",
         "|--------|----------|--------------------------|",
