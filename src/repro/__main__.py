@@ -10,12 +10,14 @@ Usage::
                         [--driver native|callback]
                         [--unchecked] [--json]
                         [--cache|--no-cache] [--cache-dir DIR]
+                        [--faults PLAN|@file.json]
     python -m repro sweep [--protocol location-discovery]
                           [--sizes 8,16] [--seeds 0,1,2,3]
                           [--models perceptive] [--backends lattice]
                           [--driver native|callback] [--workers 4]
                           [--executor process] [--out X.json]
                           [--cache|--no-cache] [--cache-dir DIR]
+                          [--faults PLAN|@file.json]
     python -m repro cache stats|verify|clear [--cache-dir DIR]
                                              [--sample N]
     python -m repro table1 [--odd 9,17,33] [--even 8,16,32] [--seed 1]
@@ -166,10 +168,21 @@ def _cmd_run(args: argparse.Namespace) -> None:
             print(f"  {spec.name:20s} {spec.description}")
         return
 
-    from repro.exceptions import InfeasibleProblemError, ProtocolError
+    from repro.exceptions import (
+        ConfigurationError,
+        InfeasibleProblemError,
+        ProtocolError,
+        ReproError,
+    )
 
     if args.shard is not None and args.backend != "array":
         args.parser.error("--shard requires --backend array")
+    faults = _parse_faults(args)
+    if faults is not None:
+        try:
+            faults.validate_for(args.n)
+        except ConfigurationError as exc:
+            args.parser.error(f"--faults: {exc}")
     from repro.store.service import resolve_cache
 
     session = RingSession(
@@ -183,13 +196,35 @@ def _cmd_run(args: argparse.Namespace) -> None:
         shards=args.shard,
         cache=resolve_cache(args.cache),
         cache_dir=args.cache_dir,
+        faults=faults,
     )
     try:
         result = session.run(args.protocol)
-    except (InfeasibleProblemError, ProtocolError) as exc:
-        # Unknown protocol names and paper-proven-infeasible settings
-        # are user errors, not tracebacks.
-        args.parser.error(str(exc))
+    except ReproError as exc:
+        if session.faults is not None:
+            # Graceful degradation: a run the protocol's own checks
+            # abort under an active fault plan is the "detect" outcome,
+            # reported rather than treated as a usage error.
+            if args.json:
+                print(json.dumps({
+                    "protocol": args.protocol,
+                    "n": args.n,
+                    "faults": {
+                        "plan": json.loads(session.faults.canonical()),
+                        "outcome": "detected",
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                    },
+                }, indent=2))
+            else:
+                print(f"fault detected by {args.protocol}: "
+                      f"{type(exc).__name__}: {exc}")
+            return 1
+        if isinstance(exc, (InfeasibleProblemError, ProtocolError)):
+            # Unknown protocol names and paper-proven-infeasible
+            # settings are user errors, not tracebacks.
+            args.parser.error(str(exc))
+        raise
     phases = [
         {
             "name": name,
@@ -199,7 +234,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         for name, rounds in session.phase_rounds.items()
     ]
     if args.json:
-        print(json.dumps({
+        payload = {
             "protocol": args.protocol,
             "n": args.n,
             "model": args.model,
@@ -210,10 +245,18 @@ def _cmd_run(args: argparse.Namespace) -> None:
             "unchecked": args.unchecked,
             "phases": phases,
             "result": result.to_dict(),
-        }, indent=2))
+        }
+        if session.faults is not None:
+            payload["faults"] = {
+                "plan": json.loads(session.faults.canonical()),
+                "outcome": "completed",
+            }
+        print(json.dumps(payload, indent=2))
         return
     print(f"n={args.n}, model={args.model}, N={session.state.id_bound}, "
           f"backend={session.backend_name}, driver={session.driver}")
+    if session.faults is not None:
+        print(f"fault plan active: {session.faults.canonical()}")
     print(f"{args.protocol} solved in {result.rounds} rounds:")
     for phase in phases:
         print(f"  {phase['name']:22s} {phase['rounds']:6d}  "
@@ -251,15 +294,27 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
             f"(choose from {', '.join(sorted(valid_backends))})"
         )
 
+    faults = _parse_faults(args)
+    sizes = _sizes(args.sizes)
+    if faults is not None:
+        from repro.exceptions import ConfigurationError
+
+        for n in sizes:
+            try:
+                faults.validate_for(n)
+            except ConfigurationError as exc:
+                args.parser.error(f"--faults: {exc}")
+
     specs = sweep(
         protocol=args.protocol,
-        sizes=_sizes(args.sizes),
+        sizes=sizes,
         seeds=_sizes(args.seeds),
         models=models,
         backends=backends,
         common_sense=args.common_sense,
         driver=args.driver,
         unchecked=args.unchecked,
+        faults=faults.canonical() if faults is not None else None,
     )
     fleet = Fleet(
         specs, workers=args.workers, executor=args.executor,
@@ -485,6 +540,36 @@ def _add_json(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="fault plan as inline JSON or @file.json: crash-stop, "
+        "byzantine and delayed agent slots plus a round budget "
+        "(deterministic and seeded; see docs/ARCHITECTURE.md)",
+    )
+
+
+def _parse_faults(args: argparse.Namespace):
+    """The --faults plan (or None), with argparse-style error handling."""
+    spec = args.faults
+    if spec is None:
+        return None
+    if spec.startswith("@"):
+        path = spec[1:]
+        try:
+            with open(path) as fh:
+                spec = fh.read()
+        except OSError as exc:
+            args.parser.error(f"--faults: cannot read {path}: {exc}")
+    from repro.exceptions import ConfigurationError
+    from repro.faults.plan import FaultPlan
+
+    try:
+        return FaultPlan.coerce(spec)
+    except ConfigurationError as exc:
+        args.parser.error(f"--faults: {exc}")
+
+
 def _add_cache(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache", action=argparse.BooleanOptionalAction, default=None,
@@ -531,6 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_driver(run)
     _add_json(run)
     _add_cache(run)
+    _add_faults(run)
     run.set_defaults(fn=_cmd_run)
 
     sw = sub.add_parser(
@@ -550,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--common-sense", action="store_true")
     _add_driver(sw)
     _add_cache(sw)
+    _add_faults(sw)
     sw.add_argument(
         "--out", default=None, help="also write the JSON report to this path"
     )

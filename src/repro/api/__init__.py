@@ -47,6 +47,15 @@ from repro.api.fleet import (
     sweep,
 )
 
+# The contention-channel protocols live under repro.faults (they model
+# the adversarial medium) but are ordinary registry entries; they are
+# registered here -- not at channels import time -- so the registry is
+# fully populated exactly when the API package is, with no import-order
+# sensitivity between repro.faults and repro.api.
+from repro.faults.channels import register_protocols as _register_contention
+
+_register_contention()
+
 __all__ = [
     "ChoiceFn",
     "DEFAULT_DRIVER",

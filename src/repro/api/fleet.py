@@ -46,7 +46,8 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.api.registry import DEFAULT_DRIVER
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ReproError
+from repro.faults.plan import FaultPlan
 from repro.types import Model
 
 #: Schema version of the RunReport JSON payload.
@@ -77,9 +78,35 @@ class SessionSpec:
     #: Opt-in fast mode: skip the provably-restoring rounds of
     #: probe/restore pairs (native driver; see RingSession docs).
     unchecked: bool = False
+    #: Fault plan as canonical JSON (``None`` = fault-free).  Accepts a
+    #: FaultPlan, a document dict or a JSON string at construction;
+    #: parseable inputs normalise to the canonical string (so equal
+    #: plans compare and dedup as equal specs), unparseable strings are
+    #: kept verbatim -- such a spec is constructible but unkeyable
+    #: (``safe_key`` returns None) and fails at run time.
+    faults: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.faults is None:
+            return
+        try:
+            plan = FaultPlan.coerce(self.faults)  # type: ignore[arg-type]
+        except ConfigurationError:
+            if not isinstance(self.faults, str):
+                raise
+            return
+        object.__setattr__(
+            self, "faults", None if plan is None else plan.canonical()
+        )
 
     def to_dict(self) -> Dict[str, object]:
-        return asdict(self)
+        data = asdict(self)
+        # Fault-free specs serialise exactly as they did before the
+        # fault axis existed: payload bytes and store documents are
+        # unchanged unless a plan is actually present.
+        if data.get("faults") is None:
+            del data["faults"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SessionSpec":
@@ -103,13 +130,45 @@ def run_session_spec(spec: SessionSpec) -> Dict[str, object]:
         config=spec.config,
         driver=spec.driver,
         unchecked=spec.unchecked,
+        faults=spec.faults,
     )
     start = time.perf_counter()
-    result = session.run(spec.protocol)
+    if session.faults is None:
+        result = session.run(spec.protocol)
+        elapsed = time.perf_counter() - start
+        return {
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+            "seconds": round(elapsed, 6),
+        }
+    # Faulted specs degrade gracefully instead of failing the fleet:
+    # a run the protocol's own checks abort ("detect") becomes a row
+    # with a null result and the error recorded in the faults block; a
+    # run that completes carries its (possibly degraded) result plus
+    # the plan that produced it.
+    faults_block: Dict[str, object] = {
+        "schema": REPORT_SCHEMA,
+        "plan": json.loads(session.faults.canonical()),
+    }
+    try:
+        result = session.run(spec.protocol)
+    except ReproError as exc:
+        elapsed = time.perf_counter() - start
+        faults_block["outcome"] = "detected"
+        faults_block["error"] = type(exc).__name__
+        faults_block["message"] = str(exc)
+        return {
+            "spec": spec.to_dict(),
+            "result": None,
+            "faults": faults_block,
+            "seconds": round(elapsed, 6),
+        }
     elapsed = time.perf_counter() - start
+    faults_block["outcome"] = "completed"
     return {
         "spec": spec.to_dict(),
         "result": result.to_dict(),
+        "faults": faults_block,
         "seconds": round(elapsed, 6),
     }
 
@@ -156,11 +215,21 @@ class RunReport:
         return json.dumps(self.to_dict(), indent=indent)
 
     def payloads(self) -> List[Dict[str, object]]:
-        """The timing-free rows (what determinism tests compare)."""
-        return [
-            {"spec": row["spec"], "result": row["result"]}
-            for row in self.results
-        ]
+        """The timing-free rows (what determinism tests compare).
+
+        Fault-free rows keep their historical two-key shape exactly;
+        rows produced under a fault plan additionally carry their
+        ``faults`` block (plan + outcome + error, no timings).
+        """
+        payloads: List[Dict[str, object]] = []
+        for row in self.results:
+            payload: Dict[str, object] = {
+                "spec": row["spec"], "result": row["result"]
+            }
+            if "faults" in row:
+                payload["faults"] = row["faults"]
+            payloads.append(payload)
+        return payloads
 
 
 class Fleet:
@@ -250,7 +319,11 @@ class Fleet:
         to_compute: "OrderedDict[str, List[int]]" = OrderedDict()
         keyed_docs: Dict[str, Dict[str, object]] = {}
         for index, spec in enumerate(self.specs):
-            keyed = safe_key(spec)
+            # Faulted specs are addressable (their plan is part of the
+            # run key) but always computed: a faulted run's outcome may
+            # be an error row, which the store's result envelope does
+            # not model.
+            keyed = safe_key(spec) if spec.faults is None else None
             if keyed is None:
                 uncacheable += 1
                 row = run_session_spec(spec)
@@ -339,6 +412,7 @@ def sweep(
     config: str = "random",
     driver: str = DEFAULT_DRIVER,
     unchecked: bool = False,
+    faults: Optional[str] = None,
 ) -> List[SessionSpec]:
     """Cartesian-product spec builder: sizes x seeds x models x backends.
 
@@ -364,5 +438,6 @@ def sweep(
                         config=config,
                         driver=driver,
                         unchecked=unchecked,
+                        faults=faults,
                     ))
     return specs

@@ -37,6 +37,7 @@ from repro.api.registry import (
 from repro.core.agent import AgentView
 from repro.core.scheduler import Scheduler
 from repro.exceptions import ConfigurationError, ProtocolError
+from repro.faults.plan import FaultPlan, FaultPlanLike
 from repro.ring.backends import BACKEND_NAMES, DEFAULT_BACKEND, BackendSpec
 from repro.ring.state import RingState
 from repro.types import LocalDirection, Model, RoundOutcome
@@ -115,11 +116,18 @@ class RingSession:
         shards: Optional[int] = None,
         cache: bool = False,
         cache_dir: Optional[str] = None,
+        faults: FaultPlanLike = None,
     ) -> None:
         self.common_sense = common_sense
         self.driver = resolve_driver(driver)
         self.cache = cache
         self.cache_dir = cache_dir
+        #: The normalised fault plan (None when fault-free); accepts a
+        #: FaultPlan, a JSON string or a document dict (CLI:
+        #: ``--faults``).  An empty plan normalises to None, so a
+        #: ``FaultPlan.none()`` session is structurally identical to a
+        #: plain one.
+        self.faults: Optional[FaultPlan] = FaultPlan.coerce(faults)
         #: SessionSpec kwargs (minus protocol) when this session was
         #: built from generator arguments and is therefore addressable
         #: in the run store; ``None`` means "always compute".
@@ -142,6 +150,7 @@ class RingSession:
                     ("cross_validate", cross_validate),
                     ("unchecked", unchecked),
                     ("shards", shards is not None),
+                    ("faults", self.faults is not None),
                 )
                 if given
             ]
@@ -151,6 +160,7 @@ class RingSession:
                     + ", ".join(ignored)
                 )
             self.scheduler = scheduler
+            self.faults = scheduler.faults
         else:
             if shards is not None and shards > 1:
                 backend_label: Optional[str] = "array"
@@ -187,6 +197,11 @@ class RingSession:
                         "config": config if config is not None else "random",
                         "driver": self.driver,
                         "unchecked": unchecked,
+                        "faults": (
+                            self.faults.canonical()
+                            if self.faults is not None
+                            else None
+                        ),
                     }
                 state = self._build_state(
                     config if config is not None else "random",
@@ -220,7 +235,7 @@ class RingSession:
                     )
             self.scheduler = Scheduler(
                 state, model, cross_validate, backend=backend,
-                unchecked=unchecked,
+                unchecked=unchecked, faults=self.faults,
             )
         self._spec: Optional[ProtocolSpec] = None
         self._pending: List[Phase] = []
@@ -259,13 +274,14 @@ class RingSession:
         cross_validate: bool = False,
         unchecked: bool = False,
         shards: Optional[int] = None,
+        faults: FaultPlanLike = None,
     ) -> "RingSession":
         """Wrap an existing world state (the caller keeps ownership)."""
         return cls(
             state=state, model=model, backend=backend,
             common_sense=common_sense, driver=driver,
             cross_validate=cross_validate, unchecked=unchecked,
-            shards=shards,
+            shards=shards, faults=faults,
         )
 
     @classmethod
@@ -396,6 +412,10 @@ class RingSession:
             and isinstance(protocol, str)
             and self._cache_args is not None
             and self.scheduler.rounds == 0
+            # Faulted runs are addressable but always computed: their
+            # outcome may be an error, which the store's result
+            # envelope does not model.
+            and self.faults is None
         ):
             result = self._run_cached(protocol)
             if result is not None:

@@ -56,11 +56,18 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core.agent import AgentView
 from repro.core.population import Population
-from repro.exceptions import SimulationError
+from repro.exceptions import FaultBudgetError, SimulationError
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan, FaultPlanLike
 from repro.ring.backends import BackendSpec
 from repro.ring.simulator import RingSimulator
 from repro.ring.state import RingState
-from repro.ring.stretch import Stretch
+from repro.ring.stretch import (
+    MaterialisedStretch,
+    SpeculativeStretch,
+    Stretch,
+    row_directions,
+)
 from repro.types import LocalDirection, Model, RoundOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime cycle)
@@ -95,11 +102,27 @@ class Scheduler:
         cross_validate: bool = False,
         backend: BackendSpec = None,
         unchecked: bool = False,
+        faults: FaultPlanLike = None,
     ) -> None:
         self.simulator = RingSimulator(
             state, model, cross_validate, backend=backend
         )
         self.model = model
+        # Adversarial execution (repro.faults): an active plan routes
+        # every round through FaultInjector.transform, disables fused
+        # stretch execution (injection is per-round by nature) and the
+        # unchecked restore-skip (skipped rounds would dodge the
+        # adversary), and enforces the plan's round budget.
+        self.faults: Optional[FaultPlan] = FaultPlan.coerce(faults)
+        if self.faults is not None:
+            self._injector: Optional[FaultInjector] = FaultInjector(
+                self.faults, state.n
+            )
+            self.simulator.idle_exempt = self._injector.idle_exempt
+            self._round_budget = self.faults.round_budget
+            unchecked = False
+        else:
+            self._injector = None
         # Opt-in fast mode: native phase drivers skip the provably
         # restoring rounds of probe/restore pairs (positions advance by
         # the span's net rotation instead of being simulated).  Protocol
@@ -138,7 +161,16 @@ class Scheduler:
 
     @property
     def supports_stretch(self) -> bool:
-        """Whether the backend executes fused stretches natively."""
+        """Whether the backend executes fused stretches natively.
+
+        Always False under an active fault plan: injection rewrites the
+        direction vector round by round, so spans cannot be handed to
+        the backend whole.  Policies then plan their scalar/legacy
+        paths; scheduler-level stretch entry points execute round by
+        round through the injector.
+        """
+        if self._injector is not None:
+            return False
         return getattr(self.simulator.backend, "supports_stretch", False)
 
     @property
@@ -204,12 +236,44 @@ class Scheduler:
         decision = self._decide(choose)
         if isinstance(decision, Stretch):
             return self._run_stretch(choose, decision)
-        outcome = self.simulator.execute(decision)
+        outcome = self._execute_round(decision)
         self.population.record_round(outcome.observations)
         observe = getattr(choose, "observe", None)
         if observe is not None:
             observe(self.views, outcome)
         return outcome
+
+    def _execute_round(
+        self, directions: List[LocalDirection]
+    ) -> RoundOutcome:
+        """Execute one direction vector, through the adversary if active.
+
+        The single seam every scheduler-driven round passes through
+        under an active fault plan: the injector rewrites the vector
+        (delays, Byzantine corruption, crash-stop) and the plan's round
+        budget is enforced before the simulator runs.
+        """
+        injector = self._injector
+        if injector is not None:
+            if self.simulator.rounds_executed >= self._round_budget:
+                raise FaultBudgetError(
+                    f"fault-injected run exceeded its "
+                    f"{self._round_budget}-round budget"
+                )
+            directions = injector.transform(
+                directions,
+                self.simulator.rounds_executed,
+                [view.memory for view in self.views],
+            )
+        return self.simulator.execute(directions)
+
+    def crashed_slots(self) -> frozenset:
+        """Slots already crash-stopped at the current round (empty when
+        no fault plan is active).  Contention protocols consult this to
+        model a crashed transmitter falling silent."""
+        if self._injector is None:
+            return frozenset()
+        return self._injector.crashed_at(self.simulator.rounds_executed)
 
     def _run_stretch(self, choose: PolicyLike, stretch: Stretch):
         """Execute a fused span a policy returned from ``decide``.
@@ -242,10 +306,34 @@ class Scheduler:
         round, not the planned upper bound).  Every committed round is
         filed in the history as a lazy row, exactly as policy-returned
         stretches are.
+
+        Under an active fault plan the span is unrolled and executed
+        round by round through the injector (observations recorded
+        eagerly); the stop predicate of a speculative plan is evaluated
+        after each executed round, as on scalar backends.
         """
-        result = self.simulator.execute_stretch(stretch)
-        self.population.record_stretch(result)
-        return result
+        if self._injector is None:
+            result = self.simulator.execute_stretch(stretch)
+            self.population.record_stretch(result)
+            return result
+        stop = (
+            stretch.stop
+            if isinstance(stretch, SpeculativeStretch)
+            else None
+        )
+        outcomes = MaterialisedStretch()
+        population = self.population
+        j = 0
+        for row, count in stretch.pairs:
+            directions = row_directions(row)
+            for _ in range(count):
+                outcome = self._execute_round(list(directions))
+                outcomes.append(outcome)
+                population.record_round(outcome.observations)
+                if stop is not None and stop(outcomes, j):
+                    return outcomes
+                j += 1
+        return outcomes
 
     def skip_restoring(self, row, k: int = 1) -> None:
         """Apply ``k`` provably-restoring rounds of ``row`` unsimulated.
@@ -294,6 +382,12 @@ class Scheduler:
         if k < 1:
             raise ValueError("run_fixed requires k >= 1")
         directions = [direction] * self.state.n
+        if self._injector is not None:
+            population = self.population
+            for _ in range(k):
+                outcome = self._execute_round(list(directions))
+                population.record_round(outcome.observations)
+            return outcome
         if self.supports_stretch and not self.simulator.cross_validate:
             result = self.simulator.execute_stretch(
                 Stretch(directions, k)

@@ -36,6 +36,19 @@ class ProtocolError(ReproError):
     """
 
 
+class FaultBudgetError(ProtocolError):
+    """A fault-injected run exceeded its round budget.
+
+    Raised by the scheduler when an active fault plan's ``max_rounds``
+    budget is exhausted: the injected faults broke the protocol's
+    termination argument (e.g. a Byzantine agent keeps a consensus
+    round from ever becoming clean).  Subclasses
+    :class:`ProtocolError` because it is the fault layer's "detect"
+    outcome for liveness, mirroring what the consensus/full-rank
+    checks do for safety.
+    """
+
+
 class InfeasibleProblemError(ReproError):
     """The requested task is provably unsolvable in the requested model.
 

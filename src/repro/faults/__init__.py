@@ -1,0 +1,53 @@
+"""Adversarial execution models: crash-stop, Byzantine and delayed agents
+plus randomized contention channels, as one deterministic fault layer.
+
+The paper's world is synchronous lockstep with obedient agents; this
+package is the scenario space beyond it (ROADMAP open item 4).  It has
+three parts:
+
+* :mod:`repro.faults.plan` -- :class:`FaultPlan`, a frozen, JSON-able,
+  seeded description of *which* agents misbehave and *when* (crash-stop
+  at round r, Byzantine direction/memory corruption, per-agent delivery
+  delays).  ``Scheduler``/``RingSession``/``SessionSpec`` and the CLI
+  (``--faults``) all accept one, and the run-store key document
+  incorporates it.
+* :mod:`repro.faults.inject` -- :class:`FaultInjector`, the scheduler
+  hook that deterministically rewrites each round's direction vector
+  according to the plan.
+* :mod:`repro.faults.channels` -- contention-channel protocols
+  (backoff-window and probabilistic loss/capture medium access) built
+  over the existing probe/restore collision machinery and registered
+  in the ordinary protocol registry.
+
+Graceful degradation is a trichotomy, computed by
+:func:`repro.faults.report.classify_spec`: a protocol under a plan
+either *survives* (bit-identical result to its fault-free twin),
+*detects* (raises a :class:`~repro.exceptions.ReproError`), or
+*reports* (completes with a different -- partial/degraded -- result).
+Anything else is a bug, and the scenario fuzzer records it into
+``tests/regression_corpus/`` (:mod:`repro.faults.corpus`).
+"""
+
+from repro.faults.plan import (
+    BYZANTINE_MODES,
+    DEFAULT_MAX_ROUNDS,
+    FaultPlan,
+    PLAN_SCHEMA,
+)
+from repro.faults.inject import FaultInjector
+from repro.faults.report import OUTCOMES, Classification, classify_spec
+
+# repro.faults.channels and repro.faults.corpus are import-on-demand:
+# channels pulls in the scheduler stack (and is registered by
+# repro.api), corpus is test/tool-facing.
+
+__all__ = [
+    "BYZANTINE_MODES",
+    "Classification",
+    "DEFAULT_MAX_ROUNDS",
+    "FaultInjector",
+    "FaultPlan",
+    "OUTCOMES",
+    "PLAN_SCHEMA",
+    "classify_spec",
+]

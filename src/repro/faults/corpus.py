@@ -1,0 +1,176 @@
+"""The replayable regression corpus: recorded fault scenarios as JSON.
+
+When the property-based scenario fuzzer finds a run that violates the
+graceful-degradation trichotomy (or any other property), the offending
+scenario is serialised here as one small JSON file.  Committed entries
+live in ``tests/regression_corpus/`` and are replayed by the tier-1
+suite on every run -- a fuzzer find becomes a permanent regression
+test the moment it is recorded, independent of hypothesis versions,
+shrink behaviour or database state.
+
+Entry schema (``ENTRY_SCHEMA = 1``)::
+
+    {
+      "schema": 1,
+      "note":  "<free-form human context>",
+      "scenario": { ...SessionSpec.to_dict()... },
+      "expect": {
+        "outcome": "survive" | "detect" | "report",
+        "error":   "<exception class name>",   # detect only
+        "result":  { ...payload... }           # survive/report only
+      }
+    }
+
+Replay recomputes the scenario's classification from scratch (both the
+faulted run and its fault-free twin) and asserts the recorded
+expectation -- outcome, error *type* (messages may improve), and the
+exact result payload.  Everything in an entry is deterministic, so a
+replay mismatch is a real behaviour change, never flake.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.faults.report import OUTCOMES, Classification, classify_spec
+
+if TYPE_CHECKING:  # circular only at type-check time
+    from repro.api.fleet import SessionSpec
+
+#: Schema version of a corpus entry.
+ENTRY_SCHEMA = 1
+
+#: Repo-relative home of the committed corpus.
+DEFAULT_CORPUS_DIR = os.path.join("tests", "regression_corpus")
+
+
+def make_entry(
+    spec: "SessionSpec",
+    classification: Classification,
+    note: str = "",
+) -> Dict[str, object]:
+    """Build the JSON document recording ``spec``'s classification."""
+    expect: Dict[str, object] = {"outcome": classification.outcome}
+    if classification.outcome == "detect":
+        expect["error"] = classification.error_type
+    else:
+        expect["result"] = classification.result
+    return {
+        "schema": ENTRY_SCHEMA,
+        "note": note,
+        "scenario": spec.to_dict(),
+        "expect": expect,
+    }
+
+
+def entry_name(entry: Dict[str, object]) -> str:
+    """Stable, content-derived filename for an entry.
+
+    Hashing the scenario (not the expectation) keeps one file per
+    scenario: re-recording the same scenario overwrites rather than
+    accumulating near-duplicates.
+    """
+    payload = json.dumps(
+        entry["scenario"], sort_keys=True, separators=(",", ":"),
+        ensure_ascii=True,
+    )
+    digest = hashlib.sha256(payload.encode("ascii")).hexdigest()[:12]
+    scenario = entry["scenario"]
+    protocol = str(scenario.get("protocol", "unknown"))  # type: ignore[union-attr]
+    outcome = str(entry["expect"]["outcome"])  # type: ignore[index, call-overload]
+    return f"{protocol}-{outcome}-{digest}.json"
+
+
+def write_entry(
+    entry: Dict[str, object],
+    directory: str = DEFAULT_CORPUS_DIR,
+    name: Optional[str] = None,
+) -> str:
+    """Write ``entry`` into the corpus directory; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name or entry_name(entry))
+    with open(path, "w", encoding="ascii") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True,
+                  ensure_ascii=True)
+        handle.write("\n")
+    return path
+
+
+def record_scenario(
+    spec: "SessionSpec",
+    directory: str = DEFAULT_CORPUS_DIR,
+    note: str = "",
+) -> Tuple[str, Classification]:
+    """Classify ``spec`` and persist the result as a corpus entry.
+
+    The one-call path the fuzzer (and ``tools/record_regression.py``)
+    uses: whatever the scenario *currently* does becomes the recorded
+    expectation, so the entry pins today's behaviour against tomorrow's
+    regressions.
+    """
+    classification = classify_spec(spec)
+    entry = make_entry(spec, classification, note=note)
+    return write_entry(entry, directory), classification
+
+
+def load_corpus(
+    directory: str = DEFAULT_CORPUS_DIR,
+) -> List[Tuple[str, Dict[str, object]]]:
+    """All corpus entries under ``directory`` as ``(path, entry)``,
+    sorted by filename for deterministic collection order."""
+    if not os.path.isdir(directory):
+        return []
+    entries: List[Tuple[str, Dict[str, object]]] = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        with open(path, "r", encoding="ascii") as handle:
+            entries.append((path, json.load(handle)))
+    return entries
+
+
+def replay_entry(entry: Dict[str, object]) -> Classification:
+    """Re-run a recorded scenario and assert its pinned expectation.
+
+    Raises :class:`AssertionError` (with a diff-friendly message) on
+    any divergence; returns the fresh classification on success.
+    """
+    from repro.api.fleet import SessionSpec
+
+    if entry.get("schema") != ENTRY_SCHEMA:
+        raise ConfigurationError(
+            f"corpus entry schema {entry.get('schema')!r} is not the "
+            f"supported {ENTRY_SCHEMA}"
+        )
+    spec = SessionSpec.from_dict(dict(entry["scenario"]))  # type: ignore[call-overload]
+    expect = dict(entry["expect"])  # type: ignore[call-overload]
+    expected_outcome = expect["outcome"]
+    if expected_outcome not in OUTCOMES:
+        raise ConfigurationError(
+            f"corpus entry expects unknown outcome {expected_outcome!r}"
+        )
+    fresh = classify_spec(spec)
+    assert fresh.outcome == expected_outcome, (
+        f"scenario {entry['scenario']} now classifies as "
+        f"{fresh.outcome!r} (recorded: {expected_outcome!r}; "
+        f"error={fresh.error_type!r} {fresh.error_message!r})"
+    )
+    if expected_outcome == "detect":
+        assert fresh.error_type == expect["error"], (
+            f"scenario {entry['scenario']} now detects via "
+            f"{fresh.error_type!r} (recorded: {expect['error']!r})"
+        )
+    else:
+        recorded = json.dumps(expect["result"], sort_keys=True)
+        current = json.dumps(fresh.result, sort_keys=True)
+        assert recorded == current, (
+            f"scenario {entry['scenario']} result payload changed:\n"
+            f"  recorded: {recorded}\n"
+            f"  current:  {current}"
+        )
+    return fresh

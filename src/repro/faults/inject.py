@@ -1,0 +1,111 @@
+"""FaultInjector: the scheduler hook that executes a FaultPlan.
+
+The injector sits between a protocol's decision and the simulator: the
+scheduler hands it the round's direction vector and round index, and it
+returns the vector the adversary actually lets through.  Application
+order within a round is fixed (delays, then Byzantine corruption, then
+crash-stop), chosen so the strongest adversary wins: a crashed slot is
+IDLE no matter what its Byzantine or delayed persona wanted.
+
+Determinism contract: the single ``random.Random(plan.seed)`` instance
+is consumed in sorted slot order, once per active ``random``-mode slot
+per round, so the injected fault stream is a pure function of
+``(plan, round history)`` -- independent of backend, driver or host.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, MutableMapping, Sequence, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.types import LocalDirection
+
+#: The Byzantine ``random`` mode draws from the two moving directions
+#: only -- a Byzantine agent in the basic model must still move.
+_RANDOM_DIRECTIONS = (LocalDirection.RIGHT, LocalDirection.LEFT)
+
+
+def scramble_memory(memory: MutableMapping[str, object]) -> None:
+    """Corrupt a protocol memory in place, type-exactly.
+
+    Booleans are negated and ints are xor-ed with 1; every other value
+    (enums, strings, Fractions, tuples) is left alone so the corruption
+    perturbs protocol *state* without fabricating values outside a
+    slot's type domain.  Keys are visited in sorted order for
+    determinism.
+    """
+    for key in sorted(memory):
+        value = memory[key]
+        if type(value) is bool:
+            memory[key] = not value
+        elif type(value) is int:
+            memory[key] = value ^ 1
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to a run's direction stream."""
+
+    def __init__(self, plan: FaultPlan, n: int) -> None:
+        plan.validate_for(n)
+        self.plan = plan
+        self.n = n
+        self._crashes: Tuple[Tuple[int, int], ...] = plan.crashes
+        self._byzantine: Tuple[Tuple[int, int, str], ...] = plan.byzantine
+        self._delays: Tuple[Tuple[int, int], ...] = plan.delays
+        self._max_lag = max((lag for _, lag in plan.delays), default=0)
+        self._rng = random.Random(plan.seed)
+        #: Per-round recorded *intended* directions, kept only as far
+        #: back as the largest delay lag reaches.
+        self._intents: Dict[int, List[LocalDirection]] = {}
+        self._scrambled: set = set()
+
+    @property
+    def idle_exempt(self) -> frozenset:
+        """Slots the simulator must allow to idle in must-move models.
+
+        A crash-stopped agent is IDLE by force, not by protocol choice,
+        so the basic/perceptive "must move" check does not apply to it.
+        """
+        return frozenset(slot for slot, _ in self._crashes)
+
+    def crashed_at(self, t: int) -> frozenset:
+        """Slots already crash-stopped at round ``t``."""
+        return frozenset(s for s, r in self._crashes if t >= r)
+
+    def transform(
+        self,
+        directions: Sequence[LocalDirection],
+        t: int,
+        memories: Sequence[MutableMapping[str, object]],
+    ) -> List[LocalDirection]:
+        """The direction vector the adversary lets through at round ``t``."""
+        out = list(directions)
+        if self._max_lag:
+            self._intents[t] = list(directions)
+            stale = t - self._max_lag
+            for old in [r for r in self._intents if r < stale]:
+                del self._intents[old]
+            for slot, lag in self._delays:
+                src = t - lag
+                if src < 0:
+                    src = 0
+                recorded = self._intents.get(src)
+                if recorded is not None:
+                    out[slot] = recorded[slot]
+        for slot, start, mode in self._byzantine:
+            if t < start:
+                continue
+            if mode == "flip":
+                out[slot] = out[slot].opposite()
+            elif mode == "random":
+                out[slot] = self._rng.choice(_RANDOM_DIRECTIONS)
+            else:  # scramble: flip direction + one-shot memory corruption
+                out[slot] = out[slot].opposite()
+                if slot not in self._scrambled:
+                    self._scrambled.add(slot)
+                    scramble_memory(memories[slot])
+        for slot, start in self._crashes:
+            if t >= start:
+                out[slot] = LocalDirection.IDLE
+        return out

@@ -1,0 +1,316 @@
+"""FaultPlan: a deterministic, seeded, JSON-able adversary description.
+
+A plan names *which* agent slots misbehave and *when*, in three
+independent families:
+
+* **crashes** -- crash-stop: from round ``r`` on, the slot is pinned to
+  ``IDLE`` forever (a halted agent still occupies its position on the
+  ring and still participates in collisions, exactly like a lazy-model
+  idler).
+* **byzantine** -- from round ``r`` on, the slot's chosen direction is
+  corrupted each round: ``flip`` reverses it, ``random`` replaces it
+  with a seeded coin flip over {RIGHT, LEFT}, and ``scramble``
+  additionally corrupts the slot's protocol memory once, at round ``r``
+  (booleans negated, ints xor-ed with 1 -- type-exact, so enum-valued
+  entries survive).
+* **delays** -- asynchrony: the slot executes the direction it *chose*
+  ``lag`` rounds ago (its first ``lag`` rounds replay its round-0
+  intent).  This models a slow agent on a synchronous round clock.
+
+All randomness flows through one ``random.Random(seed)`` instance and
+all per-round draws happen in sorted slot order, so a plan is a pure
+function of its JSON document: two runs with equal plans inject
+identical faults.  ``max_rounds`` is the round budget for faulted runs;
+protocols whose termination argument a fault breaks surface as
+:class:`~repro.exceptions.FaultBudgetError` instead of spinning.
+
+The canonical JSON form (:meth:`FaultPlan.to_dict` /
+:meth:`FaultPlan.canonical`) is what the run-store key document embeds,
+so a plan participates in content-addressed caching like every other
+input.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+#: Schema tag for the plan's JSON document.
+PLAN_SCHEMA = 1
+
+#: Recognised Byzantine corruption modes.
+BYZANTINE_MODES: Tuple[str, ...] = ("flip", "random", "scramble")
+
+#: Round budget applied to faulted runs when the plan does not set one.
+#: Generous: the largest legitimate protocol round counts are O(n log n)
+#: at tier-1 sizes, orders of magnitude below this.
+DEFAULT_MAX_ROUNDS = 10_000
+
+FaultPlanLike = Union[None, "FaultPlan", str, Mapping[str, object]]
+
+
+def _canonical_json(document: object) -> str:
+    """Canonical JSON: sorted keys, compact separators, ASCII only.
+
+    Mirrors ``repro.store.keys.canonical_json`` byte-for-byte, duplicated
+    here so the plan layer stays importable without the store (which
+    pulls in the registry and the whole API surface).
+    """
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def _slot(value: object, family: str) -> int:
+    """Validate a slot index (JSON object keys arrive as strings)."""
+    if isinstance(value, str):
+        try:
+            value = int(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"faults: {family} slot {value!r} is not an integer"
+            ) from None
+    if type(value) is not int:
+        raise ConfigurationError(
+            f"faults: {family} slot {value!r} is not an integer"
+        )
+    if value < 0:
+        raise ConfigurationError(
+            f"faults: {family} slot {value} is negative"
+        )
+    return value
+
+
+def _round(value: object, family: str, minimum: int = 0) -> int:
+    if type(value) is not int or isinstance(value, bool):
+        raise ConfigurationError(
+            f"faults: {family} value {value!r} is not an integer"
+        )
+    if value < minimum:
+        raise ConfigurationError(
+            f"faults: {family} value {value} is below {minimum}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen fault schedule over agent slots.
+
+    Attributes:
+        seed: Seed for the plan's private ``random.Random`` (used only
+            by ``random``-mode Byzantine slots).
+        crashes: ``(slot, round)`` pairs -- slot is IDLE from that
+            round on.
+        byzantine: ``(slot, round, mode)`` triples with mode in
+            :data:`BYZANTINE_MODES`.
+        delays: ``(slot, lag)`` pairs with ``lag >= 1`` -- the slot
+            executes its direction choice from ``lag`` rounds ago.
+        max_rounds: Round budget for faulted runs; ``None`` means
+            :data:`DEFAULT_MAX_ROUNDS`.
+    """
+
+    seed: int = 0
+    crashes: Tuple[Tuple[int, int], ...] = field(default=())
+    byzantine: Tuple[Tuple[int, int, str], ...] = field(default=())
+    delays: Tuple[Tuple[int, int], ...] = field(default=())
+    max_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _round(self.seed, "seed")
+        crashes = tuple(
+            (_slot(s, "crashes"), _round(r, "crashes round"))
+            for s, r in self.crashes
+        )
+        byzantine = []
+        for entry in self.byzantine:
+            slot, start, mode = entry
+            if mode not in BYZANTINE_MODES:
+                raise ConfigurationError(
+                    f"faults: unknown byzantine mode {mode!r}; expected one"
+                    f" of {', '.join(BYZANTINE_MODES)}"
+                )
+            byzantine.append(
+                (_slot(slot, "byzantine"), _round(start, "byzantine round"),
+                 mode)
+            )
+        delays = tuple(
+            (_slot(s, "delays"), _round(lag, "delay lag", minimum=1))
+            for s, lag in self.delays
+        )
+        for family, slots in (
+            ("crashes", [s for s, _ in crashes]),
+            ("byzantine", [s for s, _, _ in byzantine]),
+            ("delays", [s for s, _ in delays]),
+        ):
+            if len(slots) != len(set(slots)):
+                raise ConfigurationError(
+                    f"faults: duplicate {family} slot"
+                )
+        if self.max_rounds is not None:
+            _round(self.max_rounds, "max_rounds", minimum=1)
+        object.__setattr__(self, "crashes", tuple(sorted(crashes)))
+        object.__setattr__(self, "byzantine", tuple(sorted(byzantine)))
+        object.__setattr__(self, "delays", tuple(sorted(delays)))
+
+    # ----------------------------------------------------------------- #
+    # Constructors
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        """The empty plan: injects nothing, enforces nothing."""
+        return FaultPlan()
+
+    def is_none(self) -> bool:
+        """True when the plan changes no behaviour at all."""
+        return (
+            not self.crashes
+            and not self.byzantine
+            and not self.delays
+            and self.max_rounds is None
+        )
+
+    @staticmethod
+    def from_dict(document: Mapping[str, object]) -> "FaultPlan":
+        """Parse the JSON document form; raises ``ConfigurationError``."""
+        if not isinstance(document, Mapping):
+            raise ConfigurationError(
+                f"faults: expected an object, got {type(document).__name__}"
+            )
+        known = {"schema", "seed", "crashes", "byzantine", "delays",
+                 "max_rounds"}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"faults: unknown key(s) {', '.join(map(repr, unknown))}"
+            )
+        schema = document.get("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ConfigurationError(
+                f"faults: unsupported schema {schema!r}"
+            )
+        crashes_doc = document.get("crashes", {})
+        byz_doc = document.get("byzantine", {})
+        delays_doc = document.get("delays", {})
+        for family, doc in (("crashes", crashes_doc),
+                            ("byzantine", byz_doc),
+                            ("delays", delays_doc)):
+            if not isinstance(doc, Mapping):
+                raise ConfigurationError(
+                    f"faults: {family} must be an object mapping slot ->"
+                    " schedule"
+                )
+        byzantine = []
+        for slot, entry in byz_doc.items():
+            if not isinstance(entry, Mapping):
+                raise ConfigurationError(
+                    "faults: byzantine entries must be objects with"
+                    " 'round' and 'mode'"
+                )
+            extra = sorted(set(entry) - {"round", "mode"})
+            if extra:
+                raise ConfigurationError(
+                    f"faults: unknown byzantine key(s)"
+                    f" {', '.join(map(repr, extra))}"
+                )
+            mode = entry.get("mode", "flip")
+            if not isinstance(mode, str):
+                raise ConfigurationError(
+                    f"faults: byzantine mode {mode!r} is not a string"
+                )
+            byzantine.append((slot, entry.get("round", 0), mode))
+        seed = document.get("seed", 0)
+        max_rounds = document.get("max_rounds")
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ConfigurationError(f"faults: seed {seed!r} is not an int")
+        return FaultPlan(
+            seed=seed,
+            crashes=tuple(crashes_doc.items()),  # type: ignore[arg-type]
+            byzantine=tuple(byzantine),  # type: ignore[arg-type]
+            delays=tuple(delays_doc.items()),  # type: ignore[arg-type]
+            max_rounds=max_rounds,  # type: ignore[arg-type]
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        """Parse a JSON string; raises ``ConfigurationError``."""
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"faults: invalid JSON ({exc})"
+            ) from None
+        return FaultPlan.from_dict(document)
+
+    @staticmethod
+    def coerce(value: FaultPlanLike) -> Optional["FaultPlan"]:
+        """Normalise any accepted spelling to a plan, or ``None``.
+
+        Accepts ``None``, a plan, a JSON string, or a document mapping.
+        Empty plans normalise to ``None`` so a ``FaultPlan.none()``
+        session is *the same object graph* as a plain one -- this is
+        what makes fault-free byte-equivalence structural rather than
+        incidental.
+        """
+        if value is None:
+            return None
+        if isinstance(value, FaultPlan):
+            plan = value
+        elif isinstance(value, str):
+            plan = FaultPlan.from_json(value)
+        elif isinstance(value, Mapping):
+            plan = FaultPlan.from_dict(value)
+        else:
+            raise ConfigurationError(
+                f"faults: cannot interpret {type(value).__name__} as a"
+                " fault plan"
+            )
+        return None if plan.is_none() else plan
+
+    # ----------------------------------------------------------------- #
+    # Serialisation
+
+    def to_dict(self) -> Dict[str, object]:
+        """The canonical JSON document (slot keys as strings)."""
+        return {
+            "schema": PLAN_SCHEMA,
+            "seed": self.seed,
+            "crashes": {str(s): r for s, r in self.crashes},
+            "byzantine": {
+                str(s): {"round": r, "mode": mode}
+                for s, r, mode in self.byzantine
+            },
+            "delays": {str(s): lag for s, lag in self.delays},
+            "max_rounds": self.max_rounds,
+        }
+
+    def canonical(self) -> str:
+        """Canonical JSON string (sorted keys, compact, ASCII)."""
+        return _canonical_json(self.to_dict())
+
+    # ----------------------------------------------------------------- #
+    # Validation against a concrete ring
+
+    def slots(self) -> Tuple[int, ...]:
+        """All slots the plan touches, sorted and de-duplicated."""
+        touched = {s for s, _ in self.crashes}
+        touched.update(s for s, _, _ in self.byzantine)
+        touched.update(s for s, _ in self.delays)
+        return tuple(sorted(touched))
+
+    def validate_for(self, n: int) -> None:
+        """Check every slot fits a ring of ``n`` agents."""
+        for slot in self.slots():
+            if slot >= n:
+                raise ConfigurationError(
+                    f"faults: slot {slot} out of range for n={n}"
+                )
+
+    @property
+    def round_budget(self) -> int:
+        """The effective budget for faulted runs."""
+        return self.max_rounds if self.max_rounds is not None \
+            else DEFAULT_MAX_ROUNDS

@@ -36,6 +36,11 @@ HOT_PATH_MODULES: Tuple[str, ...] = (
     # here would mean a payload was parsed where it should have been
     # passed through byte-identically.
     "store/*.py",
+    # The fault layer rewrites direction vectors inside the per-round
+    # injection seam and adjudicates channel slots; it works purely on
+    # enums, ints and bools -- a Fraction here would mean adversarial
+    # state leaked into the kinematics it is supposed to sit above.
+    "faults/*.py",
 )
 
 #: Modules whose arithmetic feeds the Z/(2D) tick grid: float literals

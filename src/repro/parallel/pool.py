@@ -97,8 +97,14 @@ def _fleet_job(
     start, end = int(bounds[index]), int(bounds[index + 1])
     spec_doc = json.loads(bytes(arena.raw("specs")[start:end]))
     row = run_session_spec(SessionSpec.from_dict(spec_doc))
+    # The wire document is an envelope, not the bare result: faulted
+    # specs carry a "faults" block (outcome/error/plan) that must reach
+    # the parent alongside the (possibly null) result payload.
+    envelope: Dict[str, object] = {"result": row["result"]}
+    if "faults" in row:
+        envelope["faults"] = row["faults"]
     payload = json.dumps(
-        row["result"], separators=(",", ":")
+        envelope, separators=(",", ":")
     ).encode("utf-8")
     seconds = float(row["seconds"])
     if len(payload) > slot_bytes:
@@ -209,11 +215,12 @@ def run_specs_pooled(
 ) -> List[Dict[str, object]]:
     """Execute fleet specs across the persistent warm pool.
 
-    Returns the same ``{"spec", "result", "seconds"}`` rows, in spec
-    order, that the serial executor produces -- result payloads are
-    JSON round-trips of the worker's rows, which is lossless for the
-    all-int/string RunReport schema, so reports stay bit-identical
-    across executors and worker counts.
+    Returns the same ``{"spec", "result", "seconds"}`` rows (plus the
+    ``"faults"`` block for faulted specs), in spec order, that the
+    serial executor produces -- payloads are JSON round-trips of the
+    worker's rows, which is lossless for the all-int/string RunReport
+    schema, so reports stay bit-identical across executors and worker
+    counts.
     """
     if pool is None:
         pool = get_pool(workers)
@@ -255,11 +262,15 @@ def run_specs_pooled(
                     text = bytes(
                         results_view[lo:lo + lengths[i]]
                     ).decode("utf-8")
-                rows[i] = {
+                envelope = json.loads(text)
+                row: Dict[str, object] = {
                     "spec": spec_docs[i],
-                    "result": json.loads(text),
-                    "seconds": round(seconds[i], 6),
+                    "result": envelope["result"],
                 }
+                if "faults" in envelope:
+                    row["faults"] = envelope["faults"]
+                row["seconds"] = round(seconds[i], 6)
+                rows[i] = row
         finally:
             # The arena closes at with-exit; every view must be gone.
             results_view.release()

@@ -131,8 +131,71 @@ class LocationDiscoveryResult:
         )
 
 
+@dataclass
+class ContentionResult:
+    """Outcome of a contention-channel (medium access) protocol run.
+
+    Attributes:
+        rounds: Total ring rounds consumed (each channel slot costs two
+            physical rounds -- a probe and its restoring reverse; fused
+            idle runs cost two rounds per fused slot).
+        rounds_by_phase: Round counts per phase name.
+        slots: Channel slots simulated (idle, busy and collision slots).
+        attempts: Total transmission attempts across all agents.
+        collisions: Slots adjudicated as collisions.
+        lost: Transmissions dropped by the loss model (ALOHA only).
+        delivered_order: Agent slots in the order their message got
+            through the channel.
+        undelivered: Agent slots whose message never got through (e.g.
+            crash-stopped transmitters under a fault plan) -- the
+            partial-result surface of the graceful-degradation
+            contract.
+    """
+
+    rounds: int
+    rounds_by_phase: Dict[str, int] = field(default_factory=dict)
+    slots: int = 0
+    attempts: int = 0
+    collisions: int = 0
+    lost: int = 0
+    delivered_order: List[int] = field(default_factory=list)
+    undelivered: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload (consumed by RunReport and ``--json``)."""
+        return {
+            "kind": "contention",
+            "rounds": self.rounds,
+            "rounds_by_phase": dict(self.rounds_by_phase),
+            "slots": self.slots,
+            "attempts": self.attempts,
+            "collisions": self.collisions,
+            "lost": self.lost,
+            "delivered_order": list(self.delivered_order),
+            "undelivered": list(self.undelivered),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ContentionResult":
+        """Inverse of :meth:`to_dict` (the run-cache fetch path)."""
+        return cls(
+            rounds=int(data["rounds"]),  # type: ignore[arg-type]
+            rounds_by_phase={
+                str(name): int(rounds)  # type: ignore[arg-type]
+                for name, rounds in dict(data["rounds_by_phase"]).items()  # type: ignore[arg-type]
+            },
+            slots=int(data["slots"]),  # type: ignore[arg-type]
+            attempts=int(data["attempts"]),  # type: ignore[arg-type]
+            collisions=int(data["collisions"]),  # type: ignore[arg-type]
+            lost=int(data["lost"]),  # type: ignore[arg-type]
+            delivered_order=[int(s) for s in data["delivered_order"]],  # type: ignore[union-attr]
+            undelivered=[int(s) for s in data["undelivered"]],  # type: ignore[union-attr]
+        )
+
+
 #: Result classes by their ``to_dict()["kind"]`` discriminator.
 _RESULT_KINDS = {
+    "contention": ContentionResult,
     "coordination": CoordinationResult,
     "location_discovery": LocationDiscoveryResult,
 }

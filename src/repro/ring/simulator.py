@@ -72,6 +72,11 @@ class RingSimulator:
         self.backend.attach(state)
         self.rounds_executed = 0
         self.collision_events = 0
+        # Agent slots exempt from the must-move check: crash-stopped
+        # agents idle by force, not by protocol choice, so the fault
+        # layer (repro.faults) marks them here before injecting IDLE
+        # into basic/perceptive runs.
+        self.idle_exempt: frozenset = frozenset()
         # Per-agent objective velocity for each local choice (chirality
         # never changes); identity checks on the three enum members are
         # much cheaper than hashing direction vectors.
@@ -99,7 +104,7 @@ class RingSimulator:
                 velocities[i] = vel_right[i]
             elif d is left:
                 velocities[i] = vel_left[i]
-            elif not allows_idle:
+            elif not allows_idle and i not in self.idle_exempt:
                 raise ModelViolationError(
                     f"idle is not permitted in the {self.model.value} model"
                 )

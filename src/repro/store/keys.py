@@ -99,7 +99,7 @@ def key_document(spec: "SessionSpec") -> Dict[str, object]:
     merely an equivalent way of computing it (backend, driver, shards,
     executor, workers) is not.
     """
-    return {
+    document: Dict[str, object] = {
         "key_schema": KEY_SCHEMA,
         "protocol": spec.protocol,
         "n": spec.n,
@@ -111,6 +111,18 @@ def key_document(spec: "SessionSpec") -> Dict[str, object]:
         "unchecked": spec.unchecked,
         "phases": phase_plan(spec),
     }
+    # The fault plan is part of what determines the outcome, so an
+    # active plan joins the key; fault-free specs keep the exact
+    # historical document (and digest bytes).  An unparseable or
+    # out-of-range plan raises here, which safe_key maps to
+    # "uncacheable" -- a spec that cannot run cannot be keyed either.
+    if spec.faults is not None:
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.from_json(spec.faults)
+        plan.validate_for(spec.n)
+        document["faults"] = plan.to_dict()
+    return document
 
 
 def run_key(spec: "SessionSpec") -> str:

@@ -139,6 +139,26 @@ class TestNondeterminism:
         assert not any(f.line == line_no for f in result.findings)
 
 
+class TestFaultsScope:
+    """The fault layer is inside the lint net: global randomness in a
+    ``faults/`` module is a finding (its whole point is *seeded*
+    adversaries), and the package is a Fraction-free hot path."""
+
+    def test_nondeterminism_fires_under_faults(self):
+        result = lint_fixture("nondet.py", "faults/fixture.py")
+        assert "nondeterminism" in rules_fired(result)
+        messages = " | ".join(f.message for f in result.findings)
+        assert "random.randint" in messages
+        assert "Random() without a seed" in messages
+
+    def test_faults_modules_are_hot(self):
+        assert DEFAULT_CONFIG.is_hot("faults/plan.py")
+        assert DEFAULT_CONFIG.is_hot("faults/inject.py")
+        assert DEFAULT_CONFIG.is_hot("faults/channels.py")
+        result = lint_fixture("fraction_hot.py", "faults/fixture.py")
+        assert "fraction-hot-path" in rules_fired(result)
+
+
 class TestNumpyGate:
     def test_fires_on_module_and_function_imports(self):
         result = lint_fixture("numpy_direct.py", "experiments/fixture.py")

@@ -51,6 +51,23 @@ class TestPooledDeterminism:
             spec.to_dict() for spec in SPECS
         ]
 
+    def test_faulted_rows_match_serial_executor(self):
+        # The faults block (outcome/error/plan) must survive the shm
+        # wire format: a pooled faulted sweep produces the exact rows
+        # the serial executor does, not bare null results.
+        specs = sweep(
+            protocol="location-discovery",
+            sizes=(8,),
+            seeds=(0, 1),
+            faults='{"seed":1,"crashes":{"2":1}}',
+        )
+        serial = Fleet(specs, executor="serial").run()
+        pooled = Fleet(specs, workers=2, executor="process").run()
+        assert pooled.payloads() == serial.payloads()
+        for row in pooled.results:
+            assert row["faults"]["outcome"] == "detected"
+            assert row["faults"]["error"] == "ProtocolError"
+
 
 class TestPoolPersistence:
     def test_registry_returns_same_pool(self):

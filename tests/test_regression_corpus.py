@@ -1,0 +1,66 @@
+"""Replay the committed regression corpus, entry by entry.
+
+Every JSON file under ``tests/regression_corpus/`` is a fault scenario
+the fuzzer (or a human, via ``tools/record_regression.py``) once found
+interesting enough to pin: the file records the scenario's spec and
+the classification it produced at recording time.  This suite re-runs
+each scenario from scratch -- the faulted execution *and* its
+fault-free twin -- and asserts the pinned outcome, error type and
+result payload.  Everything involved is deterministic, so a failure
+here is a genuine behaviour change, never flake.
+
+The corpus is also the living spec of the graceful-degradation
+contract: between them the committed entries must exercise every
+registered protocol and all three trichotomy outcomes.
+"""
+
+import os
+
+import pytest
+
+from repro.api.registry import list_protocols
+from repro.faults.corpus import (
+    DEFAULT_CORPUS_DIR,
+    ENTRY_SCHEMA,
+    entry_name,
+    load_corpus,
+    replay_entry,
+)
+from repro.faults.report import OUTCOMES
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "regression_corpus")
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_populated():
+    """The committed corpus holds at least the ten scenarios the fault
+    layer shipped with; an empty corpus means replay covers nothing."""
+    assert len(ENTRIES) >= 10
+
+
+def test_corpus_covers_every_protocol_and_outcome():
+    protocols = {entry["scenario"]["protocol"] for _, entry in ENTRIES}
+    outcomes = {entry["expect"]["outcome"] for _, entry in ENTRIES}
+    assert protocols >= {spec.name for spec in list_protocols()}
+    assert outcomes == set(OUTCOMES)
+
+
+@pytest.mark.parametrize(
+    "path,entry",
+    ENTRIES,
+    ids=[os.path.basename(path) for path, _ in ENTRIES],
+)
+def test_replay(path, entry):
+    assert entry["schema"] == ENTRY_SCHEMA
+    assert entry["expect"]["outcome"] in OUTCOMES
+    # Filenames are content-addressed by scenario: a hand-edited spec
+    # inside an entry would silently shadow the name's promise.
+    assert os.path.basename(path) == entry_name(entry)
+    replay_entry(entry)
+
+
+def test_default_corpus_dir_matches_this_suite():
+    """The library's default recording target is the directory this
+    suite replays -- a fuzzer find lands where tier-1 will see it."""
+    assert DEFAULT_CORPUS_DIR == os.path.join("tests", "regression_corpus")

@@ -133,3 +133,62 @@ class TestSafeKey:
 
     def test_bad_model_uncacheable(self):
         assert safe_key(replace(SPEC, model="psychic")) is None
+
+
+class TestFaults:
+    """The fault plan is result-determining, so it keys -- but only
+    when present: fault-free documents keep their historical bytes."""
+
+    PLAN = '{"seed":1,"crashes":{"2":1}}'
+
+    def test_fault_free_document_has_no_faults_field(self):
+        # The pinned bytes above already prove this; assert it directly
+        # so the conditional-inclusion contract is named, not implied.
+        assert "faults" not in key_document(SPEC)
+
+    def test_faulted_spec_keys_differently_from_twin(self):
+        faulted = replace(SPEC, faults=self.PLAN)
+        assert run_key(faulted) != PINNED_DIGEST
+        assert run_key(replace(faulted, faults=None)) == PINNED_DIGEST
+
+    def test_document_carries_the_full_plan(self):
+        doc = key_document(replace(SPEC, faults=self.PLAN))
+        assert doc["faults"]["crashes"] == {"2": 1}
+        assert doc["faults"]["seed"] == 1
+
+    def test_equal_plans_key_equal_regardless_of_spelling(self):
+        # SessionSpec normalises any parseable plan to canonical JSON,
+        # so key-order / whitespace variants dedup to one digest.
+        respelled = '{"crashes": {"2": 1}, "seed": 1}'
+        assert run_key(replace(SPEC, faults=self.PLAN)) == run_key(
+            replace(SPEC, faults=respelled)
+        )
+
+    def test_different_plans_key_differently(self):
+        one = run_key(replace(SPEC, faults=self.PLAN))
+        other = run_key(
+            replace(SPEC, faults='{"seed":1,"crashes":{"2":2}}')
+        )
+        assert one != other
+
+    def test_malformed_plan_uncacheable(self):
+        # Unparseable JSON is kept verbatim on the spec (it must stay
+        # constructible so the failure surfaces at run time), but such
+        # a spec cannot be keyed.
+        assert safe_key(replace(SPEC, faults="{not json")) is None
+
+    def test_out_of_range_plan_uncacheable(self):
+        # Slot 9 does not exist on a 7-ring: validate_for raises in
+        # key_document, so safe_key declines rather than keying a spec
+        # that cannot run.
+        assert safe_key(
+            replace(SPEC, faults='{"seed":1,"crashes":{"9":0}}')
+        ) is None
+
+    def test_backend_still_excluded_for_faulted_specs(self):
+        faulted = replace(SPEC, faults=self.PLAN)
+        digests = {
+            run_key(replace(faulted, backend=backend))
+            for backend in ("lattice", "fraction", "array")
+        }
+        assert len(digests) == 1

@@ -8,8 +8,9 @@ Run from the repo root (CI runs it as the ``docs`` job)::
 
 Three checks keep ``README.md`` and ``docs/`` from drifting:
 
-1. **Code blocks execute.**  Every fenced ``python`` block in README.md
-   and docs/*.md is extracted and executed with ``src/`` on the path:
+1. **Code blocks execute.**  Every fenced ``python`` block in README.md,
+   docs/*.md and examples/*.md is extracted and executed with ``src/``
+   on the path:
    blocks containing ``>>>`` prompts run under :mod:`doctest` (with
    ``NORMALIZE_WHITESPACE``), plain blocks are ``exec``'d.  A block
    whose first line is ``# doctest: skip`` is exempt (for deliberately
@@ -48,6 +49,7 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 def doc_files() -> List[Path]:
     files = [REPO / "README.md"]
     files.extend(sorted((REPO / "docs").glob("*.md")))
+    files.extend(sorted((REPO / "examples").glob("*.md")))
     return [f for f in files if f.exists()]
 
 
